@@ -1,0 +1,1 @@
+"""Reproduction benchmarks: one module per table/figure/example of the paper."""

@@ -1,0 +1,11 @@
+"""Small reporting helpers shared by the benchmark modules."""
+
+from __future__ import annotations
+
+
+def print_section(title: str) -> None:
+    """Uniform section banner for benchmark reports (visible with ``pytest -s``)."""
+    print()
+    print("=" * 72)
+    print(title)
+    print("=" * 72)

@@ -1,0 +1,64 @@
+"""Ablation — materialized vs. implicit (streamed) product construction (DESIGN.md §5).
+
+Quantifies the trade-off behind the library's central design decision: the
+implicit :class:`KroneckerGraph` answers local queries and streams edges in
+bounded memory, whereas materializing via ``scipy.sparse.kron`` pays product-
+sized time and memory but then amortizes repeated global queries.  The
+benchmark times edge enumeration through both paths and per-vertex degree
+queries through both paths.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import KroneckerGraph
+from repro.parallel import stream_edge_count
+from benchmarks._report import print_section
+
+
+@pytest.fixture(scope="module")
+def product(small_web_factor, delta_le_one_factor):
+    return KroneckerGraph(small_web_factor, delta_le_one_factor)
+
+
+def test_materialize_product(benchmark, product):
+    adjacency = benchmark(product.materialize_adjacency)
+    assert adjacency.nnz == product.nnz
+    print_section("Ablation — materialize C with scipy.sparse.kron")
+    print(f"  {adjacency.shape[0]:,} vertices, {adjacency.nnz:,} stored entries, "
+          f"≈{adjacency.data.nbytes + adjacency.indices.nbytes + adjacency.indptr.nbytes:,} bytes")
+
+
+def test_stream_edges_implicit(benchmark, product):
+    count = benchmark(stream_edge_count, product, a_edges_per_block=512)
+    assert count == product.nnz
+    print_section("Ablation — stream C's edges from the implicit product")
+    print(f"  {count:,} edges enumerated in blocks of 512 A-entries "
+          f"(peak memory bounded by the block, not by |E_C|)")
+
+
+def test_degree_queries_implicit(benchmark, product):
+    rng = np.random.default_rng(0)
+    queries = rng.integers(0, product.n_vertices, size=2000)
+
+    def run():
+        return [product.degree(int(p)) for p in queries]
+
+    degrees = benchmark(run)
+    assert len(degrees) == queries.size
+    print_section("Ablation — 2000 point degree queries on the implicit product")
+    print("  each query touches two factor CSR rows; no product-sized state exists")
+
+
+def test_degree_queries_materialized(benchmark, product):
+    adjacency = product.materialize_adjacency()
+    rng = np.random.default_rng(0)
+    queries = rng.integers(0, product.n_vertices, size=2000)
+
+    def run():
+        return [int(adjacency.indptr[p + 1] - adjacency.indptr[p]) for p in queries]
+
+    degrees = benchmark(run)
+    assert len(degrees) == queries.size
+    print_section("Ablation — 2000 point degree queries on the materialized product")
+    print("  faster per query, but only after paying the materialization cost above")

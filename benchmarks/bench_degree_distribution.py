@@ -1,0 +1,77 @@
+"""E3 — Section III.A: degree distribution of the product and max-degree-ratio squaring.
+
+Times the factor-histogram convolution that yields the exact degree histogram
+of ``A ⊗ A`` (never touching product-sized arrays) and reports the heavy-tail
+diagnostics the paper discusses: the product distribution stays heavy-tailed
+and the max-degree / n ratio is the square of the factor's ratio.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    complementary_cdf,
+    degree_histogram,
+    heavy_tail_summary,
+    hill_tail_exponent,
+    product_histogram,
+)
+from repro.core import kron_max_degree_ratio, max_degree_ratio
+from benchmarks._report import print_section
+
+
+def test_degree_histogram_convolution(benchmark, web_factor):
+    hist_a = degree_histogram(web_factor)
+
+    hist_c = benchmark(product_histogram, hist_a, hist_a)
+
+    n_c = web_factor.n_vertices ** 2
+    assert sum(hist_c.values()) == n_c
+    # Mean degree multiplies: Σ d·count / n.
+    mean_a = sum(v * c for v, c in hist_a.items()) / web_factor.n_vertices
+    mean_c = sum(v * c for v, c in hist_c.items()) / n_c
+    assert mean_c == pytest.approx(mean_a ** 2)
+
+    values, ccdf = complementary_cdf(hist_c)
+    print_section("E3 — degree distribution of A ⊗ A from factor histograms")
+    print(f"  factor A: {web_factor.n_vertices:,} vertices, mean degree {mean_a:.2f}, "
+          f"max degree {max(hist_a)}")
+    print(f"  product : {n_c:,} vertices, mean degree {mean_c:.2f}, max degree {max(hist_c)}")
+    print(f"  product degree support has {len(hist_c):,} distinct values")
+    tail_points = [(int(v), float(p)) for v, p in zip(values, ccdf) if p < 1e-3][:5]
+    print(f"  deep tail of the CCDF (P[deg >= d] < 1e-3): {tail_points}")
+
+
+def test_max_degree_ratio_squares(benchmark, web_factor):
+    ratio_c = benchmark(kron_max_degree_ratio, web_factor, web_factor)
+
+    ratio_a = max_degree_ratio(web_factor)
+    assert ratio_c == pytest.approx(ratio_a ** 2)
+    print_section("E3 — max-degree / n ratio squares under the Kronecker product")
+    print(f"  ‖d_A‖∞ / n_A = {ratio_a:.5f}")
+    print(f"  ‖d_C‖∞ / n_C = {ratio_c:.7f} = (‖d_A‖∞ / n_A)²")
+
+
+def test_heavy_tail_preserved(benchmark, web_factor):
+    degrees_a = web_factor.degrees()
+
+    def run():
+        hist_a = degree_histogram(web_factor)
+        hist_c = product_histogram(hist_a, hist_a)
+        sample = np.repeat(
+            np.fromiter(hist_c.keys(), dtype=np.int64),
+            np.fromiter(hist_c.values(), dtype=np.int64),
+        )
+        return heavy_tail_summary(sample)
+
+    summary_c = benchmark(run)
+    summary_a = heavy_tail_summary(degrees_a)
+    print_section("E3 — heavy-tail diagnostics (Hill exponent)")
+    print(f"  factor A : hill α ≈ {summary_a['hill_exponent']:.2f}, "
+          f"max/n = {summary_a['max_over_n']:.5f}")
+    print(f"  product C: hill α ≈ {summary_c['hill_exponent']:.2f}, "
+          f"max/n = {summary_c['max_over_n']:.7f}")
+    # The product tail must remain heavy (finite, moderate exponent), and the
+    # tail exponent does not blow up relative to the factor's.
+    assert np.isfinite(summary_c["hill_exponent"])
+    assert summary_c["hill_exponent"] < 2 * summary_a["hill_exponent"] + 1

@@ -1,0 +1,87 @@
+"""E2 — Example 1(a)-(c): clique/looped-clique products with closed-form statistics.
+
+For a sweep of factor sizes the benchmark evaluates the Kronecker formulas on
+``K_nA ⊗ K_nB``, ``K_nA ⊗ J_nB`` and ``J_nA ⊗ J_nB`` and checks every value
+against the closed forms printed in the paper's Example 1.
+"""
+
+from math import comb
+
+import numpy as np
+import pytest
+
+from repro import generators
+from repro.core import kron_degrees, kron_edge_triangles, kron_vertex_triangles
+from benchmarks._report import print_section
+
+SWEEP = [(8, 9), (12, 15), (20, 25)]
+
+
+def _all_cases(n_a, n_b):
+    return {
+        "K⊗K": (generators.complete_graph(n_a), generators.complete_graph(n_b)),
+        "K⊗J": (generators.complete_graph(n_a), generators.looped_clique(n_b)),
+        "J⊗J": (generators.looped_clique(n_a), generators.looped_clique(n_b)),
+    }
+
+
+@pytest.mark.parametrize("n_a,n_b", SWEEP)
+def test_ex1_vertex_formulas(benchmark, n_a, n_b):
+    cases = _all_cases(n_a, n_b)
+
+    def run():
+        return {name: kron_vertex_triangles(a, b) for name, (a, b) in cases.items()}
+
+    results = benchmark(run)
+    n = n_a * n_b
+    expected = {
+        "K⊗K": (n + 1 - n_a - n_b) * (n + 4 - 2 * n_a - 2 * n_b) // 2,
+        "K⊗J": (n - n_b) * (n - 2 * n_b) // 2,
+        "J⊗J": comb(n - 1, 2),
+    }
+    print_section(f"E2 / Example 1 — vertex triangle participation (n_A={n_a}, n_B={n_b})")
+    for name, values in results.items():
+        assert set(values.tolist()) == {expected[name]}, name
+        print(f"  {name}: every vertex participates in {expected[name]:,} triangles "
+              f"(paper closed form reproduced)")
+
+
+@pytest.mark.parametrize("n_a,n_b", SWEEP)
+def test_ex1_edge_formulas(benchmark, n_a, n_b):
+    cases = _all_cases(n_a, n_b)
+
+    def run():
+        return {name: kron_edge_triangles(a, b) for name, (a, b) in cases.items()}
+
+    results = benchmark(run)
+    n = n_a * n_b
+    expected = {
+        "K⊗K": n + 4 - 2 * n_a - 2 * n_b,
+        "K⊗J": n - 2 * n_b,
+        "J⊗J": n - 2,
+    }
+    print_section(f"E2 / Example 1 — edge triangle participation (n_A={n_a}, n_B={n_b})")
+    for name, delta in results.items():
+        off_diag_data = delta.data[np.asarray(delta.tocoo().row != delta.tocoo().col)]
+        assert set(off_diag_data.tolist()) == {expected[name]}, name
+        print(f"  {name}: every edge participates in {expected[name]:,} triangles")
+
+
+@pytest.mark.parametrize("n_a,n_b", SWEEP)
+def test_ex1_degree_formulas(benchmark, n_a, n_b):
+    cases = _all_cases(n_a, n_b)
+
+    def run():
+        return {name: kron_degrees(a, b) for name, (a, b) in cases.items()}
+
+    results = benchmark(run)
+    n = n_a * n_b
+    expected = {
+        "K⊗K": n + 1 - n_a - n_b,
+        "K⊗J": (n_a - 1) * n_b,
+        "J⊗J": n - 1,
+    }
+    print_section(f"E2 / Example 1 — degrees (n_A={n_a}, n_B={n_b})")
+    for name, degrees in results.items():
+        assert set(degrees.tolist()) == {expected[name]}, name
+        print(f"  {name}: every vertex has degree {expected[name]:,}")

@@ -1,0 +1,69 @@
+"""E4 — Example 2 / Fig. 3: truss structure of the hub-cycle Kronecker square.
+
+Reproduces the exact numbers of Example 2: the 5-vertex hub-cycle factor
+(8 edges, 4 triangles), its Kronecker square with 25 vertices, 128 edges and
+96 triangles, the per-edge participation histogram {1: 32, 2: 64, 4: 32}, and
+the truss decomposition with 128 edges in the 3-truss, 80 in the 4-truss and
+none in the 5-truss.
+"""
+
+import collections
+
+import numpy as np
+import pytest
+
+from repro import generators
+from repro.core import KroneckerGraph, kron_edge_triangles, kron_triangle_count
+from repro.truss import truss_decomposition
+from benchmarks._report import print_section
+
+
+@pytest.fixture(scope="module")
+def hub_cycle():
+    return generators.hub_cycle_graph()
+
+
+def test_ex2_product_statistics(benchmark, hub_cycle):
+    def run():
+        product = KroneckerGraph(hub_cycle, hub_cycle)
+        return product.n_vertices, product.n_edges, kron_triangle_count(hub_cycle, hub_cycle)
+
+    n_vertices, n_edges, triangles = benchmark(run)
+    assert (n_vertices, n_edges, triangles) == (25, 128, 96)
+    print_section("E4 / Example 2 — hub-cycle ⊗ hub-cycle global statistics")
+    print(f"  vertices={n_vertices}  edges={n_edges}  triangles={triangles} "
+          f"(paper: 25 / 128 / 96)")
+
+
+def test_ex2_edge_participation_histogram(benchmark, hub_cycle):
+    delta = benchmark(kron_edge_triangles, hub_cycle, hub_cycle)
+
+    counts = collections.Counter(delta.data.tolist())
+    undirected = {value: count // 2 for value, count in counts.items()}
+    assert undirected == {1: 32, 2: 64, 4: 32}
+    print_section("E4 / Example 2 — per-edge triangle participation classes")
+    print(f"  {undirected[1]} cycle-cycle edges in 1 triangle, "
+          f"{undirected[2]} hub-cycle/cycle-hub edges in 2, "
+          f"{undirected[4]} hub-hub edges in 4 (paper: 32 / 64 / 32)")
+
+
+def test_ex2_truss_decomposition(benchmark, hub_cycle):
+    product = KroneckerGraph(hub_cycle, hub_cycle).materialize()
+
+    decomp = benchmark(truss_decomposition, product)
+
+    sizes = decomp.truss_sizes()
+    assert sizes == {3: 128, 4: 80}
+    assert decomp.max_truss == 4
+    print_section("E4 / Example 2 — truss decomposition of the product")
+    print(f"  |T(3)| = {sizes[3]}  |T(4)| = {sizes[4]}  |T(5)| = 0 (paper: 128 / 80 / 0)")
+    print("  (neither factor has a 4-truss — a simple Kronecker transfer would miss it, "
+          "motivating the Δ_B ≤ 1 hypothesis of Theorem 3)")
+
+
+def test_ex2_factor_truss(benchmark, hub_cycle):
+    decomp = benchmark(truss_decomposition, hub_cycle)
+    assert decomp.truss_sizes() == {3: 8}
+    assert decomp.max_truss == 3
+    print_section("E4 / Example 2 — factor truss decomposition")
+    print("  all 8 factor edges lie in the 3-truss and none in the 4-truss (paper agrees)")

@@ -1,0 +1,88 @@
+"""Extension — multi-factor products and clustering ground truth (DESIGN.md follow-ups).
+
+Not a table in the paper, but the natural extensions its conclusion points at:
+folding the formulas across more than two factors (the regime of the
+large-scale generator the paper cites) and publishing clustering-coefficient
+ground truth.  Both are validated against direct computation on a
+materializable instance and timed at a larger, formula-only scale.
+"""
+
+import numpy as np
+import pytest
+
+from repro import generators
+from repro.core import (
+    KroneckerGraph,
+    MultiKroneckerGraph,
+    kron_global_clustering,
+    kron_local_clustering,
+    multi_kron_triangle_count,
+)
+from repro.triangles import (
+    global_clustering_coefficient,
+    local_clustering_coefficients,
+    total_triangles,
+    vertex_triangles,
+)
+from benchmarks._report import print_section
+
+
+@pytest.fixture(scope="module")
+def small_factors():
+    return [
+        generators.webgraph_like(20, edges_per_vertex=2, seed=1),
+        generators.complete_graph(4),
+        generators.triangle_constrained_pa(12, seed=2),
+    ]
+
+
+def test_multi_factor_statistics(benchmark, small_factors):
+    product = MultiKroneckerGraph(small_factors)
+
+    def run():
+        return product.triangle_count(), product.degrees(), product.vertex_triangles()
+
+    tau, degrees, triangles = benchmark(run)
+
+    materialized = product.materialize()
+    assert tau == total_triangles(materialized)
+    assert np.array_equal(degrees, materialized.degrees())
+    assert np.array_equal(triangles, vertex_triangles(materialized))
+    print_section("Extension — 3-factor product statistics (validated against direct)")
+    print(f"  factors {product.factor_sizes} -> {product.n_vertices:,} vertices, "
+          f"{product.n_edges:,} edges, τ = {tau:,}")
+
+
+def test_multi_factor_scaling(benchmark):
+    """Five factors, ~10^8 product vertices — formula-only statistics stay cheap."""
+    factors = [generators.webgraph_like(40, edges_per_vertex=2, seed=s) for s in range(5)]
+
+    tau = benchmark(multi_kron_triangle_count, factors)
+
+    n_vertices = 1
+    for f in factors:
+        n_vertices *= f.n_vertices
+    assert tau > 0
+    print_section("Extension — 5-factor product, formula-only global count")
+    print(f"  product has {n_vertices:,} vertices; τ = {tau:,} computed from factor data only")
+
+
+def test_clustering_ground_truth(benchmark, web_factor):
+    small = generators.webgraph_like(60, seed=9)
+    looped = generators.looped_clique(3)
+
+    def run():
+        return kron_local_clustering(small, looped), kron_global_clustering(small, looped)
+
+    local, global_c = benchmark(run)
+
+    materialized = KroneckerGraph(small, looped).materialize()
+    assert np.allclose(local, local_clustering_coefficients(materialized))
+    assert global_c == pytest.approx(global_clustering_coefficient(materialized))
+    print_section("Extension — exact clustering coefficients from factor data")
+    print(f"  product transitivity = {global_c:.5f}; "
+          f"mean local clustering = {local.mean():.5f} (both match direct computation)")
+    # Formula-only evaluation at a scale where materialization is impossible here:
+    big_value = kron_global_clustering(web_factor, web_factor)
+    print(f"  transitivity of the {web_factor.n_vertices ** 2:,}-vertex product "
+          f"A ⊗ A (never materialized): {big_value:.5f}")

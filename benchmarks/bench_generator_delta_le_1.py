@@ -1,0 +1,50 @@
+"""E13 — Section III.D generators: scale-free factors with Δ ≤ 1 per edge.
+
+Benchmarks both strategies for producing a right factor that satisfies the
+Theorem 3 hypothesis — the preferential-attachment generator (strategy b) and
+the edge-deletion reduction of an arbitrary graph (strategy a) — and checks
+the post-conditions: every edge participates in at most one triangle, the
+graph is connected, the degree distribution is right-skewed, and triangles
+still exist (so the transferred truss decomposition is non-trivial).
+"""
+
+import numpy as np
+import pytest
+
+from repro import generators
+from repro.analysis import heavy_tail_summary
+from repro.triangles import total_triangles
+from benchmarks._report import print_section
+
+
+@pytest.mark.parametrize("n", [200, 800])
+def test_strategy_b_triangle_constrained_pa(benchmark, n):
+    graph = benchmark(generators.triangle_constrained_pa, n, seed=71)
+
+    assert graph.n_vertices == n
+    assert generators.max_edge_triangle_participation(graph) <= 1
+    assert graph.connected_components()[0] == 1
+    tau = total_triangles(graph)
+    assert tau > 0
+    summary = heavy_tail_summary(graph.degrees())
+    print_section(f"E13 / strategy (b) — triangle-constrained PA generator, n = {n}")
+    print(f"  edges = {graph.n_edges:,}, triangles = {tau:,}, max Δ per edge = "
+          f"{generators.max_edge_triangle_participation(graph)}")
+    print(f"  degree stats: max = {int(summary['max'])}, mean = {summary['mean']:.2f}, "
+          f"hill α ≈ {summary['hill_exponent']:.2f}")
+    assert summary["max"] > 4 * summary["mean"]  # right-skewed, scale-free-ish
+
+
+@pytest.mark.parametrize("n", [80, 160])
+def test_strategy_a_edge_deletion(benchmark, n):
+    raw = generators.webgraph_like(n, seed=72)
+
+    reduced = benchmark(generators.reduce_to_delta_le_one, raw)
+
+    assert generators.max_edge_triangle_participation(reduced) <= 1
+    assert reduced.connected_components()[0] == raw.connected_components()[0]
+    print_section(f"E13 / strategy (a) — edge-deletion reduction, n = {n}")
+    print(f"  before: {raw.n_edges:,} edges, {total_triangles(raw):,} triangles "
+          f"(max Δ = {generators.max_edge_triangle_participation(raw)})")
+    print(f"  after:  {reduced.n_edges:,} edges, {total_triangles(reduced):,} triangles "
+          f"(max Δ = {generators.max_edge_triangle_participation(reduced)})")

@@ -1,0 +1,81 @@
+"""E11 — Section I complexity claim: formula-side counting is sub-linear in |E_C|.
+
+Sweeps the factor size and times (a) the Kronecker-formula triangle count of
+``A ⊗ A`` (work grows with the factor) against (b) direct triangle counting on
+the materialized product (work grows with the product).  The paper's claim is
+the asymptotic gap — O(|E_C|^{3/4}) worst case, often O(τ(A)+τ(B)) — and the
+expected *shape* is that the direct cost grows roughly quadratically faster,
+so the ratio widens as the factor grows.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro import generators
+from repro.core import KroneckerGraph, kron_triangle_count
+from repro.triangles import total_triangles
+from benchmarks._report import print_section
+
+FACTOR_SIZES = [60, 120, 240]
+
+
+@pytest.fixture(scope="module")
+def factors():
+    return {n: generators.webgraph_like(n, seed=31) for n in FACTOR_SIZES}
+
+
+@pytest.mark.parametrize("n", FACTOR_SIZES)
+def test_formula_count_scaling(benchmark, factors, n):
+    factor = factors[n]
+    tau = benchmark(kron_triangle_count, factor, factor)
+    assert tau == 6 * total_triangles(factor) ** 2
+    product = KroneckerGraph(factor, factor)
+    print_section(f"E11 — Kronecker-formula count, factor n={n}")
+    print(f"  product: {product.n_vertices:,} vertices, {product.nnz:,} entries, "
+          f"τ(C) = {tau:,} (computed from the factor only)")
+
+
+@pytest.mark.parametrize("n", FACTOR_SIZES)
+def test_direct_count_scaling(benchmark, factors, n):
+    factor = factors[n]
+    product = KroneckerGraph(factor, factor).materialize()
+
+    tau = benchmark(total_triangles, product)
+
+    assert tau == kron_triangle_count(factor, factor)
+    print_section(f"E11 — direct count on the materialized product, factor n={n}")
+    print(f"  product: {product.n_vertices:,} vertices, {product.n_edges:,} edges, τ = {tau:,}")
+
+
+def test_crossover_summary(benchmark):
+    """One-shot timing sweep (outside pytest-benchmark's repetition) summarising
+    the widening gap; asserts the formula path wins by a growing factor."""
+
+    def sweep():
+        rows = []
+        for n in FACTOR_SIZES:
+            factor = generators.webgraph_like(n, seed=31)
+            start = time.perf_counter()
+            tau_formula = kron_triangle_count(factor, factor)
+            formula_time = time.perf_counter() - start
+            product = KroneckerGraph(factor, factor).materialize()
+            start = time.perf_counter()
+            tau_direct = total_triangles(product)
+            direct_time = time.perf_counter() - start
+            assert tau_formula == tau_direct
+            rows.append((n, product.n_edges, formula_time, direct_time))
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print_section("E11 — formula vs direct triangle counting (one pass)")
+    print(f"  {'factor n':>9} {'|E_C|':>12} {'formula (s)':>12} {'direct (s)':>12} {'speedup':>9}")
+    speedups = []
+    for n, edges, formula_time, direct_time in rows:
+        speedup = direct_time / max(formula_time, 1e-9)
+        speedups.append(speedup)
+        print(f"  {n:>9} {edges:>12,} {formula_time:>12.4f} {direct_time:>12.4f} {speedup:>8.1f}x")
+    # Shape check: the advantage grows with the product size.
+    assert speedups[-1] > speedups[0]
+    assert speedups[-1] > 3.0

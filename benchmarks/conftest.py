@@ -1,0 +1,54 @@
+"""Shared fixtures for the reproduction benchmarks.
+
+Each benchmark module corresponds to one experiment id (E1-E14) from
+DESIGN.md; the fixtures here build the factor graphs once per session so that
+the timed portions measure only the operation under study.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import generators
+
+
+@pytest.fixture(scope="session")
+def web_factor():
+    """The Section VI web-NotreDame stand-in (about 3.3k vertices at 1% scale)."""
+    return generators.web_notredame_substitute(scale=0.01, seed=7)
+
+
+@pytest.fixture(scope="session")
+def web_factor_loops(web_factor):
+    """B = A + I."""
+    return web_factor.with_self_loops()
+
+
+@pytest.fixture(scope="session")
+def small_web_factor():
+    """A smaller web-like factor whose Kronecker square is still materializable."""
+    return generators.webgraph_like(220, edges_per_vertex=3, triad_probability=0.65, seed=9)
+
+
+@pytest.fixture(scope="session")
+def delta_le_one_factor():
+    """Right factor satisfying the Theorem 3 hypothesis."""
+    return generators.triangle_constrained_pa(60, seed=13)
+
+
+@pytest.fixture(scope="session")
+def directed_factor():
+    return generators.random_directed_graph(80, p_directed=0.05, p_reciprocal=0.04, seed=17)
+
+
+@pytest.fixture(scope="session")
+def labeled_factor():
+    return generators.random_labeled_graph(70, 0.07, 3, seed=19, label_weights=[0.5, 0.3, 0.2])
+
+
+@pytest.fixture(scope="session")
+def undirected_right_factor():
+    """Small undirected right factor (with self loops) for the directed/labeled products."""
+    return generators.erdos_renyi(10, 0.4, seed=23, self_loops=True)
+

@@ -1,0 +1,13 @@
+"""Make the in-tree package importable when it is not installed.
+
+Allows ``pytest tests/`` and ``pytest benchmarks/`` to run straight from a
+source checkout (e.g. on machines where an editable install is unavailable
+because the ``wheel`` package is missing offline).
+"""
+
+import sys
+from pathlib import Path
+
+_SRC = Path(__file__).resolve().parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))

@@ -1,0 +1,88 @@
+#!/usr/bin/env python
+"""Diverse triangle statistics: the directed (Fig. 4-5) and labeled (Fig. 6) censuses.
+
+Builds a directed factor and a vertex-labeled factor, pairs each with an
+undirected right factor, and prints the per-type triangle totals of the
+Kronecker product computed two ways:
+
+* from the Kronecker formulas of Theorems 4-7 (factor-sized work only), and
+* directly on the materialized product (possible here because the example is
+  intentionally small) — the two columns agree exactly.
+
+Run with ``python examples/directed_and_labeled_census.py``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import core, generators
+from repro.graphs import DirectedGraph, VertexLabeledGraph
+from repro.triangles import (
+    CANONICAL_VERTEX_TYPES,
+    directed_vertex_triangle_counts,
+    labeled_vertex_triangle_counts,
+)
+
+
+def directed_census() -> None:
+    print("=" * 68)
+    print("Directed triangle census (Theorem 4)")
+    print("=" * 68)
+    factor_a = generators.random_directed_graph(40, p_directed=0.08, p_reciprocal=0.06, seed=11)
+    factor_b = generators.erdos_renyi(8, 0.4, seed=12, self_loops=True)
+    print(f"A: {factor_a}")
+    print(f"B: {factor_b}")
+
+    formula = core.kron_directed_vertex_triangles(factor_a, factor_b)
+    product = DirectedGraph(core.KroneckerGraph(factor_a, factor_b).materialize_adjacency())
+    direct = directed_vertex_triangle_counts(product)
+
+    print(f"\n{'type':>6} {'formula total':>15} {'direct total':>15}")
+    for name in CANONICAL_VERTEX_TYPES:
+        f_total, d_total = int(formula[name].sum()), int(direct[name].sum())
+        marker = "" if f_total == d_total else "   <-- MISMATCH"
+        print(f"{name:>6} {f_total:>15,} {d_total:>15,}{marker}")
+
+    report = core.validate_directed_product(factor_a, factor_b)
+    print(f"\nfull per-vertex/per-edge validation: {'PASS' if report.passed else 'FAIL'}")
+
+
+def labeled_census() -> None:
+    print()
+    print("=" * 68)
+    print("Vertex-labeled triangle census (Theorem 6), |L| = 3")
+    print("=" * 68)
+    factor_a = generators.random_labeled_graph(36, 0.12, 3, seed=21,
+                                               label_weights=[0.5, 0.3, 0.2])
+    factor_b = generators.erdos_renyi(8, 0.4, seed=22)
+    print(f"A: {factor_a}")
+    print(f"B: {factor_b}")
+
+    formula = core.kron_labeled_vertex_triangles(factor_a, factor_b)
+    labels_c = core.kron_inherited_labels(factor_a, factor_b)
+    product = VertexLabeledGraph(
+        core.KroneckerGraph(factor_a, factor_b).materialize_adjacency(),
+        labels_c, n_labels=3, validate=False,
+    )
+    direct = labeled_vertex_triangle_counts(product)
+
+    colour = {0: "r", 1: "g", 2: "b"}
+    print(f"\n{'type':>10} {'formula total':>15} {'direct total':>15}")
+    for (q1, q2, q3), values in sorted(formula.items()):
+        name = f"{colour[q1].upper()}{colour[q2]}{colour[q3]}"
+        f_total, d_total = int(values.sum()), int(direct[(q1, q2, q3)].sum())
+        marker = "" if f_total == d_total else "   <-- MISMATCH"
+        print(f"{name:>10} {f_total:>15,} {d_total:>15,}{marker}")
+
+    report = core.validate_labeled_product(factor_a, factor_b)
+    print(f"\nfull per-vertex/per-edge validation: {'PASS' if report.passed else 'FAIL'}")
+
+
+def main() -> None:
+    directed_census()
+    labeled_census()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,31 @@
+"""Shared type aliases used across the :mod:`repro` package.
+
+The library standardizes on ``scipy.sparse.csr_array`` / ``csr_matrix`` for
+adjacency storage and on ``numpy.ndarray`` for per-vertex statistic vectors.
+These aliases keep signatures short and give a single place to evolve the
+types (e.g. if sparse arrays replace sparse matrices wholesale).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence, Tuple, Union
+
+import numpy as np
+import scipy.sparse as sp
+
+#: Any SciPy sparse matrix type accepted as an adjacency-matrix input.
+SparseMatrix = Union[sp.spmatrix, sp.sparray]
+
+#: Dense or sparse matrix input accepted by constructors.
+MatrixLike = Union[np.ndarray, SparseMatrix, Sequence[Sequence[float]]]
+
+#: An edge as a pair of integer vertex ids (0-based everywhere in this library).
+Edge = Tuple[int, int]
+
+#: An iterable of edges.
+EdgeIterable = Iterable[Edge]
+
+#: Vertex labels are small non-negative integers ``0 .. n_labels-1``.
+LabelArray = np.ndarray
+
+__all__ = ["SparseMatrix", "MatrixLike", "Edge", "EdgeIterable", "LabelArray"]

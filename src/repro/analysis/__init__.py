@@ -1,0 +1,31 @@
+"""Distribution diagnostics and summary tables for factors and products."""
+
+from repro.analysis.distributions import (
+    complementary_cdf,
+    degree_histogram,
+    heavy_tail_summary,
+    hill_tail_exponent,
+    histogram,
+    product_histogram,
+)
+from repro.analysis.summary import (
+    SummaryRow,
+    format_count,
+    format_table,
+    graph_summary,
+    kronecker_summary,
+)
+
+__all__ = [
+    "histogram",
+    "degree_histogram",
+    "product_histogram",
+    "complementary_cdf",
+    "hill_tail_exponent",
+    "heavy_tail_summary",
+    "SummaryRow",
+    "graph_summary",
+    "kronecker_summary",
+    "format_count",
+    "format_table",
+]

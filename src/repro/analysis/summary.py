@@ -1,0 +1,86 @@
+"""Summary tables for factors and Kronecker products (the Section VI table).
+
+The paper's experiment section reports, for each matrix (factor or product),
+the vertex count, edge count and triangle count — with the product rows
+computed purely from the Kronecker formulas.  :func:`graph_summary` and
+:func:`kronecker_summary` produce those rows; :func:`format_table` renders a
+list of rows the way the paper's table reads (including the human-friendly
+``K/M/B/T`` suffixes, e.g. ``2.38T`` edges).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Optional
+
+from repro.core.degree_formulas import kron_degrees
+from repro.core.kronecker import KroneckerGraph
+from repro.core.triangle_formulas import kron_triangle_count
+from repro.graphs.adjacency import Graph
+from repro.triangles.linear_algebra import total_triangles
+
+__all__ = ["SummaryRow", "graph_summary", "kronecker_summary", "format_count", "format_table"]
+
+
+@dataclass(frozen=True)
+class SummaryRow:
+    """One row of the Section VI-style summary table."""
+
+    name: str
+    n_vertices: int
+    n_edges: int
+    n_triangles: int
+
+    def formatted(self) -> List[str]:
+        """The row rendered with K/M/B/T suffixes, as in the paper's table."""
+        return [
+            self.name,
+            format_count(self.n_vertices),
+            format_count(self.n_edges),
+            format_count(self.n_triangles),
+        ]
+
+
+def format_count(value: int) -> str:
+    """Format a count with the paper's suffix convention (325.7K, 2.38T, ...)."""
+    value = float(value)
+    for threshold, suffix in ((1e12, "T"), (1e9, "B"), (1e6, "M"), (1e3, "K")):
+        if abs(value) >= threshold:
+            return f"{value / threshold:.4g}{suffix}"
+    return f"{int(value)}"
+
+
+def graph_summary(graph: Graph, *, name: Optional[str] = None) -> SummaryRow:
+    """Vertices / edges / triangles of a factor graph, computed directly."""
+    return SummaryRow(
+        name=name or graph.name or "graph",
+        n_vertices=graph.n_vertices,
+        n_edges=graph.n_edges,
+        n_triangles=total_triangles(graph),
+    )
+
+
+def kronecker_summary(factor_a: Graph, factor_b: Graph, *, name: Optional[str] = None) -> SummaryRow:
+    """Vertices / edges / triangles of ``A ⊗ B`` via the Kronecker formulas only.
+
+    Nothing of product size is allocated: vertex and edge counts come from
+    factor counts, the triangle count from
+    :func:`repro.core.kron_triangle_count`.
+    """
+    product = KroneckerGraph(factor_a, factor_b)
+    return SummaryRow(
+        name=name or product.name,
+        n_vertices=product.n_vertices,
+        n_edges=product.n_edges,
+        n_triangles=kron_triangle_count(factor_a, factor_b),
+    )
+
+
+def format_table(rows: Iterable[SummaryRow], *, header: bool = True) -> str:
+    """Render rows as an aligned text table (the benchmark scripts print this)."""
+    rendered = [row.formatted() for row in rows]
+    columns = ["Matrix", "Vertices", "Edges", "Triangles"]
+    table = ([columns] if header else []) + rendered
+    widths = [max(len(line[i]) for line in table) for i in range(len(columns))]
+    lines = ["  ".join(cell.ljust(widths[i]) for i, cell in enumerate(line)) for line in table]
+    return "\n".join(lines)

@@ -1,0 +1,186 @@
+"""Command-line interface for generating and validating Kronecker benchmark graphs.
+
+The CLI mirrors the workflow a benchmark consumer would follow with the
+published artefacts of the paper:
+
+``repro-kron generate``
+    Build two factor graphs (from any of the built-in generators), save them
+    as a compressed Kronecker bundle (``.npz``) — the shareable representation
+    of the product — and print its summary statistics.
+
+``repro-kron stats``
+    Load a bundle and print the Section VI-style summary table (vertices,
+    edges, triangles) for the factors and the product, all from Kronecker
+    formulas.
+
+``repro-kron validate``
+    Load a bundle and run the egonet spot-check validation (Fig. 7) and, when
+    the product is small enough, the full formula-vs-direct validation.
+
+``repro-kron stream``
+    Load a bundle and write the product's edge list to a TSV file in
+    bounded-memory chunks.
+
+Each sub-command is also usable programmatically through :func:`main`, which
+accepts an ``argv`` list and returns the process exit code (the test-suite
+drives it this way).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from repro import generators
+from repro.analysis import format_table, graph_summary, kronecker_summary
+from repro.core import (
+    KroneckerGraph,
+    kron_global_clustering,
+    validate_egonets,
+    validate_undirected_product,
+)
+from repro.graphs import Graph, load_kronecker_bundle, save_kronecker_bundle
+from repro.parallel import stream_edges_to_file
+
+__all__ = ["main", "build_parser"]
+
+#: Factor recipes available to ``repro-kron generate --factor-a/--factor-b``.
+FACTOR_RECIPES = ("weblike", "ba", "er", "clique", "looped-clique", "hub-cycle", "tpa")
+
+
+def _build_factor(recipe: str, size: int, seed: int) -> Graph:
+    """Instantiate one factor from a recipe name."""
+    if recipe == "weblike":
+        return generators.webgraph_like(size, seed=seed)
+    if recipe == "ba":
+        return generators.barabasi_albert(size, 3, seed=seed)
+    if recipe == "er":
+        return generators.erdos_renyi(size, min(1.0, 8.0 / max(size, 1)), seed=seed)
+    if recipe == "clique":
+        return generators.complete_graph(size)
+    if recipe == "looped-clique":
+        return generators.looped_clique(size)
+    if recipe == "hub-cycle":
+        return generators.hub_cycle_graph()
+    if recipe == "tpa":
+        return generators.triangle_constrained_pa(size, seed=seed)
+    raise ValueError(f"unknown factor recipe {recipe!r}; choose from {FACTOR_RECIPES}")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argparse parser for the ``repro-kron`` command."""
+    parser = argparse.ArgumentParser(
+        prog="repro-kron",
+        description="Non-stochastic Kronecker graph generation with exact triangle statistics",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    gen = sub.add_parser("generate", help="build factors and save a Kronecker bundle")
+    gen.add_argument("bundle", type=Path, help="output .npz bundle path")
+    gen.add_argument("--factor-a", choices=FACTOR_RECIPES, default="weblike")
+    gen.add_argument("--factor-b", choices=FACTOR_RECIPES, default="weblike")
+    gen.add_argument("--size-a", type=int, default=1000)
+    gen.add_argument("--size-b", type=int, default=1000)
+    gen.add_argument("--seed", type=int, default=0)
+    gen.add_argument("--self-loops-b", action="store_true",
+                     help="add a self loop at every vertex of factor B (B ← B + I)")
+
+    stats = sub.add_parser("stats", help="print the summary table for a bundle")
+    stats.add_argument("bundle", type=Path)
+
+    val = sub.add_parser("validate", help="validate formulas against direct computation")
+    val.add_argument("bundle", type=Path)
+    val.add_argument("--egonets", type=int, default=9,
+                     help="number of random egonet spot checks (default 9)")
+    val.add_argument("--seed", type=int, default=0)
+    val.add_argument("--full", action="store_true",
+                     help="also materialize the product and compare every statistic "
+                          "(only for small products)")
+    val.add_argument("--max-nnz", type=int, default=20_000_000,
+                     help="materialization guard for --full")
+
+    stream = sub.add_parser("stream", help="write the product edge list to a TSV file")
+    stream.add_argument("bundle", type=Path)
+    stream.add_argument("output", type=Path)
+    stream.add_argument("--max-edges", type=int, default=None)
+    stream.add_argument("--block", type=int, default=1024,
+                        help="A-entries per streamed block (memory bound)")
+
+    return parser
+
+
+def _load_undirected_bundle(path: Path):
+    factor_a, factor_b, meta = load_kronecker_bundle(path)
+    if not isinstance(factor_a, Graph) or not isinstance(factor_b, Graph):
+        raise SystemExit("this command expects an undirected factor bundle")
+    return factor_a, factor_b, meta
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    factor_a = _build_factor(args.factor_a, args.size_a, args.seed)
+    factor_b = _build_factor(args.factor_b, args.size_b, args.seed + 1)
+    if args.self_loops_b:
+        factor_b = factor_b.with_self_loops()
+    save_kronecker_bundle(args.bundle, factor_a, factor_b,
+                          metadata={"cli": "generate", "seed": args.seed})
+    product = KroneckerGraph(factor_a, factor_b)
+    print(f"wrote {args.bundle} ({args.bundle.stat().st_size:,} bytes)")
+    print(f"factors: A = {factor_a}, B = {factor_b}")
+    print(f"product: {product.n_vertices:,} vertices, {product.n_edges:,} edges")
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    factor_a, factor_b, _ = _load_undirected_bundle(args.bundle)
+    rows = [
+        graph_summary(factor_a, name="A"),
+        graph_summary(factor_b, name="B"),
+        kronecker_summary(factor_a, factor_b, name="A ⊗ B"),
+    ]
+    print(format_table(rows))
+    print(f"\nglobal clustering coefficient of A ⊗ B: "
+          f"{kron_global_clustering(factor_a, factor_b):.6f}")
+    return 0
+
+
+def _cmd_validate(args: argparse.Namespace) -> int:
+    factor_a, factor_b, _ = _load_undirected_bundle(args.bundle)
+    report = validate_egonets(factor_a, factor_b, n_samples=args.egonets, seed=args.seed)
+    print(report.summary())
+    exit_code = 0 if report.passed else 1
+    if args.full:
+        full = validate_undirected_product(factor_a, factor_b, max_nnz=args.max_nnz)
+        print()
+        print(full.summary())
+        exit_code = exit_code or (0 if full.passed else 1)
+    return exit_code
+
+
+def _cmd_stream(args: argparse.Namespace) -> int:
+    factor_a, factor_b, _ = _load_undirected_bundle(args.bundle)
+    product = KroneckerGraph(factor_a, factor_b)
+    written = stream_edges_to_file(product, args.output,
+                                   a_edges_per_block=args.block, max_edges=args.max_edges)
+    print(f"wrote {written:,} edges to {args.output}")
+    return 0
+
+
+_COMMANDS = {
+    "generate": _cmd_generate,
+    "stats": _cmd_stats,
+    "validate": _cmd_validate,
+    "stream": _cmd_stream,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via the console script
+    sys.exit(main())

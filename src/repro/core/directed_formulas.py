@@ -1,0 +1,127 @@
+"""Kronecker formulas for directed triangle participation (Theorems 4 and 5).
+
+Setting of Section IV: the left factor ``A`` is a directed graph without self
+loops, the right factor ``B`` is undirected (``B_d = O``, every ``B`` edge
+reciprocal) and may carry self loops.  Then the product ``C = A ⊗ B``
+decomposes as ``C_r = A_r ⊗ B`` and ``C_d = A_d ⊗ B``, and for **every** one
+of the fifteen directed triangle types ``τ`` of Figs. 4-5:
+
+.. math::
+
+    t^{(τ)}_C = t^{(τ)}_A ⊗ \\mathrm{diag}(B^3), \\qquad
+    Δ^{(τ)}_C = Δ^{(τ)}_A ⊗ (B ∘ B^2).
+
+The functions here evaluate those products, either fully (arrays/matrices of
+product size) or lazily per vertex/edge, reusing the per-type factor censuses
+from :mod:`repro.triangles.directed_counts`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional, Union
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.graphs.adjacency import Graph, hadamard
+from repro.graphs.directed import DirectedGraph
+from repro.core.triangle_formulas import diag_of_cube
+from repro.triangles.directed_counts import (
+    CANONICAL_EDGE_TYPES,
+    CANONICAL_VERTEX_TYPES,
+    directed_edge_triangle_counts,
+    directed_vertex_triangle_counts,
+)
+
+__all__ = [
+    "check_directed_factor_assumptions",
+    "kron_reciprocal_part",
+    "kron_directed_part",
+    "kron_directed_vertex_triangles",
+    "kron_directed_edge_triangles",
+    "kron_directed_vertex_triangles_at",
+]
+
+
+def check_directed_factor_assumptions(factor_a: DirectedGraph, factor_b: Graph) -> None:
+    """Validate the hypotheses of Theorems 4-5.
+
+    ``A`` must be a directed graph without self loops; ``B`` must be
+    undirected (its adjacency symmetric).  Raises ``ValueError`` otherwise.
+    """
+    if not isinstance(factor_a, DirectedGraph):
+        raise TypeError("factor A must be a DirectedGraph")
+    if factor_a.has_self_loops:
+        raise ValueError("Theorems 4-5 require diag(A) = 0")
+    if isinstance(factor_b, DirectedGraph):
+        if not factor_b.is_symmetric:
+            raise ValueError("Theorems 4-5 require the right factor to be undirected (B_d = O)")
+    elif not isinstance(factor_b, Graph):
+        raise TypeError("factor B must be an undirected Graph")
+
+
+def _b_adjacency(factor_b: Union[Graph, DirectedGraph]) -> sp.csr_matrix:
+    return factor_b.adjacency
+
+
+def kron_reciprocal_part(factor_a: DirectedGraph, factor_b: Graph) -> sp.csr_matrix:
+    """``C_r = A_r ⊗ B`` — the reciprocal part of the product (Section IV.A)."""
+    check_directed_factor_assumptions(factor_a, factor_b)
+    return sp.kron(factor_a.reciprocal_part(), _b_adjacency(factor_b), format="csr")
+
+
+def kron_directed_part(factor_a: DirectedGraph, factor_b: Graph) -> sp.csr_matrix:
+    """``C_d = A_d ⊗ B`` — the directed part of the product (Section IV.A)."""
+    check_directed_factor_assumptions(factor_a, factor_b)
+    return sp.kron(factor_a.directed_part(), _b_adjacency(factor_b), format="csr")
+
+
+def kron_directed_vertex_triangles(
+    factor_a: DirectedGraph,
+    factor_b: Graph,
+    types: Optional[Iterable[str]] = None,
+) -> Dict[str, np.ndarray]:
+    """Theorem 4: ``t^(τ)_C = t^(τ)_A ⊗ diag(B³)`` for each requested type.
+
+    Returns a dict mapping type name to the full length-``n_C`` vector.
+    """
+    check_directed_factor_assumptions(factor_a, factor_b)
+    requested = list(types) if types is not None else list(CANONICAL_VERTEX_TYPES)
+    a_counts = directed_vertex_triangle_counts(factor_a, requested)
+    b_cube = diag_of_cube(_b_adjacency(factor_b))
+    return {name: np.kron(vec, b_cube) for name, vec in a_counts.items()}
+
+
+def kron_directed_vertex_triangles_at(
+    factor_a: DirectedGraph,
+    factor_b: Graph,
+    p: Union[int, np.ndarray],
+    types: Optional[Iterable[str]] = None,
+) -> Dict[str, Union[int, np.ndarray]]:
+    """Point-query version of Theorem 4 (no length-``n_C`` allocation)."""
+    check_directed_factor_assumptions(factor_a, factor_b)
+    requested = list(types) if types is not None else list(CANONICAL_VERTEX_TYPES)
+    a_counts = directed_vertex_triangle_counts(factor_a, requested)
+    b_cube = diag_of_cube(_b_adjacency(factor_b))
+    n_b = factor_b.n_vertices
+    i = np.asarray(p, dtype=np.int64) // n_b
+    k = np.asarray(p, dtype=np.int64) % n_b
+    out: Dict[str, Union[int, np.ndarray]] = {}
+    for name, vec in a_counts.items():
+        value = vec[i] * b_cube[k]
+        out[name] = value if isinstance(p, np.ndarray) else int(value)
+    return out
+
+
+def kron_directed_edge_triangles(
+    factor_a: DirectedGraph,
+    factor_b: Graph,
+    types: Optional[Iterable[str]] = None,
+) -> Dict[str, sp.csr_matrix]:
+    """Theorem 5: ``Δ^(τ)_C = Δ^(τ)_A ⊗ (B ∘ B²)`` for each requested type."""
+    check_directed_factor_assumptions(factor_a, factor_b)
+    requested = list(types) if types is not None else list(CANONICAL_EDGE_TYPES)
+    a_counts = directed_edge_triangle_counts(factor_a, requested)
+    adj_b = _b_adjacency(factor_b)
+    b_masked = hadamard(adj_b, adj_b @ adj_b)
+    return {name: sp.kron(mat, b_masked, format="csr") for name, mat in a_counts.items()}

@@ -1,0 +1,323 @@
+"""The implicit Kronecker product graph ``C = A ⊗ B``.
+
+This is the generator object of the paper: the product graph is *never*
+stored explicitly — it is fully described by its two small factors, which is
+what makes trillion-edge benchmark graphs shareable and their ground-truth
+statistics computable.  :class:`KroneckerGraph` supports
+
+* index bookkeeping between product vertices and factor-vertex pairs,
+* local queries (degree, neighbours, edge membership, induced subgraphs /
+  egonets) that touch only factor rows,
+* full materialization via ``scipy.sparse.kron`` for validation at small
+  scale, with an explicit size guard, and
+* vertex-label inheritance from the left factor (Section V construction).
+
+The closed-form statistics themselves (degrees, triangle participation,
+directed/labeled censuses, truss classes) live in the sibling ``*_formulas``
+modules and are re-exported on this class as convenience methods.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional, Sequence, Tuple, Union
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.core import index_maps
+from repro.graphs.adjacency import Graph, hadamard, to_csr
+from repro.graphs.directed import DirectedGraph
+from repro.graphs.labeled import VertexLabeledGraph
+
+__all__ = ["KroneckerGraph"]
+
+FactorType = Union[Graph, DirectedGraph, VertexLabeledGraph]
+
+#: Refuse to materialize products with more stored entries than this unless
+#: the caller explicitly raises the limit.
+DEFAULT_MATERIALIZE_LIMIT = 50_000_000
+
+
+class KroneckerGraph:
+    """The (implicit) Kronecker product graph of two factor graphs.
+
+    Parameters
+    ----------
+    factor_a, factor_b:
+        The left and right factors.  Any mix of :class:`Graph`,
+        :class:`DirectedGraph` and :class:`VertexLabeledGraph` is accepted;
+        the product is undirected exactly when both factor adjacency matrices
+        are symmetric.  When ``factor_a`` is vertex-labeled the product
+        inherits its labels (``f_C(p) = f_A(p // n_B)``).
+    name:
+        Optional human-readable name (defaults to ``"A⊗B"`` built from the
+        factor names).
+    """
+
+    __slots__ = ("factor_a", "factor_b", "_adj_a", "_adj_b", "name")
+
+    def __init__(self, factor_a: FactorType, factor_b: FactorType, *, name: str = ""):
+        self.factor_a = factor_a
+        self.factor_b = factor_b
+        self._adj_a = to_csr(factor_a.adjacency)
+        self._adj_b = to_csr(factor_b.adjacency)
+        if not name:
+            a_name = factor_a.name or "A"
+            b_name = factor_b.name or "B"
+            name = f"{a_name}⊗{b_name}"
+        self.name = name
+
+    # ------------------------------------------------------------------
+    # Size bookkeeping
+    # ------------------------------------------------------------------
+    @property
+    def n_factor_a(self) -> int:
+        """Number of vertices of the left factor ``n_A``."""
+        return self._adj_a.shape[0]
+
+    @property
+    def n_factor_b(self) -> int:
+        """Number of vertices of the right factor ``n_B``."""
+        return self._adj_b.shape[0]
+
+    @property
+    def n_vertices(self) -> int:
+        """``n_C = n_A · n_B``."""
+        return self.n_factor_a * self.n_factor_b
+
+    @property
+    def nnz(self) -> int:
+        """Stored non-zeros of ``C``: ``nnz(A) · nnz(B)`` (directed edge count)."""
+        return self._adj_a.nnz * self._adj_b.nnz
+
+    @property
+    def n_self_loops(self) -> int:
+        """Self loops of ``C``: one per pair of self-looped factor vertices."""
+        loops_a = int(np.count_nonzero(self._adj_a.diagonal()))
+        loops_b = int(np.count_nonzero(self._adj_b.diagonal()))
+        return loops_a * loops_b
+
+    @property
+    def has_self_loops(self) -> bool:
+        """Whether ``C`` has any self loop (requires loops in *both* factors)."""
+        return self.n_self_loops > 0
+
+    @property
+    def is_undirected(self) -> bool:
+        """Whether ``C`` is undirected (both factors symmetric)."""
+        sym_a = (self._adj_a != self._adj_a.T).nnz == 0
+        sym_b = (self._adj_b != self._adj_b.T).nnz == 0
+        return sym_a and sym_b
+
+    @property
+    def n_edges(self) -> int:
+        """Undirected edge count of ``C`` (unordered pairs, self loops once).
+
+        Only meaningful for undirected products; for directed products use
+        :attr:`nnz`.
+        """
+        if not self.is_undirected:
+            raise ValueError("n_edges is defined for undirected products; use nnz")
+        loops = self.n_self_loops
+        return (self.nnz - loops) // 2 + loops
+
+    @property
+    def is_labeled(self) -> bool:
+        """Whether the product carries vertex labels (left factor labeled)."""
+        return isinstance(self.factor_a, VertexLabeledGraph)
+
+    @property
+    def n_labels(self) -> int:
+        """Label-alphabet size inherited from the left factor."""
+        if not self.is_labeled:
+            raise ValueError("product is unlabeled (left factor has no labels)")
+        return self.factor_a.n_labels
+
+    # ------------------------------------------------------------------
+    # Index maps
+    # ------------------------------------------------------------------
+    def factor_indices(self, p):
+        """Map product vertex ``p`` (scalar or array) to ``(i, k)`` factor indices."""
+        return index_maps.factor_indices(p, self.n_factor_b)
+
+    def product_index(self, i, k):
+        """Map factor pair ``(i, k)`` to the product vertex id ``i * n_B + k``."""
+        return index_maps.product_index(i, k, self.n_factor_b)
+
+    def label_of(self, p: int) -> int:
+        """Inherited label of product vertex ``p`` (``f_C(p) = f_A(i(p))``)."""
+        if not self.is_labeled:
+            raise ValueError("product is unlabeled (left factor has no labels)")
+        i, _ = self.factor_indices(int(p))
+        return self.factor_a.label_of(int(i))
+
+    def labels(self) -> np.ndarray:
+        """Full label vector of the product (length ``n_C``)."""
+        if not self.is_labeled:
+            raise ValueError("product is unlabeled (left factor has no labels)")
+        return np.repeat(self.factor_a.labels, self.n_factor_b)
+
+    # ------------------------------------------------------------------
+    # Local queries (never materialize C)
+    # ------------------------------------------------------------------
+    def has_edge(self, p: int, q: int) -> bool:
+        """Whether ``C[p, q] = A[i(p), i(q)] · B[k(p), k(q)]`` is non-zero."""
+        i, k = self.factor_indices(int(p))
+        j, l = self.factor_indices(int(q))
+        return bool(self._adj_a[i, j] != 0 and self._adj_b[k, l] != 0)
+
+    def degree(self, p: int) -> int:
+        """Degree of product vertex ``p`` (self loop excluded), from factor rows.
+
+        Row sum of ``C`` at ``p`` is ``rowsum_A(i) · rowsum_B(k)``; a self loop
+        exists only when both factor vertices have one and contributes one.
+        """
+        i, k = self.factor_indices(int(p))
+        row_a = int(self._adj_a.indptr[i + 1] - self._adj_a.indptr[i])
+        row_b = int(self._adj_b.indptr[k + 1] - self._adj_b.indptr[k])
+        loop = int(self._adj_a[i, i] != 0 and self._adj_b[k, k] != 0)
+        return row_a * row_b - loop
+
+    def degrees(self) -> np.ndarray:
+        """Full degree vector of ``C`` (length ``n_C``); see also
+        :func:`repro.core.degree_formulas.kron_degrees` for the formula view."""
+        row_a = np.diff(self._adj_a.indptr).astype(np.int64)
+        row_b = np.diff(self._adj_b.indptr).astype(np.int64)
+        loops_a = (self._adj_a.diagonal() != 0).astype(np.int64)
+        loops_b = (self._adj_b.diagonal() != 0).astype(np.int64)
+        return np.kron(row_a, row_b) - np.kron(loops_a, loops_b)
+
+    def neighbors(self, p: int, *, include_self_loop: bool = False) -> np.ndarray:
+        """Sorted neighbour ids of product vertex ``p`` (computed from factor rows)."""
+        i, k = self.factor_indices(int(p))
+        a_nbrs = self._adj_a.indices[self._adj_a.indptr[i]:self._adj_a.indptr[i + 1]]
+        b_nbrs = self._adj_b.indices[self._adj_b.indptr[k]:self._adj_b.indptr[k + 1]]
+        if a_nbrs.size == 0 or b_nbrs.size == 0:
+            return np.zeros(0, dtype=np.int64)
+        qs = (a_nbrs[:, None].astype(np.int64) * self.n_factor_b + b_nbrs[None, :]).ravel()
+        qs.sort()
+        if not include_self_loop:
+            qs = qs[qs != p]
+        return qs
+
+    def subgraph_adjacency(self, vertices: Sequence[int]) -> sp.csr_matrix:
+        """Induced adjacency of ``C`` on *vertices*, without materializing ``C``.
+
+        Entry ``(s, t)`` equals ``A[i_s, i_t] · B[k_s, k_t]``, i.e. the
+        Hadamard product of the two factor submatrices indexed by the
+        factor-index arrays of the selected vertices.
+        """
+        ps = np.asarray(vertices, dtype=np.int64)
+        if ps.size and (ps.min() < 0 or ps.max() >= self.n_vertices):
+            raise IndexError("product vertex id out of range")
+        i_idx, k_idx = self.factor_indices(ps)
+        sub_a = self._adj_a[i_idx][:, i_idx]
+        sub_b = self._adj_b[k_idx][:, k_idx]
+        return hadamard(sub_a, sub_b)
+
+    def subgraph(self, vertices: Sequence[int]) -> Graph:
+        """Induced subgraph of ``C`` on *vertices* as a :class:`Graph`.
+
+        Requires the product to be undirected (use
+        :meth:`subgraph_adjacency` for directed products).
+        """
+        sub = self.subgraph_adjacency(vertices)
+        if not self.is_undirected:
+            raise ValueError("subgraph() requires an undirected product; "
+                             "use subgraph_adjacency()")
+        return Graph(sub, name=f"{self.name}[sub]", validate=False)
+
+    # ------------------------------------------------------------------
+    # Edge iteration / materialization
+    # ------------------------------------------------------------------
+    def iter_edge_blocks(self, *, a_edges_per_block: int = 1024) -> Iterator[np.ndarray]:
+        """Stream the directed edge list of ``C`` in blocks.
+
+        For each block of ``a_edges_per_block`` stored entries of ``A``, emit
+        the ``(block · nnz(B), 2)`` array of product edges they induce; peak
+        memory is bounded by the block size regardless of ``nnz(C)``.  This is
+        the single-rank version of the communication-free distributed
+        generation in :mod:`repro.parallel`.
+        """
+        coo_a = self._adj_a.tocoo()
+        coo_b = self._adj_b.tocoo()
+        b_rows = coo_b.row.astype(np.int64)
+        b_cols = coo_b.col.astype(np.int64)
+        n_b = self.n_factor_b
+        for start in range(0, coo_a.nnz, a_edges_per_block):
+            stop = min(start + a_edges_per_block, coo_a.nnz)
+            a_rows = coo_a.row[start:stop].astype(np.int64)
+            a_cols = coo_a.col[start:stop].astype(np.int64)
+            rows = (a_rows[:, None] * n_b + b_rows[None, :]).ravel()
+            cols = (a_cols[:, None] * n_b + b_cols[None, :]).ravel()
+            yield np.stack([rows, cols], axis=1)
+
+    def edges(self, *, max_nnz: int = DEFAULT_MATERIALIZE_LIMIT) -> np.ndarray:
+        """All directed edges of ``C`` as an array (guarded by ``max_nnz``)."""
+        if self.nnz > max_nnz:
+            raise MemoryError(
+                f"product has {self.nnz} stored entries, above the limit {max_nnz}; "
+                "use iter_edge_blocks() or repro.parallel streaming instead"
+            )
+        blocks = list(self.iter_edge_blocks())
+        if not blocks:
+            return np.zeros((0, 2), dtype=np.int64)
+        return np.concatenate(blocks, axis=0)
+
+    def materialize_adjacency(self, *, max_nnz: int = DEFAULT_MATERIALIZE_LIMIT) -> sp.csr_matrix:
+        """Materialize ``C = A ⊗ B`` as a CSR matrix (guarded by ``max_nnz``)."""
+        if self.nnz > max_nnz:
+            raise MemoryError(
+                f"product has {self.nnz} stored entries, above the limit {max_nnz}; "
+                "raise max_nnz explicitly if you really want to materialize it"
+            )
+        return sp.kron(self._adj_a, self._adj_b, format="csr").astype(np.int64)
+
+    def materialize(self, *, max_nnz: int = DEFAULT_MATERIALIZE_LIMIT):
+        """Materialize ``C`` with the most specific graph type available.
+
+        Returns a :class:`VertexLabeledGraph` when the product is labeled, a
+        :class:`Graph` when it is undirected, and a :class:`DirectedGraph`
+        otherwise.
+        """
+        adj = self.materialize_adjacency(max_nnz=max_nnz)
+        if self.is_labeled and self.is_undirected:
+            return VertexLabeledGraph(adj, self.labels(), n_labels=self.n_labels,
+                                      name=self.name, validate=False)
+        if self.is_undirected:
+            return Graph(adj, name=self.name, validate=False)
+        return DirectedGraph(adj, name=self.name)
+
+    # ------------------------------------------------------------------
+    # Convenience: formula front-ends (implemented in sibling modules)
+    # ------------------------------------------------------------------
+    def vertex_triangles(self) -> np.ndarray:
+        """Exact triangle participation at every product vertex (Thm 1 / Cor 1 / general)."""
+        from repro.core.triangle_formulas import kron_vertex_triangles
+
+        return kron_vertex_triangles(self.factor_a, self.factor_b)
+
+    def edge_triangles(self) -> sp.csr_matrix:
+        """Exact triangle participation at every product edge (Thm 2 / Cor 2 / general)."""
+        from repro.core.triangle_formulas import kron_edge_triangles
+
+        return kron_edge_triangles(self.factor_a, self.factor_b)
+
+    def triangle_count(self) -> int:
+        """Exact total triangle count ``τ(C)`` without materializing ``C``."""
+        from repro.core.triangle_formulas import kron_triangle_count
+
+        return kron_triangle_count(self.factor_a, self.factor_b)
+
+    def kron_degrees(self) -> np.ndarray:
+        """Exact degree vector via the Kronecker degree formula."""
+        from repro.core.degree_formulas import kron_degrees
+
+        return kron_degrees(self.factor_a, self.factor_b)
+
+    def __repr__(self) -> str:
+        kind = "undirected" if self.is_undirected else "directed"
+        return (
+            f"KroneckerGraph({self.name!r}, {kind}, n_vertices={self.n_vertices}, "
+            f"nnz={self.nnz}, factors=({self.n_factor_a}, {self.n_factor_b}))"
+        )

@@ -1,0 +1,112 @@
+"""Kronecker formulas for labeled triangle participation (Theorems 6 and 7).
+
+Setting of Section V: the left factor ``A`` is an undirected, vertex-labeled
+graph without self loops; the right factor ``B`` is unlabeled, undirected and
+may carry self loops.  The product inherits its labels from ``A``
+(``f_C(p) = f_A(α(p))``), which makes the label filters factor as
+``Π_{C,q} = Π_{A,q} ⊗ I_B``, and for every labeled triangle type
+``τ = (q1, q2, q3)``:
+
+.. math::
+
+    t^{(τ)}_C = t^{(τ)}_A ⊗ \\mathrm{diag}(B^3), \\qquad
+    Δ^{(τ)}_C = Δ^{(τ)}_A ⊗ (B ∘ B^2).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional, Tuple, Union
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.core.triangle_formulas import diag_of_cube
+from repro.graphs.adjacency import Graph, hadamard
+from repro.graphs.labeled import VertexLabeledGraph, vertex_triangle_label_types, edge_triangle_label_types
+from repro.triangles.labeled_counts import (
+    labeled_edge_triangle_counts,
+    labeled_vertex_triangle_counts,
+)
+
+__all__ = [
+    "check_labeled_factor_assumptions",
+    "kron_inherited_labels",
+    "kron_label_filter",
+    "kron_labeled_vertex_triangles",
+    "kron_labeled_edge_triangles",
+    "kron_labeled_vertex_triangles_at",
+]
+
+LabelType = Tuple[int, int, int]
+
+
+def check_labeled_factor_assumptions(factor_a: VertexLabeledGraph, factor_b: Graph) -> None:
+    """Validate the hypotheses of Theorems 6-7 (labeled, loop-free ``A``; undirected ``B``)."""
+    if not isinstance(factor_a, VertexLabeledGraph):
+        raise TypeError("factor A must be a VertexLabeledGraph")
+    if factor_a.has_self_loops:
+        raise ValueError("Theorems 6-7 require diag(A) = 0")
+    if not isinstance(factor_b, Graph):
+        raise TypeError("factor B must be an undirected Graph")
+
+
+def kron_inherited_labels(factor_a: VertexLabeledGraph, factor_b: Graph) -> np.ndarray:
+    """Labels of the product: ``f_C(p) = f_A(p // n_B)`` as a length-``n_C`` vector."""
+    return np.repeat(factor_a.labels, factor_b.n_vertices)
+
+
+def kron_label_filter(factor_a: VertexLabeledGraph, factor_b: Graph, q: int) -> sp.csr_matrix:
+    """``Π_{C,q} = Π_{A,q} ⊗ I_B`` — the product's label filter in factored form."""
+    identity_b = sp.identity(factor_b.n_vertices, dtype=np.int64, format="csr")
+    return sp.kron(factor_a.filter(q), identity_b, format="csr")
+
+
+def kron_labeled_vertex_triangles(
+    factor_a: VertexLabeledGraph,
+    factor_b: Graph,
+    types: Optional[Iterable[LabelType]] = None,
+) -> Dict[LabelType, np.ndarray]:
+    """Theorem 6: ``t^(τ)_C = t^(τ)_A ⊗ diag(B³)`` for each labeled type."""
+    check_labeled_factor_assumptions(factor_a, factor_b)
+    requested = [tuple(t) for t in types] if types is not None \
+        else vertex_triangle_label_types(factor_a.n_labels)
+    a_counts = labeled_vertex_triangle_counts(factor_a, requested)
+    b_cube = diag_of_cube(factor_b)
+    return {t: np.kron(vec, b_cube) for t, vec in a_counts.items()}
+
+
+def kron_labeled_vertex_triangles_at(
+    factor_a: VertexLabeledGraph,
+    factor_b: Graph,
+    p: Union[int, np.ndarray],
+    types: Optional[Iterable[LabelType]] = None,
+) -> Dict[LabelType, Union[int, np.ndarray]]:
+    """Point-query version of Theorem 6."""
+    check_labeled_factor_assumptions(factor_a, factor_b)
+    requested = [tuple(t) for t in types] if types is not None \
+        else vertex_triangle_label_types(factor_a.n_labels)
+    a_counts = labeled_vertex_triangle_counts(factor_a, requested)
+    b_cube = diag_of_cube(factor_b)
+    n_b = factor_b.n_vertices
+    i = np.asarray(p, dtype=np.int64) // n_b
+    k = np.asarray(p, dtype=np.int64) % n_b
+    out: Dict[LabelType, Union[int, np.ndarray]] = {}
+    for t, vec in a_counts.items():
+        value = vec[i] * b_cube[k]
+        out[t] = value if isinstance(p, np.ndarray) else int(value)
+    return out
+
+
+def kron_labeled_edge_triangles(
+    factor_a: VertexLabeledGraph,
+    factor_b: Graph,
+    types: Optional[Iterable[LabelType]] = None,
+) -> Dict[LabelType, sp.csr_matrix]:
+    """Theorem 7: ``Δ^(τ)_C = Δ^(τ)_A ⊗ (B ∘ B²)`` for each labeled type."""
+    check_labeled_factor_assumptions(factor_a, factor_b)
+    requested = [tuple(t) for t in types] if types is not None \
+        else edge_triangle_label_types(factor_a.n_labels)
+    a_counts = labeled_edge_triangle_counts(factor_a, requested)
+    adj_b = factor_b.adjacency
+    b_masked = hadamard(adj_b, adj_b @ adj_b)
+    return {t: sp.kron(mat, b_masked, format="csr") for t, mat in a_counts.items()}

@@ -1,0 +1,331 @@
+"""Multi-factor Kronecker products ``C = A₁ ⊗ A₂ ⊗ … ⊗ A_k``.
+
+The large-scale generator the paper builds on ([3], Kepner et al.) composes
+*many* small factors, not just two: a product of ``k`` factors with a few
+thousand vertices each reaches arbitrarily large scales while staying
+representable by the factor list.  Because the Kronecker product is
+associative, every two-factor formula in this library extends by folding:
+
+* degrees (loop-free): ``d_C = d_{A₁} ⊗ … ⊗ d_{A_k}``;
+* vertex triangles (loop-free): ``t_C = 2^{k-1} · t_{A₁} ⊗ … ⊗ t_{A_k}``;
+* edge triangles (loop-free): ``Δ_C = Δ_{A₁} ⊗ … ⊗ Δ_{A_k}``;
+* global count (loop-free): ``τ(C) = 6^{k-1} · τ(A₁) ⋯ τ(A_k)``;
+* with self loops anywhere, the general two-factor expansions are applied
+  pairwise by left-folding the factor list (the intermediate factor is the
+  materialized product of the factors folded so far, so this is intended for
+  factor lists whose *prefix products* stay small — the usual regime, where
+  each factor has at most a few thousand vertices and the final blow-up
+  happens on the last fold).
+
+:class:`MultiKroneckerGraph` provides the same implicit-product interface as
+:class:`repro.core.KroneckerGraph` (index maps, degrees, neighbours, edge
+membership, subgraphs/egonets, streaming, guarded materialization) for an
+arbitrary number of factors.
+"""
+
+from __future__ import annotations
+
+from functools import reduce
+from typing import Iterator, List, Sequence, Tuple, Union
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.graphs.adjacency import Graph, hadamard, to_csr
+from repro.triangles.linear_algebra import edge_triangles, total_triangles, vertex_triangles
+
+__all__ = [
+    "MultiKroneckerGraph",
+    "multi_kron_degrees",
+    "multi_kron_vertex_triangles",
+    "multi_kron_edge_triangles",
+    "multi_kron_triangle_count",
+]
+
+#: Refuse to materialize products with more stored entries than this by default.
+DEFAULT_MATERIALIZE_LIMIT = 50_000_000
+
+
+def _check_factors(factors: Sequence[Graph]) -> List[Graph]:
+    factors = list(factors)
+    if len(factors) < 2:
+        raise ValueError("a multi-factor product needs at least two factors")
+    for idx, factor in enumerate(factors):
+        if not isinstance(factor, Graph):
+            raise TypeError(f"factor {idx} must be an undirected Graph, got {type(factor)!r}")
+    return factors
+
+
+def _all_loop_free(factors: Sequence[Graph]) -> bool:
+    return not any(f.has_self_loops for f in factors)
+
+
+def multi_kron_degrees(factors: Sequence[Graph]) -> np.ndarray:
+    """Exact degree vector of the multi-factor product.
+
+    Loop-free factors use the pure Kronecker product of degree vectors; with
+    self loops the two-factor formula is folded left to right.
+    """
+    factors = _check_factors(factors)
+    if _all_loop_free(factors):
+        return reduce(np.kron, (f.degrees() for f in factors))
+    from repro.core.degree_formulas import kron_degrees
+
+    current = factors[0]
+    for nxt in factors[1:-1]:
+        current = Graph(sp.kron(current.adjacency, nxt.adjacency, format="csr"), validate=False)
+    return kron_degrees(current, factors[-1])
+
+
+def multi_kron_vertex_triangles(factors: Sequence[Graph]) -> np.ndarray:
+    """Exact per-vertex triangle participation of the multi-factor product."""
+    factors = _check_factors(factors)
+    if _all_loop_free(factors):
+        folded = reduce(np.kron, (vertex_triangles(f) for f in factors))
+        return (2 ** (len(factors) - 1)) * folded
+    from repro.core.triangle_formulas import kron_vertex_triangles
+
+    current = factors[0]
+    for nxt in factors[1:-1]:
+        current = Graph(sp.kron(current.adjacency, nxt.adjacency, format="csr"), validate=False)
+    return kron_vertex_triangles(current, factors[-1])
+
+
+def multi_kron_edge_triangles(factors: Sequence[Graph]) -> sp.csr_matrix:
+    """Exact per-edge triangle participation of the multi-factor product."""
+    factors = _check_factors(factors)
+    if _all_loop_free(factors):
+        mats = [edge_triangles(f) for f in factors]
+        return reduce(lambda x, y: sp.kron(x, y, format="csr"), mats)
+    from repro.core.triangle_formulas import kron_edge_triangles
+
+    current = factors[0]
+    for nxt in factors[1:-1]:
+        current = Graph(sp.kron(current.adjacency, nxt.adjacency, format="csr"), validate=False)
+    return kron_edge_triangles(current, factors[-1])
+
+
+def multi_kron_triangle_count(factors: Sequence[Graph]) -> int:
+    """Exact global triangle count of the multi-factor product.
+
+    Loop-free: ``τ = 6^{k-1} Π τ(A_i)`` — pure factor-level arithmetic.  With
+    self loops the vertex formula is folded and summed.
+    """
+    factors = _check_factors(factors)
+    if _all_loop_free(factors):
+        total = 6 ** (len(factors) - 1)
+        for factor in factors:
+            total *= total_triangles(factor)
+        return int(total)
+    return int(multi_kron_vertex_triangles(factors).sum()) // 3
+
+
+class MultiKroneckerGraph:
+    """Implicit Kronecker product of an arbitrary list of undirected factors.
+
+    Vertex ``p`` of the product decomposes into mixed-radix digits
+    ``(i₁, …, i_k)`` with radices ``(n₁, …, n_k)`` (most-significant digit
+    first, consistent with the two-factor convention ``p = i·n_B + k``), and
+    ``C[p, q] = Π_m A_m[i_m, j_m]``.
+    """
+
+    __slots__ = ("factors", "_adjacencies", "name")
+
+    def __init__(self, factors: Sequence[Graph], *, name: str = ""):
+        self.factors = _check_factors(factors)
+        self._adjacencies = [to_csr(f.adjacency) for f in self.factors]
+        if not name:
+            name = "⊗".join(f.name or f"A{i + 1}" for i, f in enumerate(self.factors))
+        self.name = name
+
+    # ------------------------------------------------------------------
+    @property
+    def n_factors(self) -> int:
+        """Number of factors ``k``."""
+        return len(self.factors)
+
+    @property
+    def factor_sizes(self) -> Tuple[int, ...]:
+        """Vertex counts of the factors ``(n₁, …, n_k)``."""
+        return tuple(f.n_vertices for f in self.factors)
+
+    @property
+    def n_vertices(self) -> int:
+        """``Π n_m``."""
+        out = 1
+        for n in self.factor_sizes:
+            out *= n
+        return out
+
+    @property
+    def nnz(self) -> int:
+        """``Π nnz(A_m)`` — stored entries of the product."""
+        out = 1
+        for adj in self._adjacencies:
+            out *= adj.nnz
+        return out
+
+    @property
+    def n_self_loops(self) -> int:
+        """Self loops of the product (one per all-looped factor-vertex tuple)."""
+        out = 1
+        for adj in self._adjacencies:
+            out *= int(np.count_nonzero(adj.diagonal()))
+        return out
+
+    @property
+    def has_self_loops(self) -> bool:
+        """Whether the product has any self loop (needs loops in *every* factor)."""
+        return self.n_self_loops > 0
+
+    @property
+    def n_edges(self) -> int:
+        """Undirected edge count (unordered pairs, self loops counted once)."""
+        loops = self.n_self_loops
+        return (self.nnz - loops) // 2 + loops
+
+    # ------------------------------------------------------------------
+    # Index maps (mixed radix, most significant factor first)
+    # ------------------------------------------------------------------
+    def factor_indices(self, p: Union[int, np.ndarray]) -> Tuple[np.ndarray, ...]:
+        """Split product vertex id(s) into one index array per factor."""
+        sizes = self.factor_sizes
+        remaining = np.asarray(p, dtype=np.int64)
+        digits: List[np.ndarray] = []
+        for size in reversed(sizes):
+            digits.append(remaining % size)
+            remaining = remaining // size
+        return tuple(reversed(digits))
+
+    def product_index(self, indices: Sequence[Union[int, np.ndarray]]) -> Union[int, np.ndarray]:
+        """Combine one index per factor into the product vertex id."""
+        if len(indices) != self.n_factors:
+            raise ValueError(f"expected {self.n_factors} indices, got {len(indices)}")
+        out = np.asarray(indices[0], dtype=np.int64)
+        for size, idx in zip(self.factor_sizes[1:], indices[1:]):
+            out = out * size + np.asarray(idx, dtype=np.int64)
+        return out if isinstance(out, np.ndarray) and out.ndim else int(out)
+
+    # ------------------------------------------------------------------
+    # Local queries
+    # ------------------------------------------------------------------
+    def has_edge(self, p: int, q: int) -> bool:
+        """Whether ``C[p, q] = Π_m A_m[i_m, j_m]`` is non-zero."""
+        p_idx = self.factor_indices(int(p))
+        q_idx = self.factor_indices(int(q))
+        return all(
+            adj[int(i), int(j)] != 0
+            for adj, i, j in zip(self._adjacencies, p_idx, q_idx)
+        )
+
+    def degree(self, p: int) -> int:
+        """Degree of product vertex ``p`` (self loop excluded)."""
+        indices = self.factor_indices(int(p))
+        row_product = 1
+        loop_product = 1
+        for adj, i in zip(self._adjacencies, indices):
+            i = int(i)
+            row_product *= int(adj.indptr[i + 1] - adj.indptr[i])
+            loop_product *= int(adj[i, i] != 0)
+        return row_product - loop_product
+
+    def degrees(self) -> np.ndarray:
+        """Full degree vector (length ``Π n_m``)."""
+        return multi_kron_degrees(self.factors)
+
+    def neighbors(self, p: int, *, include_self_loop: bool = False) -> np.ndarray:
+        """Sorted neighbour ids of product vertex ``p``."""
+        indices = self.factor_indices(int(p))
+        per_factor: List[np.ndarray] = []
+        for adj, i in zip(self._adjacencies, indices):
+            i = int(i)
+            per_factor.append(adj.indices[adj.indptr[i]:adj.indptr[i + 1]].astype(np.int64))
+        if any(nbrs.size == 0 for nbrs in per_factor):
+            return np.zeros(0, dtype=np.int64)
+        combined = per_factor[0]
+        for size, nbrs in zip(self.factor_sizes[1:], per_factor[1:]):
+            combined = (combined[:, None] * size + nbrs[None, :]).ravel()
+        combined.sort()
+        if not include_self_loop:
+            combined = combined[combined != p]
+        return combined
+
+    def subgraph_adjacency(self, vertices: Sequence[int]) -> sp.csr_matrix:
+        """Induced adjacency on *vertices* without materializing the product."""
+        ps = np.asarray(vertices, dtype=np.int64)
+        if ps.size and (ps.min() < 0 or ps.max() >= self.n_vertices):
+            raise IndexError("product vertex id out of range")
+        digit_arrays = self.factor_indices(ps)
+        result = None
+        for adj, digits in zip(self._adjacencies, digit_arrays):
+            block = adj[digits][:, digits]
+            result = block if result is None else hadamard(result, block)
+        return sp.csr_matrix(result)
+
+    def subgraph(self, vertices: Sequence[int]) -> Graph:
+        """Induced subgraph as a :class:`Graph` (used by egonet extraction)."""
+        return Graph(self.subgraph_adjacency(vertices), name=f"{self.name}[sub]", validate=False)
+
+    # ------------------------------------------------------------------
+    # Statistics
+    # ------------------------------------------------------------------
+    def vertex_triangles(self) -> np.ndarray:
+        """Exact per-vertex triangle participation (folded formulas)."""
+        return multi_kron_vertex_triangles(self.factors)
+
+    def edge_triangles(self) -> sp.csr_matrix:
+        """Exact per-edge triangle participation (folded formulas)."""
+        return multi_kron_edge_triangles(self.factors)
+
+    def triangle_count(self) -> int:
+        """Exact global triangle count."""
+        return multi_kron_triangle_count(self.factors)
+
+    # ------------------------------------------------------------------
+    # Materialization / streaming
+    # ------------------------------------------------------------------
+    def materialize_adjacency(self, *, max_nnz: int = DEFAULT_MATERIALIZE_LIMIT) -> sp.csr_matrix:
+        """Materialize the full adjacency (guarded by ``max_nnz``)."""
+        if self.nnz > max_nnz:
+            raise MemoryError(
+                f"product has {self.nnz} stored entries, above the limit {max_nnz}"
+            )
+        out = self._adjacencies[0]
+        for adj in self._adjacencies[1:]:
+            out = sp.kron(out, adj, format="csr")
+        return sp.csr_matrix(out).astype(np.int64)
+
+    def materialize(self, *, max_nnz: int = DEFAULT_MATERIALIZE_LIMIT) -> Graph:
+        """Materialize as a :class:`Graph`."""
+        return Graph(self.materialize_adjacency(max_nnz=max_nnz), name=self.name, validate=False)
+
+    def iter_edge_blocks(self, *, first_factor_edges_per_block: int = 256) -> Iterator[np.ndarray]:
+        """Stream the directed edge list in blocks keyed by first-factor entries.
+
+        The remaining factors' edge lists are expanded per block; peak memory
+        is ``O(block · Π_{m>1} nnz(A_m))``.
+        """
+        coo_first = self._adjacencies[0].tocoo()
+        # Pre-expand the tail product's edge list (assumed small relative to the head).
+        tail_rows = np.zeros(1, dtype=np.int64)
+        tail_cols = np.zeros(1, dtype=np.int64)
+        for adj, size in zip(self._adjacencies[1:], self.factor_sizes[1:]):
+            coo = adj.tocoo()
+            tail_rows = (tail_rows[:, None] * size + coo.row[None, :].astype(np.int64)).ravel()
+            tail_cols = (tail_cols[:, None] * size + coo.col[None, :].astype(np.int64)).ravel()
+        tail_size = 1
+        for size in self.factor_sizes[1:]:
+            tail_size *= size
+        for start in range(0, coo_first.nnz, first_factor_edges_per_block):
+            stop = min(start + first_factor_edges_per_block, coo_first.nnz)
+            head_rows = coo_first.row[start:stop].astype(np.int64)
+            head_cols = coo_first.col[start:stop].astype(np.int64)
+            rows = (head_rows[:, None] * tail_size + tail_rows[None, :]).ravel()
+            cols = (head_cols[:, None] * tail_size + tail_cols[None, :]).ravel()
+            yield np.stack([rows, cols], axis=1)
+
+    def __repr__(self) -> str:
+        return (
+            f"MultiKroneckerGraph({self.name!r}, k={self.n_factors}, "
+            f"n_vertices={self.n_vertices}, nnz={self.nnz})"
+        )

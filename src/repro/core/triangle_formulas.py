@@ -1,0 +1,400 @@
+"""Kronecker formulas for undirected triangle participation (Thms. 1-2, Cors. 1-2).
+
+These are the paper's headline results: for ``C = A ⊗ B`` with undirected
+factors, the triangle participation at every vertex and at every edge of the
+(possibly trillion-edge) product is an explicit Kronecker combination of
+small per-factor quantities:
+
+=============================  =====================================================
+Self-loop situation            Formula
+=============================  =====================================================
+neither factor has loops       ``t_C = 2 t_A ⊗ t_B``,  ``Δ_C = Δ_A ⊗ Δ_B``
+loops in ``B`` only            ``t_C = t_A ⊗ diag(B³)``, ``Δ_C = Δ_A ⊗ (B ∘ B²)``
+loops in ``A`` only            ``t_C = diag(A³) ⊗ t_B``, ``Δ_C = (A ∘ A²) ⊗ Δ_B``
+loops in both factors          the general expansions of Section III.B/III.C
+=============================  =====================================================
+
+The general expansions (which reduce to all special cases) are
+
+.. math::
+
+    t_C = \\tfrac12\\bigl[\\mathrm{diag}(A^3)\\otimes\\mathrm{diag}(B^3)
+        - 2\\,\\mathrm{diag}(A^2 D_A)\\otimes\\mathrm{diag}(B^2 D_B)
+        - \\mathrm{diag}(A D_A A)\\otimes\\mathrm{diag}(B D_B B)
+        + 2\\,\\mathrm{diag}(D_A)\\otimes\\mathrm{diag}(D_B)\\bigr],
+
+    Δ_C = (A∘A^2)\\otimes(B∘B^2) - (D_A A)\\otimes(D_B B) - (A D_A)\\otimes(B D_B)
+        + 2 D_A\\otimes D_B - (D_A∘A^2)\\otimes(D_B∘B^2),
+
+with ``D_X = I ∘ X`` the self-loop diagonal of factor ``X``.
+
+Besides the dense/sparse "full product" evaluators, the module exposes a lazy
+:class:`KroneckerTriangleStats` object that stores only per-factor component
+vectors/matrices and answers point queries, totals and histograms without
+ever allocating length-``n_C`` arrays — this is the object a distributed
+generator would ship alongside the compressed graph.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple, Union
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.graphs.adjacency import Graph, hadamard
+from repro.triangles.linear_algebra import edge_triangles, vertex_triangles
+
+__all__ = [
+    "diag_of_cube",
+    "self_loop_case",
+    "thm1_vertex_triangles",
+    "cor1_vertex_triangles",
+    "thm2_edge_triangles",
+    "cor2_edge_triangles",
+    "kron_vertex_triangles",
+    "kron_edge_triangles",
+    "kron_triangle_count",
+    "kron_vertex_triangles_at",
+    "kron_edge_triangles_at",
+    "KroneckerTriangleStats",
+]
+
+
+# ---------------------------------------------------------------------------
+# Per-factor ingredient vectors / matrices
+# ---------------------------------------------------------------------------
+def diag_of_cube(graph: Union[Graph, sp.spmatrix]) -> np.ndarray:
+    """``diag(A³)`` as a dense vector, without forming ``A³``.
+
+    Uses ``diag(A³) = (A ∘ (A²)ᵗ) 1`` which needs a single sparse product.
+    Self loops are **kept** — this is the raw quantity appearing in
+    Corollary 1 and Theorems 4/6.
+    """
+    adj = graph.adjacency if isinstance(graph, Graph) else sp.csr_matrix(graph)
+    squared = (adj @ adj).T.tocsr()
+    masked = hadamard(adj, squared)
+    return np.asarray(masked.sum(axis=1)).ravel().astype(np.int64)
+
+
+def _loop_matrix(adj: sp.csr_matrix) -> sp.csr_matrix:
+    """``D_A = I ∘ A`` — the diagonal matrix of self loops."""
+    return sp.diags(adj.diagonal(), format="csr", dtype=np.int64)
+
+
+def _vertex_components(factor_a: Graph, factor_b: Graph) -> List[Tuple[float, np.ndarray, np.ndarray]]:
+    """Per-factor components ``(coef, x_A, x_B)`` with ``t_C = Σ coef · x_A ⊗ x_B``."""
+    comps: List[Tuple[float, np.ndarray, np.ndarray]] = []
+    per_factor = []
+    for factor in (factor_a, factor_b):
+        adj = factor.adjacency
+        loops = (adj.diagonal() != 0).astype(np.int64)
+        diag_cube = diag_of_cube(factor)
+        # diag(A² D_A)_i = (A²)_ii · s_i ; (A²)_ii = Σ_j A_ij A_ji = (A ∘ Aᵗ) 1.
+        diag_sq = np.asarray(hadamard(adj, adj.T).sum(axis=1)).ravel().astype(np.int64)
+        diag_sq_loop = diag_sq * loops
+        # diag(A D_A A)_i = Σ_j A_ij s_j A_ji = ((A ∘ Aᵗ) s)_i.
+        diag_mid_loop = np.asarray(hadamard(adj, adj.T) @ loops).ravel().astype(np.int64)
+        per_factor.append((diag_cube, diag_sq_loop, diag_mid_loop, loops))
+    (a3, a2d, adxa, sa), (b3, b2d, bdxb, sb) = per_factor
+    comps.append((0.5, a3, b3))
+    comps.append((-1.0, a2d, b2d))
+    comps.append((-0.5, adxa, bdxb))
+    comps.append((1.0, sa.astype(np.int64), sb.astype(np.int64)))
+    return comps
+
+
+def _edge_components(factor_a: Graph, factor_b: Graph) -> List[Tuple[float, sp.csr_matrix, sp.csr_matrix]]:
+    """Per-factor components ``(coef, M_A, M_B)`` with ``Δ_C = Σ coef · M_A ⊗ M_B``."""
+    comps: List[Tuple[float, sp.csr_matrix, sp.csr_matrix]] = []
+    per_factor = []
+    for factor in (factor_a, factor_b):
+        adj = factor.adjacency
+        loop_mat = _loop_matrix(adj)
+        squared = (adj @ adj).tocsr()
+        masked = hadamard(adj, squared)          # A ∘ A²
+        loop_rows = (loop_mat @ adj).tocsr()     # D_A A
+        loop_cols = (adj @ loop_mat).tocsr()     # A D_A
+        loop_masked = hadamard(loop_mat, squared)  # D_A ∘ A²
+        per_factor.append((masked, loop_rows, loop_cols, loop_mat, loop_masked))
+    a, b = per_factor
+    comps.append((1.0, a[0], b[0]))
+    comps.append((-1.0, a[1], b[1]))
+    comps.append((-1.0, a[2], b[2]))
+    comps.append((2.0, a[3], b[3]))
+    comps.append((-1.0, a[4], b[4]))
+    return comps
+
+
+def self_loop_case(factor_a: Graph, factor_b: Graph) -> str:
+    """Classify the factor pair: ``"none"``, ``"b_only"``, ``"a_only"``, or ``"both"``."""
+    a_loops = factor_a.has_self_loops
+    b_loops = factor_b.has_self_loops
+    if not a_loops and not b_loops:
+        return "none"
+    if not a_loops and b_loops:
+        return "b_only"
+    if a_loops and not b_loops:
+        return "a_only"
+    return "both"
+
+
+def _require_undirected(factor_a: Graph, factor_b: Graph) -> None:
+    for name, factor in (("A", factor_a), ("B", factor_b)):
+        if not isinstance(factor, Graph):
+            raise TypeError(f"factor {name} must be an undirected Graph, got {type(factor)!r}")
+
+
+# ---------------------------------------------------------------------------
+# Named theorem/corollary evaluators (with precondition checks)
+# ---------------------------------------------------------------------------
+def thm1_vertex_triangles(factor_a: Graph, factor_b: Graph) -> np.ndarray:
+    """Theorem 1: ``t_C = 2 t_A ⊗ t_B`` (both factors loop-free)."""
+    _require_undirected(factor_a, factor_b)
+    if factor_a.has_self_loops or factor_b.has_self_loops:
+        raise ValueError("Theorem 1 requires both factors to have no self loops")
+    return 2 * np.kron(vertex_triangles(factor_a), vertex_triangles(factor_b))
+
+
+def cor1_vertex_triangles(factor_a: Graph, factor_b: Graph) -> np.ndarray:
+    """Corollary 1: ``t_C = t_A ⊗ diag(B³)`` (loops allowed in ``B`` only)."""
+    _require_undirected(factor_a, factor_b)
+    if factor_a.has_self_loops:
+        raise ValueError("Corollary 1 requires the left factor to have no self loops")
+    return np.kron(vertex_triangles(factor_a), diag_of_cube(factor_b))
+
+
+def thm2_edge_triangles(factor_a: Graph, factor_b: Graph) -> sp.csr_matrix:
+    """Theorem 2: ``Δ_C = Δ_A ⊗ Δ_B`` (both factors loop-free)."""
+    _require_undirected(factor_a, factor_b)
+    if factor_a.has_self_loops or factor_b.has_self_loops:
+        raise ValueError("Theorem 2 requires both factors to have no self loops")
+    return sp.kron(edge_triangles(factor_a), edge_triangles(factor_b), format="csr")
+
+
+def cor2_edge_triangles(factor_a: Graph, factor_b: Graph) -> sp.csr_matrix:
+    """Corollary 2: ``Δ_C = Δ_A ⊗ (B ∘ B²)`` (loops allowed in ``B`` only)."""
+    _require_undirected(factor_a, factor_b)
+    if factor_a.has_self_loops:
+        raise ValueError("Corollary 2 requires the left factor to have no self loops")
+    adj_b = factor_b.adjacency
+    b_masked = hadamard(adj_b, adj_b @ adj_b)
+    return sp.kron(edge_triangles(factor_a), b_masked, format="csr")
+
+
+# ---------------------------------------------------------------------------
+# General evaluators (valid for every self-loop case)
+# ---------------------------------------------------------------------------
+def kron_vertex_triangles(factor_a: Graph, factor_b: Graph) -> np.ndarray:
+    """Exact ``t_C`` for any combination of self loops in the undirected factors.
+
+    Evaluates the general Section III.B expansion; for loop-free factors it
+    equals Theorem 1, with loops only in ``B`` it equals Corollary 1, etc.
+    The result has length ``n_A · n_B``.
+    """
+    _require_undirected(factor_a, factor_b)
+    comps = _vertex_components(factor_a, factor_b)
+    n_c = factor_a.n_vertices * factor_b.n_vertices
+    total = np.zeros(n_c, dtype=np.float64)
+    for coef, xa, xb in comps:
+        total += coef * np.kron(xa, xb).astype(np.float64)
+    out = np.rint(total).astype(np.int64)
+    return out
+
+
+def kron_edge_triangles(factor_a: Graph, factor_b: Graph) -> sp.csr_matrix:
+    """Exact ``Δ_C`` for any combination of self loops in the undirected factors."""
+    _require_undirected(factor_a, factor_b)
+    comps = _edge_components(factor_a, factor_b)
+    n_c = factor_a.n_vertices * factor_b.n_vertices
+    total = sp.csr_matrix((n_c, n_c), dtype=np.float64)
+    for coef, ma, mb in comps:
+        total = total + coef * sp.kron(ma, mb, format="csr").astype(np.float64)
+    total = sp.csr_matrix(total)
+    total.eliminate_zeros()
+    out = total.astype(np.int64)
+    out.eliminate_zeros()
+    out.sort_indices()
+    return out
+
+
+def kron_triangle_count(factor_a: Graph, factor_b: Graph) -> int:
+    """Exact ``τ(C)`` from per-factor sums only (no length-``n_C`` allocation).
+
+    Uses ``Σ (x ⊗ y) = (Σ x)(Σ y)`` on the vertex components and
+    ``τ = (1/3) Σ_p t_C[p]``; for loop-free factors this reduces to the
+    paper's ``τ(C) = 6 τ(A) τ(B)``.
+    """
+    _require_undirected(factor_a, factor_b)
+    comps = _vertex_components(factor_a, factor_b)
+    total = 0.0
+    for coef, xa, xb in comps:
+        total += coef * float(xa.sum()) * float(xb.sum())
+    total_int = int(round(total))
+    if total_int % 3 != 0:  # pragma: no cover - formula always yields 3τ
+        raise ArithmeticError("Kronecker vertex triangle sum is not a multiple of 3")
+    return total_int // 3
+
+
+def kron_vertex_triangles_at(
+    factor_a: Graph, factor_b: Graph, p: Union[int, np.ndarray]
+) -> Union[int, np.ndarray]:
+    """Triangle participation of selected product vertices without full vectors."""
+    stats = KroneckerTriangleStats.from_factors(factor_a, factor_b)
+    return stats.vertex_value(p)
+
+
+def kron_edge_triangles_at(factor_a: Graph, factor_b: Graph, p: int, q: int) -> int:
+    """Triangle participation of a single product edge ``(p, q)``."""
+    stats = KroneckerTriangleStats.from_factors(factor_a, factor_b)
+    return stats.edge_value(p, q)
+
+
+# ---------------------------------------------------------------------------
+# Lazy statistics object
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class KroneckerTriangleStats:
+    """Ground-truth triangle statistics of ``C = A ⊗ B`` in factored form.
+
+    Stores only per-factor component vectors/matrices (size ``O(n_A + n_B)``
+    and ``O(nnz_A + nnz_B)``), yet can answer point queries, global totals,
+    and value histograms for the full product — the "validation payload" a
+    large-scale generator would publish next to the compressed graph.
+    """
+
+    n_factor_b: int
+    vertex_components: Tuple[Tuple[float, np.ndarray, np.ndarray], ...]
+    edge_components: Tuple[Tuple[float, sp.csr_matrix, sp.csr_matrix], ...]
+
+    @classmethod
+    def from_factors(cls, factor_a: Graph, factor_b: Graph) -> "KroneckerTriangleStats":
+        """Build the factored statistics from two undirected factors."""
+        _require_undirected(factor_a, factor_b)
+        return cls(
+            n_factor_b=factor_b.n_vertices,
+            vertex_components=tuple(_vertex_components(factor_a, factor_b)),
+            edge_components=tuple(_edge_components(factor_a, factor_b)),
+        )
+
+    # -- vertex side ----------------------------------------------------
+    def vertex_value(self, p: Union[int, np.ndarray]) -> Union[int, np.ndarray]:
+        """``t_C[p]`` for a scalar or array of product vertex ids."""
+        i = np.asarray(p, dtype=np.int64) // self.n_factor_b
+        k = np.asarray(p, dtype=np.int64) % self.n_factor_b
+        total = np.zeros(np.shape(i), dtype=np.float64)
+        for coef, xa, xb in self.vertex_components:
+            total = total + coef * xa[i].astype(np.float64) * xb[k].astype(np.float64)
+        out = np.rint(total).astype(np.int64)
+        return out if isinstance(p, np.ndarray) else int(out)
+
+    def vertex_array(self) -> np.ndarray:
+        """The full ``t_C`` vector (length ``n_A · n_B``); allocate with care."""
+        n_a = self.vertex_components[0][1].shape[0]
+        total = np.zeros(n_a * self.n_factor_b, dtype=np.float64)
+        for coef, xa, xb in self.vertex_components:
+            total += coef * np.kron(xa, xb).astype(np.float64)
+        return np.rint(total).astype(np.int64)
+
+    def total_triangles(self) -> int:
+        """``τ(C)`` from component sums only."""
+        total = 0.0
+        for coef, xa, xb in self.vertex_components:
+            total += coef * float(xa.sum()) * float(xb.sum())
+        return int(round(total)) // 3
+
+    def vertex_histogram(self) -> Dict[int, int]:
+        """Histogram ``{triangle count: number of product vertices}``.
+
+        Computed by convolving factor-value histograms: product vertices are
+        all pairs ``(i, k)``, so the joint distribution of the component
+        values is the outer product of per-factor tabulations.  The number of
+        distinct component-value combinations is bounded by the product of
+        the factor-level distinct counts, which stays tiny for real factors.
+        """
+        # Tabulate distinct per-factor component-value tuples with multiplicity.
+        a_cols = np.stack([xa for _, xa, _ in self.vertex_components], axis=1)
+        b_cols = np.stack([xb for _, _, xb in self.vertex_components], axis=1)
+        coefs = np.asarray([c for c, _, _ in self.vertex_components], dtype=np.float64)
+        a_unique, a_counts = np.unique(a_cols, axis=0, return_counts=True)
+        b_unique, b_counts = np.unique(b_cols, axis=0, return_counts=True)
+        hist: Dict[int, int] = {}
+        for a_vals, a_mult in zip(a_unique, a_counts):
+            values = np.rint((coefs * a_vals.astype(np.float64) * b_unique.astype(np.float64)).sum(axis=1)).astype(np.int64)
+            for value, b_mult in zip(values, b_counts):
+                hist[int(value)] = hist.get(int(value), 0) + int(a_mult) * int(b_mult)
+        return hist
+
+    # -- edge side --------------------------------------------------------
+    def edge_value(self, p: int, q: int) -> int:
+        """``Δ_C[p, q]`` for a single product edge."""
+        i, k = int(p) // self.n_factor_b, int(p) % self.n_factor_b
+        j, l = int(q) // self.n_factor_b, int(q) % self.n_factor_b
+        total = 0.0
+        for coef, ma, mb in self.edge_components:
+            total += coef * float(ma[i, j]) * float(mb[k, l])
+        return int(round(total))
+
+    def edge_matrix(self) -> sp.csr_matrix:
+        """The full ``Δ_C`` matrix; allocate with care (``nnz ≈ nnz_A · nnz_B``)."""
+        total = None
+        for coef, ma, mb in self.edge_components:
+            term = coef * sp.kron(ma, mb, format="csr").astype(np.float64)
+            total = term if total is None else total + term
+        out = sp.csr_matrix(total)
+        out.eliminate_zeros()
+        out = out.astype(np.int64)
+        out.eliminate_zeros()
+        out.sort_indices()
+        return out
+
+    def edge_histogram(self) -> Dict[int, int]:
+        """Histogram ``{triangle count: number of directed product edges}``.
+
+        Only edges with a non-zero count appear (plus possibly 0 for product
+        edges whose factor edges carry no triangles); counts are over stored
+        adjacency entries of ``C``.
+        """
+        # Collect, per factor, the component values restricted to the factor's
+        # adjacency support, then convolve exactly as in vertex_histogram.
+        a_first = self.edge_components[0][1]
+        b_first = self.edge_components[0][2]
+        # Support of C's adjacency = support(A) × support(B); use the first
+        # component's mask (A ∘ A², which may be smaller) is not enough, so
+        # rebuild the supports from the loop matrices + masked matrices:
+        raise_if = not self.edge_components
+        if raise_if:  # pragma: no cover - components are always non-empty
+            raise ValueError("edge components missing")
+        a_support = _support_union([m for _, m, _ in self.edge_components])
+        b_support = _support_union([m for _, _, m in self.edge_components])
+        a_vals = np.stack(
+            [np.asarray(m[a_support[:, 0], a_support[:, 1]]).ravel() for _, m, _ in self.edge_components],
+            axis=1,
+        )
+        b_vals = np.stack(
+            [np.asarray(m[b_support[:, 0], b_support[:, 1]]).ravel() for _, _, m in self.edge_components],
+            axis=1,
+        )
+        coefs = np.asarray([c for c, _, _ in self.edge_components], dtype=np.float64)
+        a_unique, a_counts = np.unique(a_vals, axis=0, return_counts=True)
+        b_unique, b_counts = np.unique(b_vals, axis=0, return_counts=True)
+        hist: Dict[int, int] = {}
+        for a_row, a_mult in zip(a_unique, a_counts):
+            values = np.rint((coefs * a_row.astype(np.float64) * b_unique.astype(np.float64)).sum(axis=1)).astype(np.int64)
+            for value, b_mult in zip(values, b_counts):
+                if value == 0:
+                    continue
+                hist[int(value)] = hist.get(int(value), 0) + int(a_mult) * int(b_mult)
+        return hist
+
+
+def _support_union(matrices: Sequence[sp.spmatrix]) -> np.ndarray:
+    """Union of the non-zero positions of *matrices*, as an ``(m, 2)`` index array."""
+    acc = None
+    for mat in matrices:
+        pattern = sp.csr_matrix(mat, copy=True)
+        pattern.data = np.ones_like(pattern.data)
+        acc = pattern if acc is None else acc + pattern
+    coo = sp.coo_matrix(acc)
+    return np.stack([coo.row, coo.col], axis=1)

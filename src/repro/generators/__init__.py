@@ -1,0 +1,78 @@
+"""Graph generators: Kronecker factor sources, paper examples, and baselines.
+
+* :mod:`repro.generators.cliques` — the deterministic graphs of Examples 1-2.
+* :mod:`repro.generators.classic` — Erdős–Rényi / random directed / random
+  labeled fixtures.
+* :mod:`repro.generators.power_law` — Barabási–Albert plus the paper's
+  triangle-constrained preferential-attachment generator and the
+  edge-deletion reduction (Section III.D).
+* :mod:`repro.generators.rmat` / :mod:`repro.generators.stochastic_kronecker`
+  — the stochastic baselines of Remark 1.
+* :mod:`repro.generators.synthetic_web` — the web-NotreDame substitute used
+  by the Section VI reproduction.
+"""
+
+from repro.generators.classic import (
+    erdos_renyi,
+    random_bipartite_like,
+    random_directed_graph,
+    random_labeled_graph,
+)
+from repro.generators.cliques import (
+    complete_graph,
+    cycle_graph,
+    empty_graph,
+    hub_cycle_graph,
+    looped_clique,
+    path_graph,
+    star_graph,
+    triangle_graph,
+)
+from repro.generators.power_law import (
+    barabasi_albert,
+    max_edge_triangle_participation,
+    reduce_to_delta_le_one,
+    triangle_constrained_pa,
+)
+from repro.generators.rmat import (
+    GRAPH500_PROBS,
+    rmat_directed_graph,
+    rmat_edges,
+    rmat_graph,
+)
+from repro.generators.stochastic_kronecker import (
+    expected_edge_count,
+    kronecker_power_probabilities,
+    sample_stochastic_kronecker,
+    stochastic_kronecker_graph,
+)
+from repro.generators.synthetic_web import web_notredame_substitute, webgraph_like
+
+__all__ = [
+    "complete_graph",
+    "looped_clique",
+    "cycle_graph",
+    "path_graph",
+    "star_graph",
+    "triangle_graph",
+    "empty_graph",
+    "hub_cycle_graph",
+    "erdos_renyi",
+    "random_directed_graph",
+    "random_labeled_graph",
+    "random_bipartite_like",
+    "barabasi_albert",
+    "triangle_constrained_pa",
+    "reduce_to_delta_le_one",
+    "max_edge_triangle_participation",
+    "rmat_edges",
+    "rmat_graph",
+    "rmat_directed_graph",
+    "GRAPH500_PROBS",
+    "kronecker_power_probabilities",
+    "sample_stochastic_kronecker",
+    "stochastic_kronecker_graph",
+    "expected_edge_count",
+    "webgraph_like",
+    "web_notredame_substitute",
+]

@@ -1,0 +1,107 @@
+"""Deterministic small-graph generators used throughout the paper's examples.
+
+Example 1 of the paper is built from the clique ``K_n`` (all-ones matrix
+minus the identity) and the "looped clique" ``J_n`` (all-ones matrix, i.e. a
+clique with a self loop at every vertex); Example 2 uses a 5-vertex
+"4-cycle with an added hub".  This module provides those graphs plus the
+other standard deterministic shapes (cycles, paths, stars) the tests and
+benchmarks compose into Kronecker factors with known statistics.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.graphs.adjacency import Graph
+
+__all__ = [
+    "complete_graph",
+    "looped_clique",
+    "cycle_graph",
+    "path_graph",
+    "star_graph",
+    "hub_cycle_graph",
+    "triangle_graph",
+    "empty_graph",
+]
+
+
+def complete_graph(n: int) -> Graph:
+    """The clique ``K_n = J_n - I_n``: every pair of distinct vertices adjacent.
+
+    Per Example 1, each vertex has degree ``n - 1``, participates in
+    ``C(n-1, 2)`` triangles, and every edge participates in ``n - 2``.
+    """
+    if n < 1:
+        raise ValueError("complete_graph requires n >= 1")
+    dense = np.ones((n, n), dtype=np.int64) - np.eye(n, dtype=np.int64)
+    return Graph(sp.csr_matrix(dense), name=f"K{n}", validate=False)
+
+
+def looped_clique(n: int) -> Graph:
+    """``J_n = 1 1ᵗ``: the clique with a self loop at every vertex.
+
+    Used as a Kronecker factor to boost triangle counts (Example 1(b)/(c));
+    note ``J_nA ⊗ J_nB - I`` is exactly ``K_{nA nB}``.
+    """
+    if n < 1:
+        raise ValueError("looped_clique requires n >= 1")
+    dense = np.ones((n, n), dtype=np.int64)
+    return Graph(sp.csr_matrix(dense), name=f"J{n}", validate=False)
+
+
+def cycle_graph(n: int) -> Graph:
+    """The cycle ``C_n`` on ``n >= 3`` vertices (triangle-free for ``n > 3``)."""
+    if n < 3:
+        raise ValueError("cycle_graph requires n >= 3")
+    idx = np.arange(n, dtype=np.int64)
+    edges = np.stack([idx, (idx + 1) % n], axis=1)
+    return Graph.from_edges(map(tuple, edges), n_vertices=n, name=f"C{n}")
+
+
+def path_graph(n: int) -> Graph:
+    """The path ``P_n`` on ``n >= 1`` vertices."""
+    if n < 1:
+        raise ValueError("path_graph requires n >= 1")
+    if n == 1:
+        return Graph.empty(1, name="P1")
+    idx = np.arange(n - 1, dtype=np.int64)
+    edges = np.stack([idx, idx + 1], axis=1)
+    return Graph.from_edges(map(tuple, edges), n_vertices=n, name=f"P{n}")
+
+
+def star_graph(n_leaves: int) -> Graph:
+    """A star: one hub (vertex 0) joined to ``n_leaves`` leaves (triangle-free)."""
+    if n_leaves < 0:
+        raise ValueError("star_graph requires n_leaves >= 0")
+    edges = [(0, i) for i in range(1, n_leaves + 1)]
+    return Graph.from_edges(edges, n_vertices=n_leaves + 1, name=f"star{n_leaves}")
+
+
+def triangle_graph() -> Graph:
+    """The single triangle ``K_3`` (convenience alias)."""
+    return complete_graph(3)
+
+
+def empty_graph(n: int) -> Graph:
+    """``n`` isolated vertices."""
+    return Graph.empty(n, name=f"empty{n}")
+
+
+def hub_cycle_graph() -> Graph:
+    """The 5-vertex graph of Example 2: a 4-cycle plus a hub joined to all.
+
+    In the paper's 1-based notation ``A = K_5 - e_2 e_4ᵗ - e_4 e_2ᵗ -
+    e_3 e_5ᵗ - e_5 e_3ᵗ``: vertex 0 (the hub) is adjacent to every other
+    vertex, and vertices 1-2-3-4 form a 4-cycle ``1-2-3-4-1``.  The graph has
+    8 edges and 4 triangles; every cycle edge lies in exactly one triangle and
+    every hub edge in exactly two, so all edges are in the 3-truss and none in
+    the 4-truss.
+    """
+    dense = np.ones((5, 5), dtype=np.int64) - np.eye(5, dtype=np.int64)
+    # Remove the two chords of the outer cycle (paper's vertices 2-4 and 3-5).
+    for u, v in ((1, 3), (2, 4)):
+        dense[u, v] = 0
+        dense[v, u] = 0
+    return Graph(sp.csr_matrix(dense), name="hub_cycle", validate=False)

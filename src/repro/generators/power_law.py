@@ -1,0 +1,199 @@
+"""Scale-free generators, including the paper's triangle-constrained variant.
+
+Theorem 3 needs a second factor ``B`` in which *every edge participates in at
+most one triangle* (``Δ_B ≤ 1``).  Section III.D offers two strategies for
+producing scale-free graphs with that property:
+
+(a) take a real-world graph and delete edges until every edge participates in
+    at most one triangle, keeping the graph connected (protect a spanning
+    tree), and
+(b) a preferential-attachment generator that attaches each new vertex to an
+    endpoint of a uniformly random existing edge and closes a triangle on
+    that edge only if it is not yet in any triangle.
+
+Both are implemented here, alongside the standard Barabási–Albert model used
+as a generic scale-free factor source.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Set, Tuple
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.graphs.adjacency import Graph
+from repro.triangles.linear_algebra import edge_triangles
+
+__all__ = [
+    "barabasi_albert",
+    "triangle_constrained_pa",
+    "reduce_to_delta_le_one",
+    "max_edge_triangle_participation",
+]
+
+
+def barabasi_albert(n: int, m: int, *, seed: int = 0) -> Graph:
+    """Barabási–Albert preferential attachment: each new vertex attaches to ``m`` targets.
+
+    Implemented with the standard repeated-endpoint trick (targets drawn from
+    the flattened edge-endpoint list) so the attachment probability is
+    proportional to the current degree.
+
+    Parameters
+    ----------
+    n:
+        Total number of vertices (``n > m``).
+    m:
+        Edges added per new vertex (``m >= 1``).
+    seed:
+        RNG seed.
+    """
+    if m < 1:
+        raise ValueError("m must be >= 1")
+    if n <= m:
+        raise ValueError("n must exceed m")
+    rng = np.random.default_rng(seed)
+    # Start from a star on m+1 vertices so every early vertex has degree >= 1.
+    edges: List[Tuple[int, int]] = [(i, m) for i in range(m)]
+    endpoints: List[int] = [v for e in edges for v in e]
+    for u in range(m + 1, n):
+        targets: Set[int] = set()
+        while len(targets) < m:
+            targets.add(int(endpoints[rng.integers(0, len(endpoints))]))
+        for v in targets:
+            edges.append((u, v))
+            endpoints.extend((u, v))
+    return Graph.from_edges(edges, n_vertices=n, name=f"BA({n},{m})")
+
+
+def triangle_constrained_pa(n: int, *, seed: int = 0) -> Graph:
+    """The paper's preferential-attachment generator with ``Δ ≤ 1`` per edge.
+
+    Section III.D, strategy (b): start from a single edge; for each new vertex
+    ``u`` pick an existing edge ``(i, j)`` uniformly at random and a random
+    endpoint ``v`` of it, add ``(u, v)``; if ``(i, j)`` participates in no
+    triangle yet, also add ``(u, w)`` to the other endpoint, creating one
+    triangle and marking all three of its edges as saturated.  The output is
+    scale-free-ish (edge-sampling is degree-proportional) and satisfies the
+    hypothesis of Theorem 3 by construction.
+
+    Parameters
+    ----------
+    n:
+        Number of vertices (``n >= 2``).
+    seed:
+        RNG seed.
+    """
+    if n < 2:
+        raise ValueError("triangle_constrained_pa requires n >= 2")
+    rng = np.random.default_rng(seed)
+    edges: List[Tuple[int, int]] = [(0, 1)]
+    # Number of triangles each edge currently participates in (by index).
+    edge_triangle_count: List[int] = [0]
+    for u in range(2, n):
+        edge_idx = int(rng.integers(0, len(edges)))
+        i, j = edges[edge_idx]
+        v = i if rng.random() < 0.5 else j
+        edges.append((u, v))
+        edge_triangle_count.append(0)
+        new_edge_uv = len(edges) - 1
+        if edge_triangle_count[edge_idx] == 0:
+            w = j if v == i else i
+            edges.append((u, w))
+            edge_triangle_count.append(0)
+            new_edge_uw = len(edges) - 1
+            # All three edges of the newly closed triangle are now saturated.
+            edge_triangle_count[edge_idx] += 1
+            edge_triangle_count[new_edge_uv] += 1
+            edge_triangle_count[new_edge_uw] += 1
+    return Graph.from_edges(edges, n_vertices=n, name=f"TPA({n})")
+
+
+def max_edge_triangle_participation(graph: Graph) -> int:
+    """The largest per-edge triangle count ``max Δ_A`` (0 for triangle-free graphs)."""
+    delta = edge_triangles(graph)
+    return int(delta.data.max()) if delta.nnz else 0
+
+
+def _spanning_tree_edges(graph: Graph) -> Set[Tuple[int, int]]:
+    """A spanning forest of *graph* as a set of sorted edge tuples (BFS per component)."""
+    tree = sp.csgraph.breadth_first_tree(graph.adjacency, 0, directed=False)
+    protected: Set[Tuple[int, int]] = set()
+    coo = tree.tocoo()
+    for u, v in zip(coo.row, coo.col):
+        protected.add((min(int(u), int(v)), max(int(u), int(v))))
+    # breadth_first_tree only covers the component of vertex 0; run the other
+    # components explicitly so connectivity of each component is preserved.
+    n_comp, labels = graph.connected_components()
+    if n_comp > 1:
+        for comp in range(n_comp):
+            members = np.flatnonzero(labels == comp)
+            if members.size == 0 or 0 in members:
+                continue
+            sub = graph.subgraph(members)
+            sub_tree = sp.csgraph.breadth_first_tree(sub.adjacency, 0, directed=False).tocoo()
+            for u, v in zip(sub_tree.row, sub_tree.col):
+                gu, gv = int(members[u]), int(members[v])
+                protected.add((min(gu, gv), max(gu, gv)))
+    return protected
+
+
+def reduce_to_delta_le_one(graph: Graph, *, max_rounds: Optional[int] = None) -> Graph:
+    """Strategy (a): delete edges until every edge participates in at most one triangle.
+
+    A spanning forest is protected so that connectivity (per component) is
+    never destroyed.  In each round, for every edge with ``Δ > 1`` one
+    non-protected edge of one of its triangles is scheduled for removal;
+    rounds repeat until ``max Δ ≤ 1``.  Any triangle contains at most two
+    forest edges, so a removable edge always exists and the procedure
+    terminates.
+
+    Parameters
+    ----------
+    graph:
+        Undirected graph without self loops.
+    max_rounds:
+        Optional safety cap on peeling rounds (defaults to the edge count).
+    """
+    if graph.has_self_loops:
+        graph = graph.without_self_loops()
+    protected = _spanning_tree_edges(graph)
+    current = graph.copy()
+    rounds_cap = max_rounds if max_rounds is not None else max(1, graph.n_edges)
+
+    for _ in range(rounds_cap):
+        delta = edge_triangles(current)
+        if delta.nnz == 0 or delta.data.max() <= 1:
+            break
+        adj = current.adjacency.tolil()
+        coo = sp.triu(delta, k=1).tocoo()
+        removed_this_round: Set[Tuple[int, int]] = set()
+        for u, v, count in zip(coo.row, coo.col, coo.data):
+            if count <= 1:
+                continue
+            u, v = int(u), int(v)
+            if (min(u, v), max(u, v)) in removed_this_round:
+                continue
+            # Find a triangle {u, v, w} and remove one of its non-protected edges.
+            u_nbrs = set(current.neighbors(u).tolist())
+            v_nbrs = set(current.neighbors(v).tolist())
+            removed = False
+            for w in sorted(u_nbrs & v_nbrs):
+                for a, b in ((u, v), (u, w), (v, w)):
+                    key = (min(a, b), max(a, b))
+                    if key in protected or key in removed_this_round:
+                        continue
+                    adj[a, b] = 0
+                    adj[b, a] = 0
+                    removed_this_round.add(key)
+                    removed = True
+                    break
+                if removed:
+                    break
+        if not removed_this_round:
+            break
+        current = Graph(adj.tocsr(), name=current.name, validate=False)
+
+    return Graph(current.adjacency, name=f"{graph.name}|Δ≤1" if graph.name else "Δ≤1",
+                 validate=False)

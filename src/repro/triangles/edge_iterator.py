@@ -1,0 +1,124 @@
+"""Degree-ordered edge-iterator (wedge-check) triangle counting.
+
+This is the :math:`O(|E|^{3/2})` algorithm of Chiba–Nishizeki [10] the paper
+uses to count triangles on the *factors*: orient every edge from the
+lower-degree endpoint to the higher-degree endpoint (ties broken by id), then
+for every vertex intersect the out-neighbour lists of the endpoints of each
+out-edge.  Each triangle is found exactly once, and the number of wedge
+checks performed is the quantity the paper reports ("7,734,429 wedge checks"
+for the web-NotreDame factor).
+
+The module returns per-vertex participation, per-edge participation, the
+global count, and the wedge-check work counter so the complexity claims of
+Section I can be benchmarked.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.graphs.adjacency import Graph
+from repro.triangles.linear_algebra import strip_self_loops
+
+__all__ = ["TriangleCensus", "count_triangles_edge_iterator"]
+
+
+@dataclass(frozen=True)
+class TriangleCensus:
+    """Result of a degree-ordered triangle census.
+
+    Attributes
+    ----------
+    total:
+        Global triangle count ``τ``.
+    per_vertex:
+        Length-``n`` vector of triangle participation at each vertex.
+    per_edge:
+        Sparse symmetric matrix of triangle participation at each edge.
+    wedge_checks:
+        Number of neighbour-list intersections performed — the work measure
+        used in the paper's complexity discussion.
+    """
+
+    total: int
+    per_vertex: np.ndarray
+    per_edge: sp.csr_matrix
+    wedge_checks: int
+
+
+def _degree_orientation(adj: sp.csr_matrix) -> sp.csr_matrix:
+    """Orient each undirected edge from lower to higher (degree, id) endpoint."""
+    n = adj.shape[0]
+    degrees = np.asarray(adj.sum(axis=1)).ravel()
+    coo = adj.tocoo()
+    rank = degrees * n + np.arange(n)  # total order: degree then vertex id
+    keep = rank[coo.row] < rank[coo.col]
+    data = np.ones(int(keep.sum()), dtype=np.int64)
+    oriented = sp.csr_matrix((data, (coo.row[keep], coo.col[keep])), shape=adj.shape)
+    oriented.sort_indices()
+    return oriented
+
+
+def count_triangles_edge_iterator(graph: Union[Graph, sp.spmatrix]) -> TriangleCensus:
+    """Run the degree-ordered wedge-check census on an undirected graph.
+
+    Self loops are ignored.  The per-vertex and per-edge outputs agree with
+    the linear-algebra kernels of :mod:`repro.triangles.linear_algebra`; the
+    census additionally reports the wedge-check counter.
+    """
+    adj = graph.adjacency if isinstance(graph, Graph) else sp.csr_matrix(graph)
+    adj = strip_self_loops(adj)
+    n = adj.shape[0]
+    oriented = _degree_orientation(adj)
+    indptr, indices = oriented.indptr, oriented.indices
+
+    per_vertex = np.zeros(n, dtype=np.int64)
+    edge_rows: list = []
+    edge_cols: list = []
+    wedge_checks = 0
+    total = 0
+
+    for u in range(n):
+        u_out = indices[indptr[u]:indptr[u + 1]]
+        if u_out.size == 0:
+            continue
+        for v in u_out:
+            v_out = indices[indptr[v]:indptr[v + 1]]
+            wedge_checks += 1
+            if v_out.size == 0:
+                continue
+            common = np.intersect1d(u_out, v_out, assume_unique=True)
+            c = common.size
+            if c == 0:
+                continue
+            total += c
+            per_vertex[u] += c
+            per_vertex[v] += c
+            per_vertex[common] += 1
+            # Record each closed triangle's three edges for the per-edge matrix.
+            edge_rows.extend([u] * c)
+            edge_cols.extend([v] * c)
+            edge_rows.extend([u] * c)
+            edge_cols.extend(common.tolist())
+            edge_rows.extend([v] * c)
+            edge_cols.extend(common.tolist())
+
+    if edge_rows:
+        rows = np.asarray(edge_rows + edge_cols, dtype=np.int64)
+        cols = np.asarray(edge_cols + edge_rows, dtype=np.int64)
+        data = np.ones(rows.shape[0], dtype=np.int64)
+        per_edge = sp.csr_matrix((data, (rows, cols)), shape=(n, n))
+        per_edge.sum_duplicates()
+    else:
+        per_edge = sp.csr_matrix((n, n), dtype=np.int64)
+
+    return TriangleCensus(
+        total=int(total),
+        per_vertex=per_vertex,
+        per_edge=per_edge,
+        wedge_checks=int(wedge_checks),
+    )

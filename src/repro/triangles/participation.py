@@ -1,0 +1,80 @@
+"""Unified front-end for triangle participation with selectable algorithms.
+
+The package offers three independent implementations of the same statistics —
+the sparse linear-algebra kernel (``"matrix"``), the node-iterator
+(``"node"``), and the degree-ordered edge-iterator (``"wedge"``).  This
+module exposes them behind a single pair of functions so that tests, the
+validation harness, and the ablation benchmarks can switch algorithm with a
+keyword argument.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.graphs.adjacency import Graph
+from repro.triangles import edge_iterator, linear_algebra, node_iterator
+
+__all__ = [
+    "vertex_triangle_participation",
+    "edge_triangle_participation",
+    "triangle_count",
+    "ALGORITHMS",
+]
+
+#: Names accepted by the ``method`` keyword of the functions in this module.
+ALGORITHMS = ("matrix", "node", "wedge")
+
+MatrixOrGraph = Union[Graph, sp.spmatrix, np.ndarray]
+
+
+def _check_method(method: str) -> None:
+    if method not in ALGORITHMS:
+        raise ValueError(f"unknown method {method!r}; expected one of {ALGORITHMS}")
+
+
+def vertex_triangle_participation(graph: MatrixOrGraph, *, method: str = "matrix") -> np.ndarray:
+    """Triangle participation at every vertex (the paper's ``t_A``).
+
+    Parameters
+    ----------
+    graph:
+        Undirected graph or adjacency matrix; self loops are ignored.
+    method:
+        ``"matrix"`` (sparse ``A ∘ A²`` kernel, default), ``"node"``
+        (neighbourhood intersection), or ``"wedge"`` (degree-ordered
+        edge iterator).
+    """
+    _check_method(method)
+    if method == "matrix":
+        return linear_algebra.vertex_triangles(graph)
+    if method == "node":
+        return node_iterator.vertex_triangles_node_iterator(graph)
+    return edge_iterator.count_triangles_edge_iterator(graph).per_vertex
+
+
+def edge_triangle_participation(graph: MatrixOrGraph, *, method: str = "matrix") -> sp.csr_matrix:
+    """Triangle participation at every edge (the paper's ``Δ_A``).
+
+    Only the ``"matrix"`` and ``"wedge"`` methods produce per-edge output;
+    ``"node"`` raises ``ValueError``.
+    """
+    _check_method(method)
+    if method == "matrix":
+        return linear_algebra.edge_triangles(graph)
+    if method == "wedge":
+        return edge_iterator.count_triangles_edge_iterator(graph).per_edge
+    raise ValueError("the node-iterator method does not produce per-edge participation")
+
+
+def triangle_count(graph: MatrixOrGraph, *, method: str = "matrix") -> int:
+    """Global triangle count ``τ(A)`` with the selected algorithm."""
+    _check_method(method)
+    if method == "matrix":
+        return linear_algebra.total_triangles(graph)
+    if method == "node":
+        return node_iterator.total_triangles_node_iterator(graph)
+    return edge_iterator.count_triangles_edge_iterator(graph).total

@@ -1,0 +1,10 @@
+"""Truss decomposition substrate (direct peeling algorithm of Section III.D)."""
+
+from repro.truss.decomposition import (
+    TrussDecomposition,
+    edge_trussness,
+    k_truss,
+    truss_decomposition,
+)
+
+__all__ = ["TrussDecomposition", "truss_decomposition", "k_truss", "edge_trussness"]

@@ -1,0 +1,72 @@
+"""Shared fixtures: small deterministic factor graphs used across the suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import generators
+from repro.graphs import DirectedGraph, Graph, VertexLabeledGraph
+
+
+@pytest.fixture
+def triangle() -> Graph:
+    """K3 — the single triangle."""
+    return generators.complete_graph(3)
+
+
+@pytest.fixture
+def k4() -> Graph:
+    return generators.complete_graph(4)
+
+
+@pytest.fixture
+def k5() -> Graph:
+    return generators.complete_graph(5)
+
+
+@pytest.fixture
+def hub_cycle() -> Graph:
+    """The Example 2 graph: 4-cycle plus hub (5 vertices, 8 edges, 4 triangles)."""
+    return generators.hub_cycle_graph()
+
+
+@pytest.fixture
+def small_er() -> Graph:
+    """Small Erdős–Rényi graph with a decent number of triangles."""
+    return generators.erdos_renyi(16, 0.35, seed=11)
+
+
+@pytest.fixture
+def small_er_loops() -> Graph:
+    """Small Erdős–Rényi graph with self loops on some vertices."""
+    return generators.erdos_renyi(12, 0.35, seed=7, self_loops=True)
+
+
+@pytest.fixture
+def weblike_small() -> Graph:
+    """Small scale-free factor with triangles (web-NotreDame stand-in)."""
+    return generators.webgraph_like(60, edges_per_vertex=3, triad_probability=0.6, seed=3)
+
+
+@pytest.fixture
+def directed_small() -> DirectedGraph:
+    """Directed factor exercising both reciprocal and one-way edges."""
+    return generators.random_directed_graph(12, p_directed=0.3, p_reciprocal=0.25, seed=5)
+
+
+@pytest.fixture
+def labeled_small() -> VertexLabeledGraph:
+    """Labeled factor with three colours."""
+    return generators.random_labeled_graph(12, 0.4, 3, seed=9)
+
+
+@pytest.fixture
+def delta_le_one_factor() -> Graph:
+    """Factor satisfying the Theorem 3 hypothesis (every edge in ≤ 1 triangle)."""
+    return generators.triangle_constrained_pa(20, seed=13)
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(2024)

@@ -1,0 +1,200 @@
+"""Tests for the undirected Graph substrate."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.graphs import Graph, hadamard, is_symmetric, to_csr
+from repro import generators
+
+
+class TestConstruction:
+    def test_from_edges_basic(self):
+        g = Graph.from_edges([(0, 1), (1, 2)])
+        assert g.n_vertices == 3
+        assert g.n_edges == 2
+
+    def test_from_edges_symmetrizes(self):
+        g = Graph.from_edges([(0, 1)])
+        assert g.has_edge(1, 0)
+
+    def test_from_edges_deduplicates(self):
+        g = Graph.from_edges([(0, 1), (1, 0), (0, 1)])
+        assert g.n_edges == 1
+        assert g.adjacency.max() == 1
+
+    def test_from_edges_self_loop(self):
+        g = Graph.from_edges([(0, 0), (0, 1)])
+        assert g.n_self_loops == 1
+        assert g.n_edges == 2
+
+    def test_from_edges_isolated_vertices(self):
+        g = Graph.from_edges([(0, 1)], n_vertices=5)
+        assert g.n_vertices == 5
+        assert g.degree(4) == 0
+
+    def test_from_edges_n_vertices_too_small(self):
+        with pytest.raises(ValueError):
+            Graph.from_edges([(0, 5)], n_vertices=3)
+
+    def test_from_edges_negative_ids(self):
+        with pytest.raises(ValueError):
+            Graph.from_edges([(-1, 2)])
+
+    def test_empty_graph(self):
+        g = Graph.empty(4)
+        assert g.n_vertices == 4
+        assert g.n_edges == 0
+        assert g.degrees().tolist() == [0, 0, 0, 0]
+
+    def test_requires_square(self):
+        with pytest.raises(ValueError):
+            Graph(np.ones((2, 3)))
+
+    def test_requires_symmetric(self):
+        mat = np.zeros((3, 3), dtype=int)
+        mat[0, 1] = 1
+        with pytest.raises(ValueError):
+            Graph(mat)
+
+    def test_dense_input(self):
+        dense = np.array([[0, 1], [1, 0]])
+        g = Graph(dense)
+        assert g.n_edges == 1
+
+    def test_from_networkx_round_trip(self, small_er):
+        nx_graph = small_er.to_networkx()
+        back = Graph.from_networkx(nx_graph)
+        assert back == small_er
+
+
+class TestProperties:
+    def test_counts_match_paper_convention(self, k5):
+        # K5: 10 undirected edges, 20 stored entries.
+        assert k5.n_edges == 10
+        assert k5.nnz == 20
+
+    def test_self_loop_counting(self):
+        g = generators.looped_clique(4)
+        assert g.n_self_loops == 4
+        assert g.n_edges == 6 + 4  # clique edges + one per loop
+
+    def test_degrees_exclude_self_loops(self):
+        g = Graph.from_edges([(0, 0), (0, 1), (1, 2)])
+        assert g.degrees().tolist() == [1, 2, 1]
+
+    def test_degree_single(self, k4):
+        assert k4.degree(2) == 3
+
+    def test_neighbors_sorted_and_exclude_self(self):
+        g = Graph.from_edges([(2, 2), (2, 0), (2, 4)])
+        assert g.neighbors(2).tolist() == [0, 4]
+        assert g.neighbors(2, include_self_loop=True).tolist() == [0, 2, 4]
+
+    def test_has_edge(self, k4):
+        assert k4.has_edge(0, 3)
+        assert not k4.has_edge(0, 0)
+
+    def test_edges_upper_triangle(self, k4):
+        edges = k4.edges()
+        assert edges.shape == (6, 2)
+        assert (edges[:, 0] <= edges[:, 1]).all()
+
+    def test_edges_exclude_self_loops_flag(self):
+        g = generators.looped_clique(3)
+        assert g.edges(include_self_loops=False).shape[0] == 3
+        assert g.edges(include_self_loops=True).shape[0] == 6
+
+    def test_iter_edges(self, triangle):
+        assert sorted(triangle.iter_edges()) == [(0, 1), (0, 2), (1, 2)]
+
+    def test_repr_contains_counts(self, k4):
+        text = repr(k4)
+        assert "n_vertices=4" in text and "n_edges=6" in text
+
+    def test_equality_and_copy(self, small_er):
+        assert small_er == small_er.copy()
+        other = generators.erdos_renyi(16, 0.35, seed=12)
+        assert small_er != other
+
+    def test_not_hashable(self, k4):
+        with pytest.raises(TypeError):
+            hash(k4)
+
+
+class TestTransformations:
+    def test_without_self_loops(self):
+        g = generators.looped_clique(4)
+        stripped = g.without_self_loops()
+        assert stripped.n_self_loops == 0
+        assert stripped == generators.complete_graph(4)
+
+    def test_with_self_loops(self, k4):
+        looped = k4.with_self_loops()
+        assert looped.n_self_loops == 4
+        assert looped.without_self_loops() == k4
+
+    def test_subgraph_induced(self, k5):
+        sub = k5.subgraph([0, 1, 2])
+        assert sub == generators.complete_graph(3)
+
+    def test_subgraph_out_of_range(self, k5):
+        with pytest.raises(IndexError):
+            k5.subgraph([0, 9])
+
+    def test_relabeled_is_isomorphic_invariant(self, small_er):
+        perm = np.random.default_rng(3).permutation(small_er.n_vertices)
+        relabeled = small_er.relabeled(perm)
+        assert relabeled.n_edges == small_er.n_edges
+        assert sorted(relabeled.degrees().tolist()) == sorted(small_er.degrees().tolist())
+
+    def test_relabeled_invalid_permutation(self, k4):
+        with pytest.raises(ValueError):
+            k4.relabeled([0, 0, 1, 2])
+
+    def test_union(self):
+        a = Graph.from_edges([(0, 1)], n_vertices=3)
+        b = Graph.from_edges([(1, 2)], n_vertices=3)
+        assert a.union(b).n_edges == 2
+
+    def test_union_size_mismatch(self):
+        a = Graph.from_edges([(0, 1)], n_vertices=2)
+        b = Graph.from_edges([(0, 1)], n_vertices=3)
+        with pytest.raises(ValueError):
+            a.union(b)
+
+    def test_largest_connected_component(self):
+        g = Graph.from_edges([(0, 1), (1, 2), (3, 4)], n_vertices=6)
+        lcc = g.largest_connected_component()
+        assert lcc.n_vertices == 3
+        assert lcc.n_edges == 2
+
+    def test_connected_components(self):
+        g = Graph.from_edges([(0, 1), (2, 3)], n_vertices=5)
+        n_comp, labels = g.connected_components()
+        assert n_comp == 3
+        assert labels.shape == (5,)
+
+
+class TestHelpers:
+    def test_to_csr_clips_duplicates(self):
+        mat = sp.coo_matrix(([2, 3], ([0, 1], [1, 0])), shape=(2, 2))
+        csr = to_csr(mat)
+        assert csr.max() == 1
+
+    def test_is_symmetric(self):
+        assert is_symmetric(sp.identity(3, format="csr"))
+        asym = sp.csr_matrix(np.array([[0, 1], [0, 0]]))
+        assert not is_symmetric(asym)
+
+    def test_is_symmetric_rectangular(self):
+        assert not is_symmetric(sp.csr_matrix(np.ones((2, 3))))
+
+    def test_hadamard_matches_dense(self, small_er, k4):
+        a = small_er.adjacency[:4, :4]
+        b = k4.adjacency
+        expected = np.asarray(a.todense()) * np.asarray(b.todense())
+        assert np.array_equal(np.asarray(hadamard(a, b).todense()), expected)
+
+    def test_to_dense_round_trip(self, k4):
+        assert np.array_equal(Graph(k4.to_dense()).to_dense(), k4.to_dense())

@@ -1,0 +1,122 @@
+"""Tests for distribution diagnostics and the Section VI summary tables."""
+
+import numpy as np
+import pytest
+
+from repro import generators
+from repro.analysis import (
+    SummaryRow,
+    complementary_cdf,
+    degree_histogram,
+    format_count,
+    format_table,
+    graph_summary,
+    heavy_tail_summary,
+    hill_tail_exponent,
+    histogram,
+    kronecker_summary,
+    product_histogram,
+)
+from repro.core import KroneckerGraph, kron_degrees
+from repro.triangles import total_triangles
+
+
+class TestHistograms:
+    def test_histogram_basic(self):
+        assert histogram(np.array([1, 1, 2, 5])) == {1: 2, 2: 1, 5: 1}
+
+    def test_degree_histogram_clique(self):
+        assert degree_histogram(generators.complete_graph(5)) == {4: 5}
+
+    def test_product_histogram_matches_kron_degrees(self, small_er, k4):
+        expected = histogram(kron_degrees(small_er, k4))
+        got = product_histogram(degree_histogram(small_er), degree_histogram(k4))
+        assert got == expected
+
+    def test_product_histogram_counts_total(self):
+        a = {1: 3, 2: 2}
+        b = {2: 4, 3: 1}
+        hist = product_histogram(a, b)
+        assert sum(hist.values()) == 5 * 5
+
+    def test_complementary_cdf(self):
+        values, ccdf = complementary_cdf({1: 2, 3: 2})
+        assert values.tolist() == [1, 3]
+        assert ccdf.tolist() == [1.0, 0.5]
+
+    def test_complementary_cdf_empty(self):
+        values, ccdf = complementary_cdf({})
+        assert values.size == 0 and ccdf.size == 0
+
+
+class TestTailDiagnostics:
+    def test_hill_on_pareto_sample(self):
+        rng = np.random.default_rng(0)
+        alpha = 2.5
+        sample = (1.0 / rng.random(20000)) ** (1.0 / alpha)
+        estimate = hill_tail_exponent(sample, tail_fraction=0.05)
+        assert estimate == pytest.approx(alpha, rel=0.2)
+
+    def test_hill_small_sample_nan(self):
+        assert np.isnan(hill_tail_exponent(np.array([1.0, 2.0])))
+
+    def test_hill_constant_sample(self):
+        assert hill_tail_exponent(np.ones(100)) == float("inf")
+
+    def test_heavy_tail_summary_fields(self, weblike_small):
+        summary = heavy_tail_summary(weblike_small.degrees())
+        assert summary["n"] == weblike_small.n_vertices
+        assert summary["max"] >= summary["mean"]
+        assert 0 < summary["max_over_n"] <= 1
+
+    def test_heavy_tail_summary_empty(self):
+        summary = heavy_tail_summary(np.array([]))
+        assert summary["n"] == 0
+
+    def test_max_ratio_squares_under_product(self):
+        """Section III.A: the product's max-degree/n ratio is the factor ratios multiplied."""
+        factor = generators.webgraph_like(80, seed=2)
+        factor_summary = heavy_tail_summary(factor.degrees())
+        product_summary = heavy_tail_summary(kron_degrees(factor, factor))
+        assert product_summary["max_over_n"] == pytest.approx(factor_summary["max_over_n"] ** 2)
+
+
+class TestFormatting:
+    def test_format_count_suffixes(self):
+        assert format_count(532) == "532"
+        assert format_count(325_729) == "325.7K"
+        assert format_count(1_090_108) == "1.09M"
+        assert format_count(106_099_381_441) == "106.1B"
+        assert format_count(2_376_670_903_328) == "2.377T"
+
+    def test_graph_summary(self, hub_cycle):
+        row = graph_summary(hub_cycle)
+        assert row.n_vertices == 5
+        assert row.n_edges == 8
+        assert row.n_triangles == 4
+
+    def test_kronecker_summary_matches_materialized(self, weblike_small, triangle):
+        row = kronecker_summary(weblike_small, triangle)
+        product = KroneckerGraph(weblike_small, triangle).materialize()
+        assert row.n_vertices == product.n_vertices
+        assert row.n_edges == product.n_edges
+        assert row.n_triangles == total_triangles(product)
+
+    def test_kronecker_summary_never_materializes(self):
+        """Summary rows are available even for products with ~10^10 entries."""
+        factor = generators.webgraph_like(1500, seed=8)
+        row = kronecker_summary(factor, factor)
+        assert row.n_vertices == 1500 ** 2
+        assert row.n_edges == (factor.nnz ** 2) // 2
+        assert row.n_triangles == 6 * total_triangles(factor) ** 2
+
+    def test_format_table_alignment(self, hub_cycle, k4):
+        table = format_table([graph_summary(hub_cycle), graph_summary(k4)])
+        lines = table.splitlines()
+        assert len(lines) == 3
+        assert lines[0].startswith("Matrix")
+        assert all(len(line) > 0 for line in lines)
+
+    def test_format_table_without_header(self, k4):
+        table = format_table([graph_summary(k4)], header=False)
+        assert "Matrix" not in table

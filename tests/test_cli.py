@@ -1,0 +1,115 @@
+"""Tests for the repro-kron command-line interface."""
+
+import numpy as np
+import pytest
+
+from repro import cli
+from repro.graphs import load_kronecker_bundle, read_edge_list
+
+
+@pytest.fixture
+def bundle_path(tmp_path):
+    """A small generated bundle shared by the read-only sub-command tests."""
+    path = tmp_path / "bundle.npz"
+    rc = cli.main([
+        "generate", str(path),
+        "--factor-a", "weblike", "--size-a", "80",
+        "--factor-b", "tpa", "--size-b", "30",
+        "--seed", "5",
+    ])
+    assert rc == 0
+    return path
+
+
+class TestGenerate:
+    def test_generate_writes_bundle(self, bundle_path):
+        factor_a, factor_b, meta = load_kronecker_bundle(bundle_path)
+        assert factor_a.n_vertices == 80
+        assert factor_b.n_vertices == 30
+        assert meta["cli"] == "generate"
+
+    def test_generate_self_loops_flag(self, tmp_path):
+        path = tmp_path / "looped.npz"
+        rc = cli.main([
+            "generate", str(path),
+            "--factor-a", "clique", "--size-a", "5",
+            "--factor-b", "clique", "--size-b", "4",
+            "--self-loops-b",
+        ])
+        assert rc == 0
+        _, factor_b, _ = load_kronecker_bundle(path)
+        assert factor_b.n_self_loops == 4
+
+    @pytest.mark.parametrize("recipe", ["ba", "er", "hub-cycle", "looped-clique"])
+    def test_all_recipes(self, tmp_path, recipe):
+        path = tmp_path / f"{recipe}.npz"
+        rc = cli.main([
+            "generate", str(path),
+            "--factor-a", recipe, "--size-a", "20",
+            "--factor-b", "clique", "--size-b", "4",
+        ])
+        assert rc == 0
+        assert path.exists()
+
+    def test_generate_output_mentions_product(self, tmp_path, capsys):
+        path = tmp_path / "b.npz"
+        cli.main(["generate", str(path), "--size-a", "30", "--size-b", "20"])
+        out = capsys.readouterr().out
+        assert "product:" in out
+        assert "vertices" in out
+
+
+class TestStats:
+    def test_stats_prints_table(self, bundle_path, capsys):
+        rc = cli.main(["stats", str(bundle_path)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "Matrix" in out
+        assert "A ⊗ B" in out
+        assert "clustering" in out
+
+
+class TestValidate:
+    def test_egonet_validation_passes(self, bundle_path, capsys):
+        rc = cli.main(["validate", str(bundle_path), "--egonets", "4", "--seed", "1"])
+        assert rc == 0
+        assert "PASS" in capsys.readouterr().out
+
+    def test_full_validation_passes(self, bundle_path, capsys):
+        rc = cli.main(["validate", str(bundle_path), "--egonets", "2", "--full"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "undirected_product" in out
+
+
+class TestStream:
+    def test_stream_writes_edges(self, bundle_path, tmp_path):
+        out_path = tmp_path / "edges.tsv"
+        rc = cli.main(["stream", str(bundle_path), str(out_path), "--max-edges", "500"])
+        assert rc == 0
+        lines = [l for l in out_path.read_text().splitlines() if not l.startswith("#")]
+        assert len(lines) == 500
+
+    def test_stream_full_product(self, tmp_path):
+        bundle = tmp_path / "tiny.npz"
+        cli.main(["generate", str(bundle), "--factor-a", "clique", "--size-a", "4",
+                  "--factor-b", "clique", "--size-b", "3"])
+        out_path = tmp_path / "edges.tsv"
+        rc = cli.main(["stream", str(bundle), str(out_path)])
+        assert rc == 0
+        factor_a, factor_b, _ = load_kronecker_bundle(bundle)
+        lines = [l for l in out_path.read_text().splitlines() if not l.startswith("#")]
+        assert len(lines) == factor_a.nnz * factor_b.nnz
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            cli.main([])
+
+    def test_unknown_recipe_rejected(self, tmp_path):
+        with pytest.raises(SystemExit):
+            cli.main(["generate", str(tmp_path / "x.npz"), "--factor-a", "nonsense"])
+
+    def test_build_parser_prog_name(self):
+        assert cli.build_parser().prog == "repro-kron"

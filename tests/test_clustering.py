@@ -1,0 +1,95 @@
+"""Tests for clustering coefficients derived from triangle participation."""
+
+import numpy as np
+import pytest
+
+from repro import generators
+from repro.triangles import (
+    average_clustering_coefficient,
+    edge_clustering_coefficients,
+    edge_triangles,
+    global_clustering_coefficient,
+    local_clustering_coefficients,
+    vertex_triangles,
+)
+
+
+class TestLocalClustering:
+    def test_clique_is_one(self):
+        coeffs = local_clustering_coefficients(generators.complete_graph(6))
+        assert np.allclose(coeffs, 1.0)
+
+    def test_triangle_free_is_zero(self):
+        coeffs = local_clustering_coefficients(generators.cycle_graph(8))
+        assert np.allclose(coeffs, 0.0)
+
+    def test_low_degree_vertices_zero(self):
+        path = generators.path_graph(3)
+        coeffs = local_clustering_coefficients(path)
+        assert coeffs[0] == 0.0 and coeffs[2] == 0.0
+
+    def test_hub_cycle_values(self, hub_cycle):
+        coeffs = local_clustering_coefficients(hub_cycle)
+        # Hub: degree 4, 4 triangles -> 8/12; cycle vertices: degree 3, 2 triangles -> 4/6.
+        assert coeffs[0] == pytest.approx(8 / 12)
+        assert np.allclose(coeffs[1:], 4 / 6)
+
+    def test_matches_networkx(self, weblike_small):
+        import networkx as nx
+
+        expected = nx.clustering(weblike_small.to_networkx())
+        ours = local_clustering_coefficients(weblike_small)
+        for v in range(weblike_small.n_vertices):
+            assert ours[v] == pytest.approx(expected[v])
+
+    def test_precomputed_inputs(self, small_er):
+        t = vertex_triangles(small_er)
+        d = small_er.degrees()
+        direct = local_clustering_coefficients(small_er)
+        reused = local_clustering_coefficients(small_er, triangles=t, degrees=d)
+        assert np.allclose(direct, reused)
+
+
+class TestEdgeClustering:
+    def test_clique_edges_fully_clustered(self):
+        coeffs = edge_clustering_coefficients(generators.complete_graph(5))
+        assert np.allclose(coeffs.data, 1.0)
+
+    def test_triangle_free_zero(self):
+        coeffs = edge_clustering_coefficients(generators.cycle_graph(6))
+        assert coeffs.nnz == 0 or np.allclose(coeffs.data, 0.0)
+
+    def test_precomputed_delta(self, small_er):
+        delta = edge_triangles(small_er)
+        a = edge_clustering_coefficients(small_er)
+        b = edge_clustering_coefficients(small_er, edge_triangle_matrix=delta)
+        assert np.allclose((a - b).data if (a - b).nnz else [0.0], 0.0)
+
+    def test_values_in_unit_interval(self, weblike_small):
+        coeffs = edge_clustering_coefficients(weblike_small)
+        if coeffs.nnz:
+            assert coeffs.data.min() >= 0.0
+            assert coeffs.data.max() <= 1.0 + 1e-12
+
+
+class TestGlobalClustering:
+    def test_clique_transitivity_one(self):
+        assert global_clustering_coefficient(generators.complete_graph(7)) == pytest.approx(1.0)
+
+    def test_wedge_free_zero(self):
+        assert global_clustering_coefficient(generators.empty_graph(4)) == 0.0
+
+    def test_matches_networkx_transitivity(self, weblike_small):
+        import networkx as nx
+
+        expected = nx.transitivity(weblike_small.to_networkx())
+        assert global_clustering_coefficient(weblike_small) == pytest.approx(expected)
+
+    def test_average_matches_networkx(self, small_er):
+        import networkx as nx
+
+        expected = nx.average_clustering(small_er.to_networkx())
+        assert average_clustering_coefficient(small_er) == pytest.approx(expected)
+
+    def test_average_empty(self):
+        assert average_clustering_coefficient(generators.empty_graph(3)) == 0.0

@@ -1,0 +1,106 @@
+"""Tests for the closed-walk, wedge, and clustering-coefficient Kronecker formulas."""
+
+import numpy as np
+import pytest
+
+from repro import generators
+from repro.core import (
+    KroneckerGraph,
+    diag_of_power,
+    kron_closed_walks,
+    kron_closed_walks_at,
+    kron_global_clustering,
+    kron_local_clustering,
+    kron_wedge_total,
+)
+from repro.triangles import (
+    global_clustering_coefficient,
+    local_clustering_coefficients,
+    total_wedges,
+)
+
+
+FACTOR_PAIRS = [
+    (generators.erdos_renyi(8, 0.5, seed=1), generators.complete_graph(4)),
+    (generators.webgraph_like(12, seed=2), generators.looped_clique(3)),
+    (generators.erdos_renyi(7, 0.5, seed=3, self_loops=True),
+     generators.erdos_renyi(6, 0.55, seed=4, self_loops=True)),
+]
+
+
+class TestDiagOfPower:
+    def test_matches_dense_power(self, small_er_loops):
+        dense = small_er_loops.to_dense()
+        for k in (1, 2, 3, 4, 5):
+            expected = np.diag(np.linalg.matrix_power(dense, k))
+            assert np.array_equal(diag_of_power(small_er_loops, k), expected), k
+
+    def test_k1_is_self_loop_vector(self):
+        looped = generators.looped_clique(4)
+        assert diag_of_power(looped, 1).tolist() == [1, 1, 1, 1]
+
+    def test_k_validation(self, k4):
+        with pytest.raises(ValueError):
+            diag_of_power(k4, 0)
+
+    def test_k2_is_row_degree(self, k5):
+        # For a loop-free graph diag(A²) is the degree.
+        assert np.array_equal(diag_of_power(k5, 2), k5.degrees())
+
+
+class TestClosedWalks:
+    @pytest.mark.parametrize("factor_a,factor_b", FACTOR_PAIRS)
+    @pytest.mark.parametrize("k", [2, 3, 4, 5])
+    def test_matches_materialized(self, factor_a, factor_b, k):
+        product = KroneckerGraph(factor_a, factor_b).materialize()
+        dense = product.to_dense()
+        expected = np.diag(np.linalg.matrix_power(dense, k))
+        assert np.array_equal(kron_closed_walks(factor_a, factor_b, k), expected)
+
+    def test_k3_recovers_triangles_for_loop_free(self, weblike_small, small_er):
+        from repro.core import kron_vertex_triangles
+
+        walks = kron_closed_walks(weblike_small, small_er, 3)
+        assert np.array_equal(walks, 2 * kron_vertex_triangles(weblike_small, small_er))
+
+    def test_point_queries(self, small_er, k4):
+        full = kron_closed_walks(small_er, k4, 4)
+        idx = np.array([0, 9, 30, full.size - 1])
+        assert np.array_equal(kron_closed_walks_at(small_er, k4, 4, idx), full[idx])
+        assert kron_closed_walks_at(small_er, k4, 4, 7) == full[7]
+
+
+class TestWedgesAndClustering:
+    @pytest.mark.parametrize("factor_a,factor_b", FACTOR_PAIRS)
+    def test_wedge_total_matches_direct(self, factor_a, factor_b):
+        product = KroneckerGraph(factor_a, factor_b).materialize()
+        assert kron_wedge_total(factor_a, factor_b) == total_wedges(product)
+
+    @pytest.mark.parametrize("factor_a,factor_b", FACTOR_PAIRS)
+    def test_local_clustering_matches_direct(self, factor_a, factor_b):
+        product = KroneckerGraph(factor_a, factor_b).materialize()
+        assert np.allclose(kron_local_clustering(factor_a, factor_b),
+                           local_clustering_coefficients(product))
+
+    @pytest.mark.parametrize("factor_a,factor_b", FACTOR_PAIRS)
+    def test_global_clustering_matches_direct(self, factor_a, factor_b):
+        product = KroneckerGraph(factor_a, factor_b).materialize()
+        assert kron_global_clustering(factor_a, factor_b) == pytest.approx(
+            global_clustering_coefficient(product)
+        )
+
+    def test_wedge_free_product(self):
+        single_edge = generators.path_graph(2)
+        assert kron_global_clustering(single_edge, single_edge) == 0.0
+
+    def test_clique_product_fully_clustered(self):
+        """K ⊗ K with looped factors is a clique, so clustering is exactly 1."""
+        a = generators.looped_clique(3)
+        b = generators.looped_clique(4)
+        assert kron_global_clustering(a, b) == pytest.approx(1.0)
+        assert np.allclose(kron_local_clustering(a, b), 1.0)
+
+    def test_scales_without_materialization(self):
+        factor = generators.webgraph_like(600, seed=5)
+        value = kron_global_clustering(factor, factor)
+        assert 0.0 < value < 1.0

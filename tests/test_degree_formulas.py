@@ -1,0 +1,137 @@
+"""Tests for the Kronecker degree formulas (Sections III.A and IV.B)."""
+
+import numpy as np
+import pytest
+
+from repro import generators
+from repro.core import (
+    KroneckerGraph,
+    kron_degree_at,
+    kron_degrees,
+    kron_directed_in_degrees,
+    kron_directed_out_degrees,
+    kron_in_degrees,
+    kron_max_degree_ratio,
+    kron_out_degrees,
+    kron_reciprocal_degrees,
+    max_degree_ratio,
+)
+from repro.graphs import DirectedGraph, Graph
+from repro.triangles import directed_vertex_triangle_counts  # noqa: F401  (import sanity)
+
+
+class TestUndirectedDegrees:
+    def test_no_self_loops_is_kron_of_degrees(self, small_er, k4):
+        expected = np.kron(small_er.degrees(), k4.degrees())
+        assert np.array_equal(kron_degrees(small_er, k4), expected)
+
+    def test_matches_materialized_no_loops(self, weblike_small, triangle):
+        product = KroneckerGraph(weblike_small, triangle)
+        assert np.array_equal(kron_degrees(weblike_small, triangle),
+                              product.materialize().degrees())
+
+    def test_matches_materialized_b_loops(self, weblike_small):
+        factor_b = generators.looped_clique(3)
+        product = KroneckerGraph(weblike_small, factor_b)
+        assert np.array_equal(kron_degrees(weblike_small, factor_b),
+                              product.materialize().degrees())
+
+    def test_matches_materialized_a_loops(self, small_er):
+        factor_a = generators.looped_clique(4)
+        product = KroneckerGraph(factor_a, small_er)
+        assert np.array_equal(kron_degrees(factor_a, small_er),
+                              product.materialize().degrees())
+
+    def test_matches_materialized_both_loops(self, small_er_loops):
+        factor_b = generators.looped_clique(3)
+        product = KroneckerGraph(small_er_loops, factor_b)
+        assert np.array_equal(kron_degrees(small_er_loops, factor_b),
+                              product.materialize().degrees())
+
+    def test_example1a_clique_degrees(self):
+        """Example 1(a): deg = nA·nB + 1 − nA − nB."""
+        for n_a, n_b in ((3, 4), (4, 5), (5, 6)):
+            d = kron_degrees(generators.complete_graph(n_a), generators.complete_graph(n_b))
+            assert set(d.tolist()) == {n_a * n_b + 1 - n_a - n_b}
+
+    def test_example1b_degrees(self):
+        """Example 1(b): C = K_nA ⊗ J_nB has degree nA·nB − nA... the paper's
+        formula evaluates to (nA−1)·nB which equals nA·nB − nB; check against
+        the materialized product (which is the ground truth)."""
+        n_a, n_b = 4, 5
+        a = generators.complete_graph(n_a)
+        b = generators.looped_clique(n_b)
+        d = kron_degrees(a, b)
+        direct = KroneckerGraph(a, b).materialize().degrees()
+        assert np.array_equal(d, direct)
+        assert set(d.tolist()) == {(n_a - 1) * n_b}
+
+    def test_example1c_degrees(self):
+        """Example 1(c): J ⊗ J − I = K_{nA nB} so every degree is nA·nB − 1."""
+        n_a, n_b = 3, 4
+        d = kron_degrees(generators.looped_clique(n_a), generators.looped_clique(n_b))
+        assert set(d.tolist()) == {n_a * n_b - 1}
+
+    def test_degree_at_matches_full_vector(self, small_er, k4):
+        full = kron_degrees(small_er, k4)
+        idx = np.array([0, 5, 17, 40, full.size - 1])
+        assert np.array_equal(kron_degree_at(small_er, k4, idx), full[idx])
+        assert kron_degree_at(small_er, k4, 7) == full[7]
+
+
+class TestDirectedDegrees:
+    @pytest.fixture
+    def factors(self, directed_small, small_er):
+        return directed_small, small_er
+
+    def test_out_in_degrees(self, factors):
+        a, b = factors
+        product = DirectedGraph(KroneckerGraph(a, b).materialize_adjacency())
+        assert np.array_equal(kron_out_degrees(a, b), product.out_degrees())
+        assert np.array_equal(kron_in_degrees(a, b), product.in_degrees())
+
+    def test_reciprocal_and_directed_degrees(self, factors):
+        a, b = factors
+        product = DirectedGraph(KroneckerGraph(a, b).materialize_adjacency())
+        assert np.array_equal(kron_reciprocal_degrees(a, b), product.reciprocal_degrees())
+        assert np.array_equal(kron_directed_out_degrees(a, b), product.directed_out_degrees())
+        assert np.array_equal(kron_directed_in_degrees(a, b), product.directed_in_degrees())
+
+    def test_directed_degree_split_identity(self, factors):
+        a, b = factors
+        assert np.array_equal(
+            kron_out_degrees(a, b),
+            kron_reciprocal_degrees(a, b) + kron_directed_out_degrees(a, b),
+        )
+
+
+class TestMaxDegreeRatio:
+    def test_ratio_of_clique(self):
+        assert max_degree_ratio(generators.complete_graph(10)) == pytest.approx(0.9)
+
+    def test_ratio_empty(self):
+        assert max_degree_ratio(generators.empty_graph(0)) == 0.0
+
+    def test_ratio_squares_for_loop_free_factors(self, weblike_small, small_er):
+        expected = max_degree_ratio(weblike_small) * max_degree_ratio(small_er)
+        assert kron_max_degree_ratio(weblike_small, small_er) == pytest.approx(expected)
+
+    def test_ratio_matches_materialized(self, small_er):
+        factor_b = generators.erdos_renyi(6, 0.5, seed=2, self_loops=True)
+        product = KroneckerGraph(small_er, factor_b).materialize()
+        expected = product.degrees().max() / product.n_vertices
+        assert kron_max_degree_ratio(small_er, factor_b) == pytest.approx(expected)
+
+    def test_ratio_matches_materialized_both_loops(self, small_er_loops):
+        factor_b = generators.erdos_renyi(5, 0.6, seed=3, self_loops=True)
+        product = KroneckerGraph(small_er_loops, factor_b).materialize()
+        expected = product.degrees().max() / product.n_vertices
+        assert kron_max_degree_ratio(small_er_loops, factor_b) == pytest.approx(expected)
+
+    def test_section3a_squaring_observation(self):
+        """The product's max-degree ratio is the product of factor ratios —
+        qualitatively much larger relative max degree than either factor."""
+        factor = generators.webgraph_like(100, seed=1)
+        ratio_factor = max_degree_ratio(factor)
+        ratio_product = kron_max_degree_ratio(factor, factor)
+        assert ratio_product == pytest.approx(ratio_factor ** 2)

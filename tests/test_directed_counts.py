@@ -1,0 +1,171 @@
+"""Tests for the directed triangle census (Definitions 10-11, Figs. 4-5)."""
+
+import numpy as np
+import pytest
+
+from repro import generators
+from repro.graphs import DirectedGraph
+from repro.triangles import (
+    ALL_EDGE_TYPES,
+    ALL_VERTEX_TYPES,
+    CANONICAL_EDGE_TYPES,
+    CANONICAL_VERTEX_TYPES,
+    EDGE_TYPE_ALIASES,
+    VERTEX_TYPE_ALIASES,
+    canonical_edge_type,
+    canonical_vertex_type,
+    directed_edge_triangle_counts,
+    directed_edge_triangle_counts_bruteforce,
+    directed_vertex_triangle_counts,
+    directed_vertex_triangle_counts_bruteforce,
+    edge_triangles,
+    total_directed_edge_triangles,
+    total_directed_vertex_triangles,
+    vertex_triangles,
+)
+
+
+@pytest.fixture
+def directed_cycle():
+    """Directed 3-cycle 0→1→2→0 — exactly one directed triangle."""
+    return DirectedGraph.from_edges([(0, 1), (1, 2), (2, 0)])
+
+
+@pytest.fixture
+def reciprocal_triangle():
+    """Fully reciprocal triangle — one undirected triangle of type (u, u, o)."""
+    return DirectedGraph.from_undirected(generators.complete_graph(3))
+
+
+class TestTypeTables:
+    def test_fifteen_canonical_vertex_types(self):
+        assert len(CANONICAL_VERTEX_TYPES) == 15
+
+    def test_twelve_vertex_aliases(self):
+        assert len(VERTEX_TYPE_ALIASES) == 12
+        assert len(ALL_VERTEX_TYPES) == 27
+
+    def test_fifteen_canonical_edge_types(self):
+        assert len(CANONICAL_EDGE_TYPES) == 15
+
+    def test_edge_aliases(self):
+        assert len(EDGE_TYPE_ALIASES) == 3
+        assert len(ALL_EDGE_TYPES) == 18
+
+    def test_alias_resolution(self):
+        assert canonical_vertex_type("us+") == "su-"
+        assert canonical_vertex_type("tt-") == "tt+"
+        assert canonical_vertex_type("st+") == "st+"
+        assert canonical_edge_type("o--") == "o++"
+
+    def test_unknown_types_rejected(self):
+        with pytest.raises(KeyError):
+            canonical_vertex_type("xyz")
+        with pytest.raises(KeyError):
+            canonical_edge_type("+++++")
+
+
+class TestSmallGraphCensus:
+    def test_directed_3cycle_vertex_census(self, directed_cycle):
+        counts = directed_vertex_triangle_counts(directed_cycle)
+        # Every vertex sits in exactly one all-directed 3-cycle: type st+ per Def. 10.
+        assert counts["st+"].tolist() == [1, 1, 1]
+        other = {k: v for k, v in counts.items() if k != "st+"}
+        assert all(v.sum() == 0 for v in other.values())
+
+    def test_reciprocal_triangle_vertex_census(self, reciprocal_triangle):
+        counts = directed_vertex_triangle_counts(reciprocal_triangle)
+        assert counts["uuo"].tolist() == [1, 1, 1]
+        other = {k: v for k, v in counts.items() if k != "uuo"}
+        assert all(v.sum() == 0 for v in other.values())
+
+    def test_directed_3cycle_edge_census(self, directed_cycle):
+        counts = directed_edge_triangle_counts(directed_cycle)
+        # Per Definition 11, a directed 3-cycle's edges are counted by
+        # Δ(+--) = A_d ∘ (A_dᵗ)²: for edge (u, v) the closing vertex w has
+        # v → w and w → u, which is exactly the cyclic orientation.
+        assert counts["+--"].sum() == 3
+        assert sum(m.sum() for name, m in counts.items() if name != "+--") == 0
+
+    def test_reciprocal_triangle_edge_census(self, reciprocal_triangle):
+        counts = directed_edge_triangle_counts(reciprocal_triangle)
+        assert counts["ooo"].sum() == 6  # both orientations of each of 3 edges
+        assert sum(m.sum() for name, m in counts.items() if name != "ooo") == 0
+
+    def test_self_loops_rejected(self):
+        g = DirectedGraph.from_edges([(0, 0), (0, 1), (1, 2), (2, 0)])
+        with pytest.raises(ValueError):
+            directed_vertex_triangle_counts(g)
+        with pytest.raises(ValueError):
+            directed_edge_triangle_counts(g)
+
+
+class TestBruteForceAgreement:
+    @pytest.mark.parametrize("seed", [1, 2, 3])
+    def test_vertex_census_matches_bruteforce(self, seed):
+        g = generators.random_directed_graph(10, p_directed=0.3, p_reciprocal=0.25, seed=seed)
+        sparse = directed_vertex_triangle_counts(g)
+        brute = directed_vertex_triangle_counts_bruteforce(g)
+        for name in CANONICAL_VERTEX_TYPES:
+            assert np.array_equal(sparse[name], brute[name]), name
+
+    @pytest.mark.parametrize("seed", [1, 2])
+    def test_edge_census_matches_bruteforce(self, seed):
+        g = generators.random_directed_graph(9, p_directed=0.3, p_reciprocal=0.3, seed=seed)
+        sparse = directed_edge_triangle_counts(g)
+        brute = directed_edge_triangle_counts_bruteforce(g)
+        for name in CANONICAL_EDGE_TYPES:
+            assert np.array_equal(np.asarray(sparse[name].todense()), brute[name]), name
+
+    def test_alias_values_match_canonical(self, directed_small):
+        counts = directed_vertex_triangle_counts(directed_small, types=ALL_VERTEX_TYPES)
+        for alias, canon in VERTEX_TYPE_ALIASES.items():
+            assert np.array_equal(counts[alias], counts[canon]), alias
+
+    def test_edge_alias_is_transpose(self, directed_small):
+        counts = directed_edge_triangle_counts(directed_small, types=ALL_EDGE_TYPES)
+        for alias, canon in EDGE_TYPE_ALIASES.items():
+            assert (counts[alias] != counts[canon].T).nnz == 0, alias
+
+
+class TestCoverageIdentities:
+    """The canonical census exactly tiles the undirected triangle statistics of A_u."""
+
+    @pytest.mark.parametrize("seed", [1, 4, 7])
+    def test_vertex_coverage(self, seed):
+        g = generators.random_directed_graph(14, p_directed=0.25, p_reciprocal=0.25, seed=seed)
+        counts = directed_vertex_triangle_counts(g)
+        undirected_t = vertex_triangles(g.undirected_version())
+        assert np.array_equal(total_directed_vertex_triangles(counts), undirected_t)
+
+    @pytest.mark.parametrize("seed", [1, 4])
+    def test_edge_coverage_on_support(self, seed):
+        """Summing '+'-central types over A_d and 'o'-central types over A_r recovers Δ_{A_u}."""
+        g = generators.random_directed_graph(12, p_directed=0.3, p_reciprocal=0.25, seed=seed)
+        counts = directed_edge_triangle_counts(g)
+        au = g.undirected_version()
+        delta_u = edge_triangles(au)
+        ar, ad = g.decompose()
+        total = total_directed_edge_triangles(counts)
+        # At directed-arc positions the sum equals Δ_{A_u}; same at reciprocal positions.
+        for mask in (ar, ad):
+            diff = mask.multiply(total) - mask.multiply(delta_u)
+            assert abs(diff).sum() == 0
+
+    def test_vertex_coverage_requires_canonical(self):
+        with pytest.raises(ValueError):
+            total_directed_vertex_triangles({})
+
+    def test_edge_coverage_requires_canonical(self):
+        with pytest.raises(ValueError):
+            total_directed_edge_triangles({})
+
+
+class TestRequestedSubsets:
+    def test_subset_of_types(self, directed_small):
+        counts = directed_vertex_triangle_counts(directed_small, types=["st+", "uuo"])
+        assert set(counts) == {"st+", "uuo"}
+
+    def test_accepts_raw_matrix(self, directed_small):
+        counts = directed_vertex_triangle_counts(directed_small.adjacency, types=["st+"])
+        assert counts["st+"].shape == (directed_small.n_vertices,)

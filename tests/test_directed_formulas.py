@@ -1,0 +1,126 @@
+"""Tests for Theorems 4-5: Kronecker formulas for directed triangle participation."""
+
+import numpy as np
+import pytest
+
+from repro import generators
+from repro.core import (
+    KroneckerGraph,
+    check_directed_factor_assumptions,
+    kron_directed_edge_triangles,
+    kron_directed_part,
+    kron_directed_vertex_triangles,
+    kron_directed_vertex_triangles_at,
+    kron_reciprocal_part,
+)
+from repro.graphs import DirectedGraph
+from repro.triangles import (
+    CANONICAL_EDGE_TYPES,
+    CANONICAL_VERTEX_TYPES,
+    directed_edge_triangle_counts,
+    directed_vertex_triangle_counts,
+)
+
+
+@pytest.fixture
+def factor_a():
+    return generators.random_directed_graph(10, p_directed=0.3, p_reciprocal=0.25, seed=21)
+
+
+@pytest.fixture
+def factor_b_plain():
+    return generators.erdos_renyi(5, 0.5, seed=22)
+
+
+@pytest.fixture
+def factor_b_loops():
+    return generators.erdos_renyi(5, 0.5, seed=23, self_loops=True)
+
+
+class TestAssumptions:
+    def test_accepts_valid_factors(self, factor_a, factor_b_plain):
+        check_directed_factor_assumptions(factor_a, factor_b_plain)
+
+    def test_rejects_self_loops_in_a(self, factor_b_plain):
+        a = DirectedGraph.from_edges([(0, 0), (0, 1), (1, 2)])
+        with pytest.raises(ValueError):
+            check_directed_factor_assumptions(a, factor_b_plain)
+
+    def test_rejects_directed_b(self, factor_a):
+        b = DirectedGraph.from_edges([(0, 1), (1, 2)])
+        with pytest.raises(ValueError):
+            check_directed_factor_assumptions(factor_a, b)
+
+    def test_rejects_undirected_a(self, factor_b_plain, k4):
+        with pytest.raises(TypeError):
+            check_directed_factor_assumptions(k4, factor_b_plain)
+
+    def test_accepts_symmetric_directedgraph_b(self, factor_a, k4):
+        check_directed_factor_assumptions(factor_a, DirectedGraph.from_undirected(k4))
+
+
+class TestProductDecomposition:
+    def test_reciprocal_and_directed_parts(self, factor_a, factor_b_plain):
+        product = DirectedGraph(KroneckerGraph(factor_a, factor_b_plain).materialize_adjacency())
+        assert (kron_reciprocal_part(factor_a, factor_b_plain) != product.reciprocal_part()).nnz == 0
+        assert (kron_directed_part(factor_a, factor_b_plain) != product.directed_part()).nnz == 0
+
+    def test_parts_sum_to_product(self, factor_a, factor_b_plain):
+        cr = kron_reciprocal_part(factor_a, factor_b_plain)
+        cd = kron_directed_part(factor_a, factor_b_plain)
+        product_adj = KroneckerGraph(factor_a, factor_b_plain).materialize_adjacency()
+        assert ((cr + cd) != product_adj).nnz == 0
+
+
+@pytest.mark.parametrize("b_fixture", ["factor_b_plain", "factor_b_loops"])
+class TestTheorem4:
+    def test_all_vertex_types_match_direct(self, factor_a, b_fixture, request):
+        factor_b = request.getfixturevalue(b_fixture)
+        formula = kron_directed_vertex_triangles(factor_a, factor_b)
+        product = DirectedGraph(KroneckerGraph(factor_a, factor_b).materialize_adjacency())
+        direct = directed_vertex_triangle_counts(product)
+        assert set(formula) == set(CANONICAL_VERTEX_TYPES)
+        for name in CANONICAL_VERTEX_TYPES:
+            assert np.array_equal(formula[name], direct[name]), name
+
+    def test_point_queries(self, factor_a, b_fixture, request):
+        factor_b = request.getfixturevalue(b_fixture)
+        formula = kron_directed_vertex_triangles(factor_a, factor_b, types=["st+", "uuo"])
+        points = kron_directed_vertex_triangles_at(
+            factor_a, factor_b, np.array([0, 7, 19]), types=["st+", "uuo"]
+        )
+        for name in ("st+", "uuo"):
+            assert np.array_equal(points[name], formula[name][[0, 7, 19]])
+
+
+@pytest.mark.parametrize("b_fixture", ["factor_b_plain", "factor_b_loops"])
+class TestTheorem5:
+    def test_all_edge_types_match_direct(self, factor_a, b_fixture, request):
+        factor_b = request.getfixturevalue(b_fixture)
+        formula = kron_directed_edge_triangles(factor_a, factor_b)
+        product = DirectedGraph(KroneckerGraph(factor_a, factor_b).materialize_adjacency())
+        direct = directed_edge_triangle_counts(product)
+        assert set(formula) == set(CANONICAL_EDGE_TYPES)
+        for name in CANONICAL_EDGE_TYPES:
+            assert (formula[name] != direct[name]).nnz == 0, name
+
+
+class TestSubsetsAndAliases:
+    def test_requested_subset(self, factor_a, factor_b_plain):
+        formula = kron_directed_vertex_triangles(factor_a, factor_b_plain, types=["sto"])
+        assert set(formula) == {"sto"}
+
+    def test_alias_accepted(self, factor_a, factor_b_plain):
+        formula = kron_directed_vertex_triangles(factor_a, factor_b_plain, types=["us+", "su-"])
+        assert np.array_equal(formula["us+"], formula["su-"])
+
+    def test_type_counts_sum_to_symmetrized_triangles(self, factor_a, factor_b_plain):
+        """Coverage identity survives the Kronecker transfer."""
+        from repro.triangles import total_directed_vertex_triangles, vertex_triangles
+
+        formula = kron_directed_vertex_triangles(factor_a, factor_b_plain)
+        product = DirectedGraph(KroneckerGraph(factor_a, factor_b_plain).materialize_adjacency())
+        assert np.array_equal(
+            total_directed_vertex_triangles(formula),
+            vertex_triangles(product.undirected_version()),
+        )

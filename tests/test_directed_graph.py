@@ -1,0 +1,158 @@
+"""Tests for the DirectedGraph substrate and its reciprocal/directed decomposition."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.graphs import DirectedGraph, Graph
+from repro import generators
+
+
+@pytest.fixture
+def mixed():
+    """Hand-built graph: 0<->1 reciprocal, 1->2 and 2->3 directed, 3<->0 reciprocal."""
+    return DirectedGraph.from_edges([(0, 1), (1, 0), (1, 2), (2, 3), (3, 0), (0, 3)])
+
+
+class TestConstruction:
+    def test_from_edges(self, mixed):
+        assert mixed.n_vertices == 4
+        assert mixed.n_arcs == 6
+
+    def test_from_edges_n_vertices(self):
+        g = DirectedGraph.from_edges([(0, 1)], n_vertices=4)
+        assert g.n_vertices == 4
+
+    def test_from_edges_bad_n(self):
+        with pytest.raises(ValueError):
+            DirectedGraph.from_edges([(0, 5)], n_vertices=2)
+
+    def test_from_undirected(self, triangle):
+        d = DirectedGraph.from_undirected(triangle)
+        assert d.is_symmetric
+        assert d.n_arcs == 6
+
+    def test_requires_square(self):
+        with pytest.raises(ValueError):
+            DirectedGraph(np.ones((2, 3)))
+
+    def test_empty_edge_list(self):
+        g = DirectedGraph.from_edges([], n_vertices=3)
+        assert g.n_arcs == 0
+
+
+class TestDecomposition:
+    def test_reciprocal_plus_directed_equals_adjacency(self, mixed):
+        ar, ad = mixed.decompose()
+        assert ((ar + ad) != mixed.adjacency).nnz == 0
+
+    def test_reciprocal_part_symmetric(self, mixed):
+        ar = mixed.reciprocal_part()
+        assert (ar != ar.T).nnz == 0
+
+    def test_directed_part_no_overlap_with_transpose(self, mixed):
+        ad = mixed.directed_part()
+        # A_d and A_d^t share no entries: an arc cannot be directed both ways.
+        assert ad.multiply(ad.T).nnz == 0
+
+    def test_counts(self, mixed):
+        assert mixed.n_reciprocal_edges == 2
+        assert mixed.n_directed_edges == 2
+
+    def test_decomposition_random(self, directed_small):
+        ar, ad = directed_small.decompose()
+        assert ((ar + ad) != directed_small.adjacency).nnz == 0
+        assert (ar != ar.T).nnz == 0
+        assert ad.multiply(ad.T).nnz == 0
+
+    def test_undirected_version(self, mixed):
+        au = mixed.undirected_version()
+        assert isinstance(au, Graph)
+        # Reciprocal pairs collapse; directed arcs become undirected edges.
+        assert au.n_edges == 4
+
+    def test_fully_symmetric_graph_has_no_directed_part(self, triangle):
+        d = DirectedGraph.from_undirected(triangle)
+        assert d.n_directed_edges == 0
+        assert d.n_reciprocal_edges == 3
+
+
+class TestDegrees:
+    def test_out_in_degrees(self, mixed):
+        assert mixed.out_degrees().tolist() == [2, 2, 1, 1]
+        assert mixed.in_degrees().tolist() == [2, 1, 1, 2]
+
+    def test_degree_sum_identity(self, directed_small):
+        assert directed_small.out_degrees().sum() == directed_small.n_arcs
+        assert directed_small.in_degrees().sum() == directed_small.n_arcs
+
+    def test_reciprocal_directed_degree_split(self, directed_small):
+        total_out = directed_small.out_degrees()
+        rec = directed_small.reciprocal_degrees()
+        d_out = directed_small.directed_out_degrees()
+        assert np.array_equal(total_out, rec + d_out)
+
+    def test_directed_in_degrees(self, directed_small):
+        total_in = directed_small.in_degrees()
+        rec = directed_small.reciprocal_degrees()
+        d_in = directed_small.directed_in_degrees()
+        assert np.array_equal(total_in, rec + d_in)
+
+
+class TestTransformations:
+    def test_without_self_loops(self):
+        g = DirectedGraph.from_edges([(0, 0), (0, 1)])
+        assert g.without_self_loops().n_self_loops == 0
+
+    def test_transpose(self, mixed):
+        assert mixed.transpose().has_edge(2, 1)
+        assert not mixed.transpose().has_edge(1, 2)
+
+    def test_transpose_involution(self, directed_small):
+        assert directed_small.transpose().transpose() == directed_small
+
+    def test_subgraph(self, mixed):
+        sub = mixed.subgraph([0, 1])
+        assert sub.n_vertices == 2
+        assert sub.n_arcs == 2
+
+    def test_subgraph_out_of_range(self, mixed):
+        with pytest.raises(IndexError):
+            mixed.subgraph([0, 10])
+
+    def test_edges_and_out_neighbors(self, mixed):
+        edges = mixed.edges()
+        assert edges.shape == (6, 2)
+        assert mixed.out_neighbors(1).tolist() == [0, 2]
+
+    def test_copy_equality(self, directed_small):
+        assert directed_small.copy() == directed_small
+
+    def test_not_hashable(self, mixed):
+        with pytest.raises(TypeError):
+            hash(mixed)
+
+    def test_to_dense_matches_sparse(self, mixed):
+        assert np.array_equal(mixed.to_dense(), np.asarray(mixed.adjacency.todense()))
+
+    def test_repr(self, mixed):
+        assert "n_arcs=6" in repr(mixed)
+
+
+class TestRandomDirectedGenerator:
+    def test_densities_respected(self):
+        g = generators.random_directed_graph(60, p_directed=0.1, p_reciprocal=0.2, seed=1)
+        assert g.n_reciprocal_edges > 0
+        assert g.n_directed_edges > 0
+        assert not g.has_self_loops
+
+    def test_deterministic(self):
+        a = generators.random_directed_graph(20, seed=4)
+        b = generators.random_directed_graph(20, seed=4)
+        assert a == b
+
+    def test_probability_validation(self):
+        with pytest.raises(ValueError):
+            generators.random_directed_graph(10, p_directed=0.9, p_reciprocal=0.9)
+        with pytest.raises(ValueError):
+            generators.random_directed_graph(10, p_directed=-0.1)

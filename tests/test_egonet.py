@@ -1,0 +1,92 @@
+"""Tests for egonet extraction (direct and implicit from Kronecker products)."""
+
+import numpy as np
+import pytest
+
+from repro import generators
+from repro.core import KroneckerGraph, kron_degrees, kron_vertex_triangles
+from repro.graphs import egonet, egonet_degree, egonet_triangle_count
+from repro.triangles import vertex_triangles
+
+
+class TestDirectEgonets:
+    def test_center_first_vertex(self, k4):
+        ego = egonet(k4, 2)
+        assert ego.center == 2
+        assert ego.vertices[0] == 2
+        assert ego.center_local == 0
+
+    def test_clique_egonet_is_whole_clique(self, k5):
+        ego = egonet(k5, 0)
+        assert ego.n_vertices == 5
+        assert ego.degree_of_center() == 4
+        assert ego.triangles_at_center() == 6  # C(4, 2)
+
+    def test_triangle_free_graph(self):
+        star = generators.star_graph(5)
+        ego = egonet(star, 0)
+        assert ego.triangles_at_center() == 0
+        assert ego.degree_of_center() == 5
+
+    def test_leaf_vertex(self):
+        path = generators.path_graph(4)
+        ego = egonet(path, 0)
+        assert ego.n_vertices == 2
+        assert ego.degree_of_center() == 1
+
+    def test_egonet_matches_global_triangle_count(self, weblike_small):
+        t = vertex_triangles(weblike_small)
+        for v in [0, 5, 17, 33, 59]:
+            assert egonet_triangle_count(weblike_small, v) == t[v]
+
+    def test_egonet_matches_degree(self, weblike_small):
+        degrees = weblike_small.degrees()
+        for v in [1, 8, 21, 40]:
+            assert egonet_degree(weblike_small, v) == degrees[v]
+
+    def test_self_loop_ignored(self):
+        g = generators.looped_clique(4)
+        ego = egonet(g, 1)
+        assert ego.degree_of_center() == 3
+        assert ego.triangles_at_center() == 3
+
+    def test_hub_cycle_counts(self, hub_cycle):
+        # Hub vertex 0 sits in all 4 triangles; cycle vertices in 2 each.
+        assert egonet_triangle_count(hub_cycle, 0) == 4
+        for v in range(1, 5):
+            assert egonet_triangle_count(hub_cycle, v) == 2
+
+
+class TestKroneckerEgonets:
+    """Figure 7 machinery: egonets of the implicit product match the formulas."""
+
+    def test_degrees_match_formula(self, weblike_small):
+        factor_b = weblike_small.with_self_loops()
+        product = KroneckerGraph(weblike_small, factor_b)
+        formula = kron_degrees(weblike_small, factor_b)
+        rng = np.random.default_rng(1)
+        for p in rng.integers(0, product.n_vertices, size=5):
+            assert egonet_degree(product, int(p)) == formula[p]
+
+    def test_triangles_match_formula(self, weblike_small):
+        factor_b = weblike_small.with_self_loops()
+        product = KroneckerGraph(weblike_small, factor_b)
+        formula = kron_vertex_triangles(weblike_small, factor_b)
+        rng = np.random.default_rng(2)
+        for p in rng.integers(0, product.n_vertices, size=5):
+            assert egonet_triangle_count(product, int(p)) == formula[p]
+
+    def test_egonet_equals_materialized_egonet(self, small_er, triangle):
+        product = KroneckerGraph(small_er, triangle)
+        materialized = product.materialize()
+        for p in [0, 7, 23, 40]:
+            implicit = egonet(product, p)
+            direct = egonet(materialized, p)
+            assert implicit.n_vertices == direct.n_vertices
+            assert implicit.graph == direct.graph
+
+    def test_neighbors_consistent_with_materialized(self, small_er, triangle):
+        product = KroneckerGraph(small_er, triangle)
+        materialized = product.materialize()
+        for p in [3, 11, 30]:
+            assert product.neighbors(p).tolist() == materialized.neighbors(p).tolist()

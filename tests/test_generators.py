@@ -1,0 +1,224 @@
+"""Tests for the graph generators (paper examples, scale-free, stochastic baselines)."""
+
+import numpy as np
+import pytest
+
+from repro import generators
+from repro.triangles import edge_triangles, total_triangles, vertex_triangles
+
+
+class TestDeterministicShapes:
+    def test_complete_graph_counts(self):
+        g = generators.complete_graph(6)
+        assert g.n_vertices == 6
+        assert g.n_edges == 15
+        assert g.degrees().tolist() == [5] * 6
+
+    def test_complete_graph_requires_positive(self):
+        with pytest.raises(ValueError):
+            generators.complete_graph(0)
+
+    def test_looped_clique(self):
+        g = generators.looped_clique(4)
+        assert g.n_self_loops == 4
+        assert g.without_self_loops() == generators.complete_graph(4)
+
+    def test_jn_kron_jn_minus_identity_is_clique(self):
+        """Example 1(c): J_nA ⊗ J_nB − I = K_{nA nB}."""
+        from repro.core import KroneckerGraph
+
+        product = KroneckerGraph(generators.looped_clique(3), generators.looped_clique(4))
+        materialized = product.materialize().without_self_loops()
+        assert materialized == generators.complete_graph(12)
+
+    def test_cycle_graph(self):
+        g = generators.cycle_graph(5)
+        assert g.n_edges == 5
+        assert g.degrees().tolist() == [2] * 5
+        with pytest.raises(ValueError):
+            generators.cycle_graph(2)
+
+    def test_path_graph(self):
+        g = generators.path_graph(4)
+        assert g.n_edges == 3
+        assert generators.path_graph(1).n_edges == 0
+
+    def test_star_graph(self):
+        g = generators.star_graph(6)
+        assert g.degrees()[0] == 6
+        assert total_triangles(g) == 0
+
+    def test_triangle_graph(self):
+        assert generators.triangle_graph() == generators.complete_graph(3)
+
+    def test_hub_cycle_matches_paper(self):
+        g = generators.hub_cycle_graph()
+        assert g.n_vertices == 5
+        assert g.n_edges == 8
+        assert total_triangles(g) == 4
+        delta = edge_triangles(g)
+        hub = [delta[0, v] for v in range(1, 5)]
+        assert hub == [2, 2, 2, 2]
+
+
+class TestErdosRenyi:
+    def test_deterministic_for_seed(self):
+        assert generators.erdos_renyi(30, 0.2, seed=3) == generators.erdos_renyi(30, 0.2, seed=3)
+
+    def test_p_zero_and_one(self):
+        assert generators.erdos_renyi(10, 0.0, seed=1).n_edges == 0
+        assert generators.erdos_renyi(10, 1.0, seed=1) == generators.complete_graph(10)
+
+    def test_self_loops_flag(self):
+        g = generators.erdos_renyi(40, 0.5, seed=2, self_loops=True)
+        assert g.n_self_loops > 0
+
+    def test_invalid_probability(self):
+        with pytest.raises(ValueError):
+            generators.erdos_renyi(10, 1.5)
+
+    def test_bipartite_triangle_free(self):
+        g = generators.random_bipartite_like(8, 9, 0.4, seed=1)
+        assert total_triangles(g) == 0
+        assert g.n_vertices == 17
+
+
+class TestScaleFreeGenerators:
+    def test_barabasi_albert_edge_count(self):
+        g = generators.barabasi_albert(50, 3, seed=1)
+        assert g.n_vertices == 50
+        # m seed-star edges + m per additional vertex (minus possible duplicates: none by construction).
+        assert g.n_edges == 3 + 3 * (50 - 4)
+
+    def test_barabasi_albert_connected(self):
+        g = generators.barabasi_albert(60, 2, seed=5)
+        n_comp, _ = g.connected_components()
+        assert n_comp == 1
+
+    def test_barabasi_albert_validation(self):
+        with pytest.raises(ValueError):
+            generators.barabasi_albert(3, 3)
+        with pytest.raises(ValueError):
+            generators.barabasi_albert(5, 0)
+
+    def test_barabasi_albert_heavy_tail(self):
+        g = generators.barabasi_albert(300, 2, seed=7)
+        degrees = g.degrees()
+        assert degrees.max() > 4 * np.median(degrees)
+
+    def test_triangle_constrained_pa_delta_le_one(self):
+        for seed in (1, 2, 3, 4):
+            g = generators.triangle_constrained_pa(60, seed=seed)
+            assert generators.max_edge_triangle_participation(g) <= 1
+
+    def test_triangle_constrained_pa_has_triangles(self):
+        g = generators.triangle_constrained_pa(80, seed=5)
+        assert total_triangles(g) > 0
+
+    def test_triangle_constrained_pa_connected(self):
+        g = generators.triangle_constrained_pa(50, seed=9)
+        n_comp, _ = g.connected_components()
+        assert n_comp == 1
+
+    def test_triangle_constrained_pa_validation(self):
+        with pytest.raises(ValueError):
+            generators.triangle_constrained_pa(1)
+
+    def test_reduce_to_delta_le_one(self):
+        g = generators.webgraph_like(70, seed=3)
+        reduced = generators.reduce_to_delta_le_one(g)
+        assert generators.max_edge_triangle_participation(reduced) <= 1
+        # Connectivity of the original component structure is preserved.
+        assert reduced.connected_components()[0] == g.connected_components()[0]
+
+    def test_reduce_noop_when_already_satisfied(self):
+        g = generators.triangle_constrained_pa(40, seed=2)
+        reduced = generators.reduce_to_delta_le_one(g)
+        assert reduced == g
+
+    def test_webgraph_like_properties(self):
+        g = generators.webgraph_like(120, seed=4)
+        assert not g.has_self_loops
+        assert g.connected_components()[0] == 1
+        assert total_triangles(g) > 50
+        assert g.degrees().max() > 3 * np.median(g.degrees())
+
+    def test_webgraph_like_deterministic(self):
+        assert generators.webgraph_like(50, seed=1) == generators.webgraph_like(50, seed=1)
+
+    def test_webgraph_like_validation(self):
+        with pytest.raises(ValueError):
+            generators.webgraph_like(3, edges_per_vertex=5)
+        with pytest.raises(ValueError):
+            generators.webgraph_like(10, triad_probability=2.0)
+
+    def test_web_notredame_substitute_scaled(self):
+        g = generators.web_notredame_substitute(scale=0.001, seed=1)
+        assert g.n_vertices >= 32
+        assert total_triangles(g) > 0
+
+
+class TestStochasticBaselines:
+    def test_rmat_sizes(self):
+        g = generators.rmat_graph(6, edge_factor=8, seed=3)
+        assert g.n_vertices == 64
+        assert g.n_edges > 0
+        assert not g.has_self_loops
+
+    def test_rmat_edges_shape(self):
+        edges = generators.rmat_edges(5, edge_factor=4, seed=1)
+        assert edges.shape == (4 * 32, 2)
+        assert edges.max() < 32
+
+    def test_rmat_directed(self):
+        g = generators.rmat_directed_graph(5, edge_factor=4, seed=2)
+        assert g.n_vertices == 32
+
+    def test_rmat_probability_validation(self):
+        with pytest.raises(ValueError):
+            generators.rmat_edges(4, probs=(0.5, 0.2, 0.2, 0.2))
+        with pytest.raises(ValueError):
+            generators.rmat_edges(0)
+
+    def test_rmat_skew(self):
+        """With Graph500 probabilities low-id vertices accumulate most edges."""
+        edges = generators.rmat_edges(7, edge_factor=16, seed=5)
+        n = 128
+        counts = np.bincount(edges.ravel(), minlength=n)
+        assert counts[: n // 4].sum() > counts[n // 2:].sum()
+
+    def test_stochastic_kronecker_probabilities(self):
+        probs = generators.kronecker_power_probabilities(np.array([[0.9, 0.5], [0.5, 0.2]]), 3)
+        assert probs.shape == (8, 8)
+        assert probs.max() <= 0.9 ** 3 + 1e-12
+
+    def test_stochastic_kronecker_validation(self):
+        with pytest.raises(ValueError):
+            generators.kronecker_power_probabilities(np.array([[1.5]]), 2)
+        with pytest.raises(ValueError):
+            generators.kronecker_power_probabilities(np.ones((2, 3)) * 0.5, 2)
+
+    def test_expected_edge_count(self):
+        init = np.array([[0.9, 0.5], [0.5, 0.2]])
+        assert generators.expected_edge_count(init, 2) == pytest.approx(init.sum() ** 2)
+
+    def test_stochastic_kronecker_graph(self):
+        g = generators.stochastic_kronecker_graph(k=6, seed=1)
+        assert g.n_vertices == 64
+        assert not g.has_self_loops
+
+    def test_stochastic_kronecker_deterministic(self):
+        a = generators.stochastic_kronecker_graph(k=5, seed=9)
+        b = generators.stochastic_kronecker_graph(k=5, seed=9)
+        assert a == b
+
+    def test_remark1_triangle_poverty(self):
+        """Stochastic Kronecker graphs are triangle-poor vs. a non-stochastic product
+        of comparable size (Remark 1)."""
+        from repro.core import kron_triangle_count
+
+        factor = generators.webgraph_like(32, seed=2)
+        nonstochastic_triangles = kron_triangle_count(factor, factor)
+        skg = generators.stochastic_kronecker_graph(k=10, seed=3)  # 1024 = 32*32 vertices
+        skg_triangles = total_triangles(skg)
+        assert nonstochastic_triangles > 10 * max(1, skg_triangles)

@@ -1,0 +1,118 @@
+"""Tests for edge-list I/O and the compressed Kronecker bundle format."""
+
+import numpy as np
+import pytest
+
+from repro.graphs import (
+    DirectedGraph,
+    Graph,
+    VertexLabeledGraph,
+    load_kronecker_bundle,
+    read_directed_edge_list,
+    read_edge_list,
+    save_kronecker_bundle,
+    write_edge_list,
+)
+from repro import generators
+
+
+class TestEdgeListIO:
+    def test_undirected_round_trip(self, tmp_path, small_er):
+        path = tmp_path / "er.tsv"
+        write_edge_list(small_er, path)
+        back = read_edge_list(path)
+        assert back == small_er
+
+    def test_directed_round_trip(self, tmp_path, directed_small):
+        path = tmp_path / "dir.tsv"
+        write_edge_list(directed_small, path)
+        back = read_directed_edge_list(path)
+        assert back == directed_small
+
+    def test_header_preserves_isolated_vertices(self, tmp_path):
+        g = Graph.from_edges([(0, 1)], n_vertices=7)
+        path = tmp_path / "iso.tsv"
+        write_edge_list(g, path)
+        back = read_edge_list(path)
+        assert back.n_vertices == 7
+
+    def test_no_header(self, tmp_path, triangle):
+        path = tmp_path / "tri.tsv"
+        write_edge_list(triangle, path, header=False)
+        text = path.read_text()
+        assert not text.startswith("#")
+        assert read_edge_list(path) == triangle
+
+    def test_explicit_n_vertices_override(self, tmp_path, triangle):
+        path = tmp_path / "tri.tsv"
+        write_edge_list(triangle, path, header=False)
+        back = read_edge_list(path, n_vertices=10)
+        assert back.n_vertices == 10
+
+    def test_comma_separated_accepted(self, tmp_path):
+        path = tmp_path / "csv.txt"
+        path.write_text("0,1\n1,2\n")
+        g = read_edge_list(path)
+        assert g.n_edges == 2
+
+    def test_malformed_line_raises(self, tmp_path):
+        path = tmp_path / "bad.txt"
+        path.write_text("0\n")
+        with pytest.raises(ValueError):
+            read_edge_list(path)
+
+    def test_blank_lines_ignored(self, tmp_path):
+        path = tmp_path / "blank.txt"
+        path.write_text("0 1\n\n1 2\n")
+        assert read_edge_list(path).n_edges == 2
+
+    def test_self_loops_survive_round_trip(self, tmp_path):
+        g = generators.looped_clique(3)
+        path = tmp_path / "loops.tsv"
+        write_edge_list(g, path)
+        assert read_edge_list(path) == g
+
+
+class TestKroneckerBundle:
+    def test_undirected_bundle_round_trip(self, tmp_path, weblike_small):
+        factor_b = weblike_small.with_self_loops()
+        path = tmp_path / "bundle.npz"
+        save_kronecker_bundle(path, weblike_small, factor_b, metadata={"purpose": "test"})
+        a, b, meta = load_kronecker_bundle(path)
+        assert a == weblike_small
+        assert b == factor_b
+        assert meta["purpose"] == "test"
+        assert meta["factor_kinds"] == ["undirected", "undirected"]
+
+    def test_directed_bundle_round_trip(self, tmp_path, directed_small, small_er):
+        path = tmp_path / "bundle.npz"
+        save_kronecker_bundle(path, directed_small, small_er)
+        a, b, _ = load_kronecker_bundle(path)
+        assert isinstance(a, DirectedGraph)
+        assert a == directed_small
+        assert isinstance(b, Graph)
+        assert b == small_er
+
+    def test_labeled_bundle_round_trip(self, tmp_path, labeled_small, small_er):
+        path = tmp_path / "bundle.npz"
+        save_kronecker_bundle(path, labeled_small, small_er)
+        a, b, meta = load_kronecker_bundle(path)
+        assert isinstance(a, VertexLabeledGraph)
+        assert a.labels.tolist() == labeled_small.labels.tolist()
+        assert meta["factor_kinds"][0] == "labeled"
+
+    def test_bundle_stores_names(self, tmp_path, weblike_small, triangle):
+        path = tmp_path / "bundle.npz"
+        save_kronecker_bundle(path, weblike_small, triangle)
+        a, b, meta = load_kronecker_bundle(path)
+        assert a.name == weblike_small.name
+        assert meta["factor_names"][1] == triangle.name
+
+    def test_bundle_is_compressed_representation(self, tmp_path, weblike_small):
+        """The bundle is tiny compared to the product it describes."""
+        path = tmp_path / "bundle.npz"
+        save_kronecker_bundle(path, weblike_small, weblike_small)
+        from repro.core import KroneckerGraph
+
+        product_nnz = KroneckerGraph(weblike_small, weblike_small).nnz
+        assert path.stat().st_size < product_nnz  # bytes << product entries

@@ -1,0 +1,90 @@
+"""Tests for the α/β/γ Kronecker index maps (0-based and paper 1-based)."""
+
+import numpy as np
+import pytest
+
+from repro.core import index_maps as im
+
+
+class TestZeroBasedMaps:
+    def test_alpha_scalar(self):
+        assert im.alpha(7, 3) == 2
+
+    def test_beta_scalar(self):
+        assert im.beta(7, 3) == 1
+
+    def test_gamma_scalar(self):
+        assert im.gamma(2, 1, 3) == 7
+
+    def test_round_trip_scalar(self):
+        for p in range(30):
+            i, k = im.factor_indices(p, 4)
+            assert im.product_index(i, k, 4) == p
+
+    def test_round_trip_array(self):
+        p = np.arange(100)
+        i, k = im.factor_indices(p, 7)
+        assert np.array_equal(im.product_index(i, k, 7), p)
+
+    def test_alpha_array_dtype(self):
+        out = im.alpha(np.arange(10), 3)
+        assert out.dtype == np.int64
+
+    def test_factor_indices_ranges(self):
+        p = np.arange(6 * 5)
+        i, k = im.factor_indices(p, 5)
+        assert i.min() == 0 and i.max() == 5
+        assert k.min() == 0 and k.max() == 4
+
+    def test_block_size_one(self):
+        p = np.arange(10)
+        i, k = im.factor_indices(p, 1)
+        assert np.array_equal(i, p)
+        assert np.array_equal(k, np.zeros_like(p))
+
+    def test_invalid_block_size(self):
+        with pytest.raises(ValueError):
+            im.alpha(3, 0)
+        with pytest.raises(ValueError):
+            im.gamma(1, 1, -2)
+
+
+class TestOneBasedMaps:
+    def test_paper_definitions(self):
+        # With n = 3: index 4 (1-based) is block 2, offset 1.
+        assert im.alpha_1based(4, 3) == 2
+        assert im.beta_1based(4, 3) == 1
+        assert im.gamma_1based(2, 1, 3) == 4
+
+    def test_round_trip_1based(self):
+        n = 5
+        for i in range(1, 26):
+            x, y = im.alpha_1based(i, n), im.beta_1based(i, n)
+            assert im.gamma_1based(x, y, n) == i
+
+    def test_one_based_vs_zero_based_shift(self):
+        n = 4
+        idx = np.arange(1, 33)
+        assert np.array_equal(im.alpha_1based(idx, n) - 1, im.alpha(idx - 1, n))
+        assert np.array_equal(im.beta_1based(idx, n) - 1, im.beta(idx - 1, n))
+
+    def test_one_based_ranges(self):
+        idx = np.arange(1, 13)
+        assert im.beta_1based(idx, 4).min() == 1
+        assert im.beta_1based(idx, 4).max() == 4
+
+
+class TestKroneckerEntryIdentity:
+    def test_entry_identity_small(self):
+        """C[γ(i,k), γ(j,l)] == A[i,j] * B[k,l] for a random dense pair."""
+        rng = np.random.default_rng(0)
+        a = (rng.random((3, 3)) < 0.6).astype(int)
+        b = (rng.random((4, 4)) < 0.6).astype(int)
+        c = np.kron(a, b)
+        for i in range(3):
+            for j in range(3):
+                for k in range(4):
+                    for l in range(4):
+                        p = im.product_index(i, k, 4)
+                        q = im.product_index(j, l, 4)
+                        assert c[p, q] == a[i, j] * b[k, l]

@@ -1,0 +1,117 @@
+"""Tests for the labeled triangle census (Definitions 13-14, Fig. 6)."""
+
+import numpy as np
+import pytest
+
+from repro import generators
+from repro.graphs import VertexLabeledGraph, vertex_triangle_label_types
+from repro.triangles import (
+    edge_triangles,
+    labeled_edge_triangle_counts,
+    labeled_edge_triangle_counts_bruteforce,
+    labeled_vertex_triangle_counts,
+    labeled_vertex_triangle_counts_bruteforce,
+    total_labeled_vertex_triangles,
+    vertex_triangles,
+)
+
+
+@pytest.fixture
+def rgb_triangle():
+    """Single triangle with one vertex of each colour (r=0, g=1, b=2)."""
+    return VertexLabeledGraph.from_graph(generators.complete_graph(3), [0, 1, 2])
+
+
+@pytest.fixture
+def monochrome_k4():
+    """K4 with every vertex the same colour."""
+    return VertexLabeledGraph.from_graph(generators.complete_graph(4), [0, 0, 0, 0], )
+
+
+class TestSmallGraphs:
+    def test_rgb_triangle_vertex_counts(self, rgb_triangle):
+        counts = labeled_vertex_triangle_counts(rgb_triangle)
+        # The red vertex sees one triangle whose other corners are green+blue.
+        assert counts[(0, 1, 2)].tolist() == [1, 0, 0]
+        assert counts[(1, 0, 2)].tolist() == [0, 1, 0]
+        assert counts[(2, 0, 1)].tolist() == [0, 0, 1]
+        # All same-colour-pair types are empty.
+        assert counts[(0, 1, 1)].sum() == 0
+        assert counts[(0, 2, 2)].sum() == 0
+
+    def test_monochrome_counts_reduce_to_unlabeled(self, monochrome_k4):
+        counts = labeled_vertex_triangle_counts(monochrome_k4)
+        assert counts[(0, 0, 0)].tolist() == vertex_triangles(monochrome_k4).tolist()
+
+    def test_rgb_triangle_edge_counts(self, rgb_triangle):
+        counts = labeled_edge_triangle_counts(rgb_triangle)
+        # Edge (green=1 -> red=0 entry) closed by the blue vertex: type (q1=0, q2=1, q3=2)
+        # is stored at entry (i, j) with f(i)=q2=1, f(j)=q1=0.
+        assert counts[(0, 1, 2)][1, 0] == 1
+        assert counts[(0, 1, 2)].sum() == 1
+        # No triangle has a red opposite vertex for the red-green edge.
+        assert counts[(0, 1, 0)].sum() == 0
+
+    def test_self_loops_rejected(self):
+        base = generators.looped_clique(3)
+        labeled = VertexLabeledGraph(base.adjacency, [0, 1, 2])
+        with pytest.raises(ValueError):
+            labeled_vertex_triangle_counts(labeled)
+        with pytest.raises(ValueError):
+            labeled_edge_triangle_counts(labeled)
+
+
+class TestBruteForceAgreement:
+    @pytest.mark.parametrize("seed", [1, 2, 3])
+    def test_vertex_census_matches_bruteforce(self, seed):
+        g = generators.random_labeled_graph(11, 0.4, 3, seed=seed)
+        formula = labeled_vertex_triangle_counts(g)
+        brute = labeled_vertex_triangle_counts_bruteforce(g)
+        for t in brute:
+            assert np.array_equal(formula[t], brute[t]), t
+
+    @pytest.mark.parametrize("seed", [1, 2])
+    def test_edge_census_matches_bruteforce(self, seed):
+        g = generators.random_labeled_graph(10, 0.45, 3, seed=seed)
+        formula = labeled_edge_triangle_counts(g)
+        brute = labeled_edge_triangle_counts_bruteforce(g)
+        for t in brute:
+            assert np.array_equal(np.asarray(formula[t].todense()), brute[t]), t
+
+    def test_two_label_alphabet(self):
+        g = generators.random_labeled_graph(12, 0.4, 2, seed=5)
+        formula = labeled_vertex_triangle_counts(g)
+        brute = labeled_vertex_triangle_counts_bruteforce(g)
+        for t in brute:
+            assert np.array_equal(formula[t], brute[t])
+
+
+class TestCoverageIdentities:
+    @pytest.mark.parametrize("seed", [3, 6])
+    def test_vertex_types_tile_unlabeled_counts(self, seed):
+        g = generators.random_labeled_graph(14, 0.35, 3, seed=seed)
+        counts = labeled_vertex_triangle_counts(g)
+        assert np.array_equal(total_labeled_vertex_triangles(counts), vertex_triangles(g))
+
+    @pytest.mark.parametrize("seed", [3, 6])
+    def test_edge_types_tile_unlabeled_delta(self, seed):
+        g = generators.random_labeled_graph(12, 0.4, 3, seed=seed)
+        counts = labeled_edge_triangle_counts(g)
+        total = None
+        for mat in counts.values():
+            total = mat if total is None else total + mat
+        assert (total != edge_triangles(g)).nnz == 0
+
+    def test_total_requires_nonempty(self):
+        with pytest.raises(ValueError):
+            total_labeled_vertex_triangles({})
+
+
+class TestRequestedSubsets:
+    def test_subset_vertex_types(self, labeled_small):
+        counts = labeled_vertex_triangle_counts(labeled_small, types=[(0, 1, 2), (1, 1, 1)])
+        assert set(counts) == {(0, 1, 2), (1, 1, 1)}
+
+    def test_all_types_present_by_default(self, labeled_small):
+        counts = labeled_vertex_triangle_counts(labeled_small)
+        assert set(counts) == set(vertex_triangle_label_types(labeled_small.n_labels))

@@ -1,0 +1,148 @@
+"""Tests for VertexLabeledGraph, label filters, and label-type enumerations."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.graphs import (
+    VertexLabeledGraph,
+    edge_triangle_label_types,
+    label_filter,
+    vertex_triangle_label_types,
+)
+from repro import generators
+
+
+@pytest.fixture
+def coloured_triangle():
+    """Triangle with labels red=0, green=1, blue=2."""
+    base = generators.complete_graph(3)
+    return VertexLabeledGraph.from_graph(base, [0, 1, 2])
+
+
+class TestConstruction:
+    def test_labels_length_checked(self):
+        base = generators.complete_graph(3)
+        with pytest.raises(ValueError):
+            VertexLabeledGraph(base.adjacency, [0, 1])
+
+    def test_negative_labels_rejected(self):
+        base = generators.complete_graph(3)
+        with pytest.raises(ValueError):
+            VertexLabeledGraph(base.adjacency, [0, -1, 2])
+
+    def test_n_labels_inferred(self, coloured_triangle):
+        assert coloured_triangle.n_labels == 3
+
+    def test_n_labels_explicit_larger(self):
+        base = generators.complete_graph(3)
+        g = VertexLabeledGraph(base.adjacency, [0, 0, 1], n_labels=5)
+        assert g.n_labels == 5
+        assert g.label_counts().tolist() == [2, 1, 0, 0, 0]
+
+    def test_n_labels_too_small(self):
+        base = generators.complete_graph(3)
+        with pytest.raises(ValueError):
+            VertexLabeledGraph(base.adjacency, [0, 1, 2], n_labels=2)
+
+    def test_from_graph_preserves_structure(self, labeled_small):
+        assert labeled_small.n_vertices == 12
+        assert labeled_small.labels.shape == (12,)
+
+
+class TestFilters:
+    def test_label_filter_diagonal(self):
+        f = label_filter(np.array([0, 1, 0, 2]), 0)
+        assert np.array_equal(f.diagonal(), [1, 0, 1, 0])
+
+    def test_filters_partition_identity(self, labeled_small):
+        total = sum(labeled_small.filter(q) for q in range(labeled_small.n_labels))
+        identity = sp.identity(labeled_small.n_vertices, dtype=np.int64, format="csr")
+        assert (sp.csr_matrix(total) != identity).nnz == 0
+
+    def test_filter_out_of_range(self, coloured_triangle):
+        with pytest.raises(ValueError):
+            coloured_triangle.filter(7)
+
+    def test_vertices_with_label(self, coloured_triangle):
+        assert coloured_triangle.vertices_with_label(1).tolist() == [1]
+
+    def test_filtered_adjacency_selects_colour_pairs(self, coloured_triangle):
+        filtered = coloured_triangle.filtered_adjacency(1, 0)
+        # Only the edge from the colour-0 vertex (0) into the colour-1 vertex (1).
+        assert filtered.nnz == 1
+        assert filtered[1, 0] == 1
+
+    def test_filtered_adjacency_sums_to_adjacency(self, labeled_small):
+        n_labels = labeled_small.n_labels
+        total = None
+        for q_row in range(n_labels):
+            for q_col in range(n_labels):
+                block = labeled_small.filtered_adjacency(q_row, q_col)
+                total = block if total is None else total + block
+        assert (sp.csr_matrix(total) != labeled_small.adjacency).nnz == 0
+
+    def test_label_of(self, coloured_triangle):
+        assert coloured_triangle.label_of(2) == 2
+
+    def test_label_counts(self, labeled_small):
+        counts = labeled_small.label_counts()
+        assert counts.sum() == labeled_small.n_vertices
+
+
+class TestTransformations:
+    def test_without_self_loops_preserves_labels(self):
+        base = generators.looped_clique(3)
+        g = VertexLabeledGraph(base.adjacency, [2, 1, 0])
+        stripped = g.without_self_loops()
+        assert isinstance(stripped, VertexLabeledGraph)
+        assert stripped.labels.tolist() == [2, 1, 0]
+        assert not stripped.has_self_loops
+
+    def test_subgraph_carries_labels(self, labeled_small):
+        sub = labeled_small.subgraph([0, 3, 5])
+        assert isinstance(sub, VertexLabeledGraph)
+        assert sub.labels.tolist() == [labeled_small.label_of(0),
+                                       labeled_small.label_of(3),
+                                       labeled_small.label_of(5)]
+
+    def test_copy(self, labeled_small):
+        dup = labeled_small.copy()
+        assert dup.labels.tolist() == labeled_small.labels.tolist()
+        assert dup == labeled_small
+
+    def test_labels_returns_copy(self, labeled_small):
+        labels = labeled_small.labels
+        labels[0] = 99
+        assert labeled_small.label_of(0) != 99
+
+    def test_repr(self, labeled_small):
+        assert "n_labels=3" in repr(labeled_small)
+
+
+class TestTypeEnumerations:
+    def test_vertex_type_count_matches_figure6(self):
+        # |L| * C(|L|+1, 2): for 3 labels, 3 * 6 = 18 vertex-centred types.
+        assert len(vertex_triangle_label_types(3)) == 18
+
+    def test_vertex_types_q2_le_q3(self):
+        for q1, q2, q3 in vertex_triangle_label_types(4):
+            assert q2 <= q3
+
+    def test_edge_type_count(self):
+        assert len(edge_triangle_label_types(3)) == 27
+
+    def test_single_label_degenerate(self):
+        assert vertex_triangle_label_types(1) == [(0, 0, 0)]
+        assert edge_triangle_label_types(1) == [(0, 0, 0)]
+
+    def test_random_labeled_generator_weights(self):
+        g = generators.random_labeled_graph(200, 0.05, 3, seed=1,
+                                            label_weights=[0.8, 0.1, 0.1])
+        counts = g.label_counts()
+        assert counts[0] > counts[1]
+        assert counts[0] > counts[2]
+
+    def test_random_labeled_generator_weight_validation(self):
+        with pytest.raises(ValueError):
+            generators.random_labeled_graph(10, 0.1, 3, label_weights=[1.0, 0.0])

@@ -1,0 +1,202 @@
+"""Tests for multi-factor Kronecker products (C = A₁ ⊗ … ⊗ A_k)."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro import generators
+from repro.core import (
+    MultiKroneckerGraph,
+    multi_kron_degrees,
+    multi_kron_edge_triangles,
+    multi_kron_triangle_count,
+    multi_kron_vertex_triangles,
+)
+from repro.graphs import egonet
+from repro.triangles import edge_triangles, total_triangles, vertex_triangles
+
+
+@pytest.fixture
+def three_loop_free():
+    return [
+        generators.erdos_renyi(6, 0.5, seed=1),
+        generators.complete_graph(4),
+        generators.webgraph_like(8, edges_per_vertex=2, seed=2),
+    ]
+
+
+@pytest.fixture
+def three_with_loops():
+    return [
+        generators.erdos_renyi(5, 0.5, seed=3),
+        generators.looped_clique(3),
+        generators.erdos_renyi(4, 0.6, seed=4, self_loops=True),
+    ]
+
+
+class TestFormulaFolding:
+    def test_degrees_loop_free(self, three_loop_free):
+        product = MultiKroneckerGraph(three_loop_free)
+        assert np.array_equal(multi_kron_degrees(three_loop_free),
+                              product.materialize().degrees())
+
+    def test_degrees_with_loops(self, three_with_loops):
+        product = MultiKroneckerGraph(three_with_loops)
+        assert np.array_equal(multi_kron_degrees(three_with_loops),
+                              product.materialize().degrees())
+
+    def test_vertex_triangles_loop_free(self, three_loop_free):
+        product = MultiKroneckerGraph(three_loop_free)
+        assert np.array_equal(multi_kron_vertex_triangles(three_loop_free),
+                              vertex_triangles(product.materialize()))
+
+    def test_vertex_triangles_with_loops(self, three_with_loops):
+        product = MultiKroneckerGraph(three_with_loops)
+        assert np.array_equal(multi_kron_vertex_triangles(three_with_loops),
+                              vertex_triangles(product.materialize()))
+
+    def test_edge_triangles_loop_free(self, three_loop_free):
+        product = MultiKroneckerGraph(three_loop_free)
+        assert (multi_kron_edge_triangles(three_loop_free)
+                != edge_triangles(product.materialize())).nnz == 0
+
+    def test_edge_triangles_with_loops(self, three_with_loops):
+        product = MultiKroneckerGraph(three_with_loops)
+        assert (multi_kron_edge_triangles(three_with_loops)
+                != edge_triangles(product.materialize())).nnz == 0
+
+    def test_triangle_count(self, three_loop_free, three_with_loops):
+        for factors in (three_loop_free, three_with_loops):
+            product = MultiKroneckerGraph(factors)
+            assert multi_kron_triangle_count(factors) == total_triangles(product.materialize())
+
+    def test_global_count_factorization(self, three_loop_free):
+        """τ(C) = 6^{k-1} Π τ(A_i) for loop-free factors."""
+        expected = 6 ** 2
+        for factor in three_loop_free:
+            expected *= total_triangles(factor)
+        assert multi_kron_triangle_count(three_loop_free) == expected
+
+    def test_two_factor_consistency(self, small_er, k4):
+        """The multi-factor functions agree with the two-factor formulas."""
+        from repro.core import kron_triangle_count, kron_vertex_triangles
+
+        assert np.array_equal(multi_kron_vertex_triangles([small_er, k4]),
+                              kron_vertex_triangles(small_er, k4))
+        assert multi_kron_triangle_count([small_er, k4]) == kron_triangle_count(small_er, k4)
+
+    def test_requires_two_factors(self, k4):
+        with pytest.raises(ValueError):
+            multi_kron_degrees([k4])
+
+    def test_rejects_directed_factor(self, k4, directed_small):
+        with pytest.raises(TypeError):
+            multi_kron_degrees([k4, directed_small])
+
+
+class TestMultiKroneckerGraphObject:
+    def test_sizes(self, three_loop_free):
+        product = MultiKroneckerGraph(three_loop_free)
+        assert product.n_factors == 3
+        assert product.n_vertices == 6 * 4 * 8
+        expected_nnz = 1
+        for f in three_loop_free:
+            expected_nnz *= f.nnz
+        assert product.nnz == expected_nnz
+        assert product.n_edges == product.materialize().n_edges
+
+    def test_self_loop_accounting(self, three_with_loops):
+        product = MultiKroneckerGraph(three_with_loops)
+        materialized = product.materialize()
+        assert product.n_self_loops == materialized.n_self_loops
+        assert product.n_edges == materialized.n_edges
+
+    def test_index_round_trip(self, three_loop_free):
+        product = MultiKroneckerGraph(three_loop_free)
+        p = np.arange(product.n_vertices)
+        digits = product.factor_indices(p)
+        assert np.array_equal(product.product_index(digits), p)
+
+    def test_index_consistent_with_two_factor(self, small_er, k4):
+        from repro.core import KroneckerGraph
+
+        two = KroneckerGraph(small_er, k4)
+        multi = MultiKroneckerGraph([small_er, k4])
+        p = np.arange(two.n_vertices)
+        i2, k2 = two.factor_indices(p)
+        im, km = multi.factor_indices(p)
+        assert np.array_equal(i2, im)
+        assert np.array_equal(k2, km)
+
+    def test_product_index_wrong_arity(self, three_loop_free):
+        product = MultiKroneckerGraph(three_loop_free)
+        with pytest.raises(ValueError):
+            product.product_index([0, 1])
+
+    def test_has_edge_and_degree(self, three_loop_free):
+        product = MultiKroneckerGraph(three_loop_free)
+        dense = product.materialize().to_dense()
+        degrees = product.materialize().degrees()
+        rng = np.random.default_rng(0)
+        for _ in range(30):
+            p, q = rng.integers(0, product.n_vertices, size=2)
+            assert product.has_edge(int(p), int(q)) == bool(dense[p, q])
+        for p in (0, 17, 100, product.n_vertices - 1):
+            assert product.degree(p) == degrees[p]
+
+    def test_neighbors_match_materialized(self, three_loop_free):
+        product = MultiKroneckerGraph(three_loop_free)
+        materialized = product.materialize()
+        for p in (0, 33, 101):
+            assert product.neighbors(p).tolist() == materialized.neighbors(p).tolist()
+
+    def test_subgraph_and_egonet(self, three_loop_free):
+        product = MultiKroneckerGraph(three_loop_free)
+        materialized = product.materialize()
+        vertices = [0, 5, 44, 120]
+        assert product.subgraph(vertices) == materialized.subgraph(vertices)
+        t = vertex_triangles(materialized)
+        for p in (12, 80):
+            assert egonet(product, p).triangles_at_center() == t[p]
+
+    def test_statistics_methods(self, three_loop_free):
+        product = MultiKroneckerGraph(three_loop_free)
+        materialized = product.materialize()
+        assert np.array_equal(product.vertex_triangles(), vertex_triangles(materialized))
+        assert (product.edge_triangles() != edge_triangles(materialized)).nnz == 0
+        assert product.triangle_count() == total_triangles(materialized)
+        assert np.array_equal(product.degrees(), materialized.degrees())
+
+    def test_materialize_guard(self):
+        factors = [generators.webgraph_like(60, seed=i) for i in range(3)]
+        product = MultiKroneckerGraph(factors)
+        with pytest.raises(MemoryError):
+            product.materialize(max_nnz=100)
+
+    def test_edge_streaming_covers_product(self, three_loop_free):
+        product = MultiKroneckerGraph(three_loop_free)
+        total = 0
+        rebuilt_rows, rebuilt_cols = [], []
+        for block in product.iter_edge_blocks(first_factor_edges_per_block=5):
+            total += block.shape[0]
+            rebuilt_rows.append(block[:, 0])
+            rebuilt_cols.append(block[:, 1])
+        assert total == product.nnz
+        adj = sp.csr_matrix(
+            (np.ones(total, dtype=np.int64),
+             (np.concatenate(rebuilt_rows), np.concatenate(rebuilt_cols))),
+            shape=(product.n_vertices, product.n_vertices),
+        )
+        assert (adj != product.materialize_adjacency()).nnz == 0
+
+    def test_repr_and_name(self, three_loop_free):
+        product = MultiKroneckerGraph(three_loop_free, name="demo")
+        assert "demo" in repr(product)
+        auto = MultiKroneckerGraph(three_loop_free)
+        assert "⊗" in auto.name
+
+    def test_four_factors(self):
+        factors = [generators.complete_graph(3) for _ in range(4)]
+        product = MultiKroneckerGraph(factors)
+        assert product.n_vertices == 81
+        assert product.triangle_count() == total_triangles(product.materialize())

@@ -1,0 +1,225 @@
+"""Integration tests reproducing the paper's worked examples and Section VI experiment.
+
+Each test mirrors one experiment id from DESIGN.md / EXPERIMENTS.md at a scale
+small enough for CI; the benchmarks re-run the same pipelines at larger scale
+and print the tables.
+"""
+
+import numpy as np
+import pytest
+from math import comb
+
+from repro import generators
+from repro.analysis import format_table, graph_summary, kronecker_summary
+from repro.core import (
+    KroneckerGraph,
+    kron_degrees,
+    kron_triangle_count,
+    kron_vertex_triangles,
+    validate_egonets,
+)
+from repro.graphs import egonet
+from repro.triangles import edge_triangles, total_triangles, vertex_triangles
+from repro.truss import truss_decomposition
+
+
+class TestFig1Sanity:
+    """E1: triangle statistics of a product vertex/edge are products of factor stats."""
+
+    def test_vertex_statistic_multiplies(self):
+        a = generators.webgraph_like(30, seed=1)
+        b = generators.webgraph_like(25, seed=2)
+        t_a, t_b = vertex_triangles(a), vertex_triangles(b)
+        t_c = kron_vertex_triangles(a, b)
+        for i in (0, 7, 19):
+            for k in (0, 5, 20):
+                p = i * b.n_vertices + k
+                assert t_c[p] == 2 * t_a[i] * t_b[k]
+
+    def test_edge_statistic_multiplies(self):
+        a = generators.hub_cycle_graph()
+        b = generators.complete_graph(4)
+        delta_a, delta_b = edge_triangles(a), edge_triangles(b)
+        from repro.core import kron_edge_triangles
+
+        delta_c = kron_edge_triangles(a, b)
+        n_b = 4
+        for (i, j) in ((0, 1), (1, 2)):
+            for (k, l) in ((0, 1), (2, 3)):
+                p, q = i * n_b + k, j * n_b + l
+                assert delta_c[p, q] == delta_a[i, j] * delta_b[k, l]
+
+
+class TestExample1CliqueFormulas:
+    """E2: the closed forms of Example 1(a)-(c) (deeper parametrization lives in
+    test_triangle_formulas; here we lock down the exact paper wording once more)."""
+
+    def test_case_a(self):
+        n_a, n_b = 5, 6
+        a, b = generators.complete_graph(n_a), generators.complete_graph(n_b)
+        degree = n_a * n_b + 1 - n_a - n_b
+        assert set(kron_degrees(a, b).tolist()) == {degree}
+        assert set(kron_vertex_triangles(a, b).tolist()) == {
+            degree * (n_a * n_b + 4 - 2 * n_a - 2 * n_b) // 2
+        }
+
+    def test_case_b(self):
+        n_a, n_b = 5, 4
+        a, b = generators.complete_graph(n_a), generators.looped_clique(n_b)
+        assert set(kron_vertex_triangles(a, b).tolist()) == {
+            (n_a * n_b - n_b) * (n_a * n_b - 2 * n_b) // 2
+        }
+
+    def test_case_c(self):
+        n_a, n_b = 4, 5
+        a, b = generators.looped_clique(n_a), generators.looped_clique(n_b)
+        assert set(kron_vertex_triangles(a, b).tolist()) == {comb(n_a * n_b - 1, 2)}
+        # The product minus its self loops is exactly the full clique.
+        product = KroneckerGraph(a, b).materialize().without_self_loops()
+        assert product == generators.complete_graph(n_a * n_b)
+
+
+class TestExample2TrussStructure:
+    """E4: the hub-cycle square's truss decomposition (Fig. 3 / Example 2)."""
+
+    def test_factor_structure(self, hub_cycle):
+        assert (hub_cycle.n_vertices, hub_cycle.n_edges) == (5, 8)
+        assert total_triangles(hub_cycle) == 4
+        decomp = truss_decomposition(hub_cycle)
+        assert decomp.truss_sizes() == {3: 8}
+
+    def test_product_structure(self, hub_cycle):
+        product = KroneckerGraph(hub_cycle, hub_cycle)
+        materialized = product.materialize()
+        assert materialized.n_vertices == 25
+        assert materialized.n_edges == 128
+        assert total_triangles(materialized) == 96
+        assert kron_triangle_count(hub_cycle, hub_cycle) == 96
+
+    def test_edge_participation_classes(self, hub_cycle):
+        from repro.core import kron_edge_triangles
+
+        delta = kron_edge_triangles(hub_cycle, hub_cycle)
+        undirected_counts = {
+            value: int(count) // 2
+            for value, count in zip(*np.unique(delta.data, return_counts=True))
+        }
+        assert undirected_counts == {1: 32, 2: 64, 4: 32}
+
+    def test_truss_sizes(self, hub_cycle):
+        product = KroneckerGraph(hub_cycle, hub_cycle).materialize()
+        sizes = truss_decomposition(product).truss_sizes()
+        assert sizes == {3: 128, 4: 80}
+
+
+class TestSectionVITable:
+    """E9: the Section VI summary table with the synthetic web-NotreDame stand-in."""
+
+    @pytest.fixture(scope="class")
+    def factor(self):
+        return generators.web_notredame_substitute(scale=0.002, seed=7)
+
+    def test_table_rows_consistent(self, factor):
+        factor_b = factor.with_self_loops()
+        rows = [
+            graph_summary(factor, name="A"),
+            graph_summary(factor_b, name="B = A + I"),
+            kronecker_summary(factor, factor, name="A ⊗ A"),
+            kronecker_summary(factor, factor_b, name="A ⊗ B"),
+        ]
+        # Structural identities of the paper's table:
+        a_row, b_row, aa_row, ab_row = rows
+        assert b_row.n_edges == a_row.n_edges + a_row.n_vertices
+        assert b_row.n_triangles == a_row.n_triangles  # adding loops adds no triangles
+        assert aa_row.n_vertices == a_row.n_vertices ** 2
+        assert aa_row.n_edges == (2 * a_row.n_edges) ** 2 // 2
+        assert aa_row.n_triangles == 6 * a_row.n_triangles ** 2
+        assert ab_row.n_triangles > aa_row.n_triangles  # self loops boost triangles
+        table = format_table(rows)
+        assert "A ⊗ B" in table
+
+    def test_product_triangle_count_matches_direct_at_this_scale(self, factor):
+        """At the reduced CI scale the product is materializable, so cross-check."""
+        product = KroneckerGraph(factor, factor)
+        if product.nnz <= 2_000_000:
+            assert kron_triangle_count(factor, factor) == total_triangles(product.materialize())
+
+
+class TestFig7Egonets:
+    """E10: degree-3 vertices of A with 1, 2, 3 triangles map to product vertices
+    whose egonet degree/triangle counts match Theorem 1 / Corollary 1."""
+
+    @pytest.fixture(scope="class")
+    def factor(self):
+        return generators.web_notredame_substitute(scale=0.002, seed=7)
+
+    def _pick_probe_vertices(self, factor):
+        degrees = factor.degrees()
+        triangles = vertex_triangles(factor)
+        picks = {}
+        for wanted in (1, 2, 3):
+            candidates = np.flatnonzero((degrees == 3) & (triangles == wanted))
+            if candidates.size:
+                picks[wanted] = int(candidates[0])
+        return picks
+
+    def test_product_with_itself(self, factor):
+        picks = self._pick_probe_vertices(factor)
+        assert picks, "synthetic factor should contain degree-3 probe vertices"
+        t_a = vertex_triangles(factor)
+        product = KroneckerGraph(factor, factor)
+        n_b = factor.n_vertices
+        for tri_i, i in picks.items():
+            for tri_k, k in picks.items():
+                p = i * n_b + k
+                ego = egonet(product, p)
+                assert ego.degree_of_center() == 9  # 3 × 3
+                assert ego.triangles_at_center() == 2 * t_a[i] * t_a[k]
+
+    def test_product_with_looped_factor(self, factor):
+        from repro.core import diag_of_cube
+
+        picks = self._pick_probe_vertices(factor)
+        factor_b = factor.with_self_loops()
+        t_a = vertex_triangles(factor)
+        cube_b = diag_of_cube(factor_b)
+        product = KroneckerGraph(factor, factor_b)
+        n_b = factor_b.n_vertices
+        for tri_i, i in picks.items():
+            for tri_k, k in picks.items():
+                p = i * n_b + k
+                ego = egonet(product, p)
+                assert ego.degree_of_center() == 3 * 4  # d_A (d_B + 1)
+                assert ego.triangles_at_center() == t_a[i] * cube_b[k]
+
+    def test_validation_harness_agrees(self, factor):
+        report = validate_egonets(factor, factor.with_self_loops(), n_samples=4, seed=2)
+        assert report.passed
+
+
+class TestRemark1StochasticComparison:
+    """E12: stochastic Kronecker/R-MAT graphs are triangle-poor relative to the
+    non-stochastic product of the same scale."""
+
+    def test_triangle_density_gap(self):
+        """Per-edge triangle density: the independent-edge stochastic Kronecker
+        model closes far fewer triangles than the non-stochastic product of the
+        same vertex count (Remark 1 / Seshadhri et al.)."""
+        factor = generators.webgraph_like(64, seed=3)
+        nonstochastic_tau = kron_triangle_count(factor, factor)
+        nonstochastic_edges = (factor.nnz ** 2) // 2
+
+        skg = generators.stochastic_kronecker_graph(k=12, seed=5)  # 4096 = 64² vertices
+        skg_tau = total_triangles(skg)
+        skg_density = skg_tau / max(1, skg.n_edges)
+
+        density_nonstochastic = nonstochastic_tau / nonstochastic_edges
+        assert density_nonstochastic > 10 * skg_density
+
+    def test_tunability_by_self_loops(self):
+        """Remark 1's flip side: adding self loops to a factor *boosts* the
+        product's triangle count, giving the generator a tuning knob."""
+        factor = generators.webgraph_like(40, seed=4)
+        plain = kron_triangle_count(factor, factor)
+        boosted = kron_triangle_count(factor, factor.with_self_loops())
+        assert boosted > plain

@@ -1,0 +1,187 @@
+"""Property-based tests (hypothesis) for core invariants and Kronecker identities."""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import generators
+from repro.core import (
+    KroneckerGraph,
+    index_maps,
+    kron_degrees,
+    kron_edge_triangles,
+    kron_triangle_count,
+    kron_vertex_triangles,
+)
+from repro.graphs import Graph
+from repro.triangles import (
+    count_triangles_edge_iterator,
+    edge_triangles,
+    total_triangles,
+    vertex_triangles,
+    vertex_triangles_node_iterator,
+)
+
+# Shared settings: the graph-valued strategies build scipy matrices, which
+# hypothesis flags as slow data generation; that is expected and fine here.
+GRAPH_SETTINGS = settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+
+
+# ---------------------------------------------------------------------------
+# Strategies
+# ---------------------------------------------------------------------------
+@st.composite
+def small_graphs(draw, max_vertices: int = 12, allow_self_loops: bool = False):
+    """Random undirected graphs as edge sets over a small vertex range."""
+    n = draw(st.integers(min_value=1, max_value=max_vertices))
+    possible = [(i, j) for i in range(n) for j in range(i + (0 if allow_self_loops else 1), n)]
+    if not possible:
+        return Graph.empty(n)
+    chosen = draw(st.lists(st.sampled_from(possible), max_size=len(possible), unique=True))
+    return Graph.from_edges(chosen, n_vertices=n)
+
+
+@st.composite
+def graph_pairs(draw):
+    """Pairs of small graphs whose Kronecker product stays tiny."""
+    a = draw(small_graphs(max_vertices=7, allow_self_loops=True))
+    b = draw(small_graphs(max_vertices=6, allow_self_loops=True))
+    return a, b
+
+
+# ---------------------------------------------------------------------------
+# Index maps
+# ---------------------------------------------------------------------------
+class TestIndexMapProperties:
+    @given(p=st.integers(min_value=0, max_value=10**9), n=st.integers(min_value=1, max_value=10**4))
+    @settings(max_examples=200, deadline=None)
+    def test_round_trip(self, p, n):
+        i, k = index_maps.factor_indices(p, n)
+        assert index_maps.product_index(i, k, n) == p
+        assert 0 <= k < n
+
+    @given(i=st.integers(min_value=1, max_value=10**6), n=st.integers(min_value=1, max_value=10**3))
+    @settings(max_examples=200, deadline=None)
+    def test_one_based_round_trip(self, i, n):
+        x = index_maps.alpha_1based(i, n)
+        y = index_maps.beta_1based(i, n)
+        assert index_maps.gamma_1based(x, y, n) == i
+        assert 1 <= y <= n
+
+
+# ---------------------------------------------------------------------------
+# Triangle counting invariants
+# ---------------------------------------------------------------------------
+class TestTriangleInvariants:
+    @given(graph=small_graphs(max_vertices=12))
+    @GRAPH_SETTINGS
+    def test_algorithms_agree(self, graph):
+        matrix = vertex_triangles(graph)
+        node = vertex_triangles_node_iterator(graph)
+        wedge = count_triangles_edge_iterator(graph).per_vertex
+        assert np.array_equal(matrix, node)
+        assert np.array_equal(matrix, wedge)
+
+    @given(graph=small_graphs(max_vertices=12))
+    @GRAPH_SETTINGS
+    def test_vertex_sum_is_three_tau(self, graph):
+        assert vertex_triangles(graph).sum() == 3 * total_triangles(graph)
+
+    @given(graph=small_graphs(max_vertices=12))
+    @GRAPH_SETTINGS
+    def test_edge_row_sums_are_twice_vertex_counts(self, graph):
+        delta = edge_triangles(graph)
+        assert np.array_equal(np.asarray(delta.sum(axis=1)).ravel(), 2 * vertex_triangles(graph))
+
+    @given(graph=small_graphs(max_vertices=12, allow_self_loops=True))
+    @GRAPH_SETTINGS
+    def test_self_loops_never_change_triangles(self, graph):
+        stripped = graph.without_self_loops()
+        assert np.array_equal(vertex_triangles(graph), vertex_triangles(stripped))
+        assert total_triangles(graph) == total_triangles(stripped)
+
+    @given(graph=small_graphs(max_vertices=10), seed=st.integers(min_value=0, max_value=2**16))
+    @GRAPH_SETTINGS
+    def test_relabeling_permutes_counts(self, graph, seed):
+        perm = np.random.default_rng(seed).permutation(graph.n_vertices)
+        relabeled = graph.relabeled(perm)
+        assert np.array_equal(vertex_triangles(relabeled), vertex_triangles(graph)[perm])
+
+
+# ---------------------------------------------------------------------------
+# Kronecker formula invariants (formula == direct on the materialized product)
+# ---------------------------------------------------------------------------
+class TestKroneckerFormulaProperties:
+    @given(pair=graph_pairs())
+    @GRAPH_SETTINGS
+    def test_degrees_match_materialized(self, pair):
+        a, b = pair
+        product = KroneckerGraph(a, b).materialize()
+        assert np.array_equal(kron_degrees(a, b), product.degrees())
+
+    @given(pair=graph_pairs())
+    @GRAPH_SETTINGS
+    def test_vertex_triangles_match_materialized(self, pair):
+        a, b = pair
+        product = KroneckerGraph(a, b).materialize()
+        assert np.array_equal(kron_vertex_triangles(a, b), vertex_triangles(product))
+
+    @given(pair=graph_pairs())
+    @GRAPH_SETTINGS
+    def test_edge_triangles_match_materialized(self, pair):
+        a, b = pair
+        product = KroneckerGraph(a, b).materialize()
+        assert (kron_edge_triangles(a, b) != edge_triangles(product)).nnz == 0
+
+    @given(pair=graph_pairs())
+    @GRAPH_SETTINGS
+    def test_triangle_count_matches(self, pair):
+        a, b = pair
+        product = KroneckerGraph(a, b).materialize()
+        assert kron_triangle_count(a, b) == total_triangles(product)
+
+    @given(pair=graph_pairs())
+    @GRAPH_SETTINGS
+    def test_kronecker_commutes_with_totals(self, pair):
+        """τ(A ⊗ B) = τ(B ⊗ A): the product order changes labels, not counts."""
+        a, b = pair
+        assert kron_triangle_count(a, b) == kron_triangle_count(b, a)
+
+    @given(pair=graph_pairs())
+    @GRAPH_SETTINGS
+    def test_loop_free_global_factorization(self, pair):
+        a, b = pair
+        a, b = a.without_self_loops(), b.without_self_loops()
+        assert kron_triangle_count(a, b) == 6 * total_triangles(a) * total_triangles(b)
+
+
+# ---------------------------------------------------------------------------
+# Generator invariants
+# ---------------------------------------------------------------------------
+class TestGeneratorProperties:
+    @given(n=st.integers(min_value=2, max_value=80), seed=st.integers(min_value=0, max_value=2**16))
+    @settings(max_examples=30, deadline=None)
+    def test_triangle_constrained_pa_invariant(self, n, seed):
+        g = generators.triangle_constrained_pa(n, seed=seed)
+        assert g.n_vertices == n
+        assert generators.max_edge_triangle_participation(g) <= 1
+        assert g.connected_components()[0] == 1
+
+    @given(n=st.integers(min_value=5, max_value=60), seed=st.integers(min_value=0, max_value=2**16))
+    @settings(max_examples=20, deadline=None)
+    def test_webgraph_like_invariants(self, n, seed):
+        g = generators.webgraph_like(n, edges_per_vertex=2, seed=seed)
+        assert not g.has_self_loops
+        assert g.connected_components()[0] == 1
+
+    @given(graph=small_graphs(max_vertices=10))
+    @GRAPH_SETTINGS
+    def test_reduce_to_delta_le_one_postcondition(self, graph):
+        reduced = generators.reduce_to_delta_le_one(graph)
+        assert generators.max_edge_triangle_participation(reduced) <= 1
+        assert reduced.connected_components()[0] == graph.connected_components()[0]

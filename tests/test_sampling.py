@@ -1,0 +1,123 @@
+"""Tests for sampling-based auditing of the implicit Kronecker product."""
+
+import numpy as np
+import pytest
+
+from repro import generators
+from repro.core import (
+    KroneckerGraph,
+    WedgeSample,
+    estimate_global_clustering,
+    kron_degrees,
+    kron_global_clustering,
+    sample_product_edges,
+    sample_vertices_by_degree,
+    sample_wedges,
+)
+
+
+@pytest.fixture
+def factors():
+    return (generators.webgraph_like(30, seed=1), generators.complete_graph(4))
+
+
+class TestEdgeSampling:
+    def test_samples_are_valid_edges(self, factors):
+        factor_a, factor_b = factors
+        product = KroneckerGraph(factor_a, factor_b)
+        edges = sample_product_edges(factor_a, factor_b, 300, rng=0)
+        assert edges.shape == (300, 2)
+        for p, q in edges:
+            assert product.has_edge(int(p), int(q))
+
+    def test_reproducible_with_seed(self, factors):
+        factor_a, factor_b = factors
+        a = sample_product_edges(factor_a, factor_b, 50, rng=7)
+        b = sample_product_edges(factor_a, factor_b, 50, rng=7)
+        assert np.array_equal(a, b)
+
+    def test_generator_instance_accepted(self, factors):
+        factor_a, factor_b = factors
+        gen = np.random.default_rng(3)
+        edges = sample_product_edges(factor_a, factor_b, 10, rng=gen)
+        assert edges.shape == (10, 2)
+
+    def test_zero_samples(self, factors):
+        factor_a, factor_b = factors
+        assert sample_product_edges(factor_a, factor_b, 0, rng=0).shape == (0, 2)
+
+    def test_negative_samples_rejected(self, factors):
+        factor_a, factor_b = factors
+        with pytest.raises(ValueError):
+            sample_product_edges(factor_a, factor_b, -1)
+
+    def test_edgeless_factor_rejected(self, k4):
+        with pytest.raises(ValueError):
+            sample_product_edges(k4, generators.empty_graph(3), 5)
+
+    def test_roughly_uniform_over_entries(self):
+        """On a tiny product, every stored entry should appear with similar frequency."""
+        a = generators.complete_graph(3)
+        b = generators.complete_graph(3)
+        edges = sample_product_edges(a, b, 20_000, rng=11)
+        keys = edges[:, 0] * 9 + edges[:, 1]
+        _, counts = np.unique(keys, return_counts=True)
+        assert counts.size == a.nnz * b.nnz  # every product entry observed
+        assert counts.max() < 2.0 * counts.min()
+
+
+class TestDegreeBiasedVertexSampling:
+    def test_high_degree_vertices_oversampled(self, factors):
+        factor_a, factor_b = factors
+        degrees = kron_degrees(factor_a, factor_b)
+        picks = sample_vertices_by_degree(factor_a, factor_b, 5000, rng=5)
+        counts = np.bincount(picks, minlength=degrees.size)
+        top = np.argsort(degrees)[-5:]
+        bottom = np.argsort(degrees)[:5]
+        assert counts[top].mean() > counts[bottom].mean()
+
+    def test_sampled_vertices_in_range(self, factors):
+        factor_a, factor_b = factors
+        picks = sample_vertices_by_degree(factor_a, factor_b, 100, rng=1)
+        assert picks.min() >= 0
+        assert picks.max() < factor_a.n_vertices * factor_b.n_vertices
+
+
+class TestWedgeSampling:
+    def test_samples_are_wedges(self, factors):
+        factor_a, factor_b = factors
+        product = KroneckerGraph(factor_a, factor_b)
+        samples = sample_wedges(factor_a, factor_b, 100, rng=2)
+        assert len(samples) == 100
+        for wedge in samples:
+            assert isinstance(wedge, WedgeSample)
+            u, w = wedge.endpoints
+            assert u != w
+            assert product.has_edge(wedge.center, u)
+            assert product.has_edge(wedge.center, w)
+            assert wedge.closed == product.has_edge(u, w)
+
+    def test_rejects_self_loop_factors(self, factors):
+        factor_a, _ = factors
+        with pytest.raises(ValueError):
+            sample_wedges(factor_a, generators.looped_clique(3), 10)
+
+    def test_rejects_wedge_free_product(self):
+        edge = generators.path_graph(2)
+        with pytest.raises(ValueError):
+            sample_wedges(edge, edge, 5)
+
+    def test_clustering_estimate_close_to_exact(self, factors):
+        factor_a, factor_b = factors
+        exact = kron_global_clustering(factor_a, factor_b)
+        estimate = estimate_global_clustering(factor_a, factor_b, n_samples=3000, rng=4)
+        assert estimate == pytest.approx(exact, abs=0.05)
+
+    def test_clustering_estimate_on_clique_product(self):
+        a = generators.complete_graph(4)
+        b = generators.complete_graph(3)
+        # Every wedge of K4 ⊗ K3 is not necessarily closed, but the estimator
+        # must agree with the exact formula value within sampling error.
+        exact = kron_global_clustering(a, b)
+        estimate = estimate_global_clustering(a, b, n_samples=2000, rng=9)
+        assert estimate == pytest.approx(exact, abs=0.06)

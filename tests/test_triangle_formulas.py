@@ -1,0 +1,196 @@
+"""Tests for the undirected Kronecker triangle formulas (Thms. 1-2, Cors. 1-2, general case)."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+from math import comb
+
+from repro import generators
+from repro.core import (
+    KroneckerGraph,
+    cor1_vertex_triangles,
+    cor2_edge_triangles,
+    diag_of_cube,
+    kron_edge_triangles,
+    kron_edge_triangles_at,
+    kron_triangle_count,
+    kron_vertex_triangles,
+    kron_vertex_triangles_at,
+    self_loop_case,
+    thm1_vertex_triangles,
+    thm2_edge_triangles,
+)
+from repro.triangles import edge_triangles, total_triangles, vertex_triangles
+
+
+def _loops_er(n, p, seed):
+    return generators.erdos_renyi(n, p, seed=seed, self_loops=True)
+
+
+FACTOR_PAIRS = [
+    # (factor_a, factor_b, case label)
+    (generators.complete_graph(4), generators.complete_graph(5), "none"),
+    (generators.hub_cycle_graph(), generators.complete_graph(3), "none"),
+    (generators.erdos_renyi(12, 0.35, seed=1), generators.webgraph_like(15, seed=2), "none"),
+    (generators.erdos_renyi(10, 0.4, seed=3), generators.looped_clique(4), "b_only"),
+    (generators.webgraph_like(14, seed=4), _loops_er(6, 0.5, 5), "b_only"),
+    (generators.looped_clique(4), generators.erdos_renyi(10, 0.4, seed=6), "a_only"),
+    (_loops_er(8, 0.4, 7), _loops_er(7, 0.45, 8), "both"),
+    (generators.looped_clique(3), generators.looped_clique(4), "both"),
+]
+
+
+class TestDiagOfCube:
+    def test_matches_dense_power(self, small_er_loops):
+        dense = small_er_loops.to_dense()
+        expected = np.diag(dense @ dense @ dense)
+        assert np.array_equal(diag_of_cube(small_er_loops), expected)
+
+    def test_loop_free_is_twice_triangles(self, weblike_small):
+        assert np.array_equal(diag_of_cube(weblike_small), 2 * vertex_triangles(weblike_small))
+
+    def test_looped_clique_value(self):
+        # diag(J_n³) = n² for every vertex.
+        n = 5
+        assert diag_of_cube(generators.looped_clique(n)).tolist() == [n * n] * n
+
+
+class TestSelfLoopCase:
+    def test_classification(self, k4, small_er_loops):
+        looped = generators.looped_clique(3)
+        assert self_loop_case(k4, k4) == "none"
+        assert self_loop_case(k4, looped) == "b_only"
+        assert self_loop_case(looped, k4) == "a_only"
+        assert self_loop_case(small_er_loops, looped) == "both"
+
+
+class TestNamedTheorems:
+    def test_thm1_matches_direct(self, weblike_small, small_er):
+        product = KroneckerGraph(weblike_small, small_er).materialize()
+        assert np.array_equal(thm1_vertex_triangles(weblike_small, small_er),
+                              vertex_triangles(product))
+
+    def test_thm1_rejects_loops(self, k4):
+        with pytest.raises(ValueError):
+            thm1_vertex_triangles(k4, generators.looped_clique(3))
+
+    def test_cor1_matches_direct(self, weblike_small):
+        factor_b = generators.looped_clique(3)
+        product = KroneckerGraph(weblike_small, factor_b).materialize()
+        assert np.array_equal(cor1_vertex_triangles(weblike_small, factor_b),
+                              vertex_triangles(product))
+
+    def test_cor1_rejects_left_loops(self, k4):
+        with pytest.raises(ValueError):
+            cor1_vertex_triangles(generators.looped_clique(3), k4)
+
+    def test_cor1_reduces_to_thm1_when_loop_free(self, k4, k5):
+        assert np.array_equal(cor1_vertex_triangles(k4, k5), thm1_vertex_triangles(k4, k5))
+
+    def test_thm2_matches_direct(self, small_er, triangle):
+        product = KroneckerGraph(small_er, triangle).materialize()
+        assert (thm2_edge_triangles(small_er, triangle) != edge_triangles(product)).nnz == 0
+
+    def test_thm2_rejects_loops(self, k4):
+        with pytest.raises(ValueError):
+            thm2_edge_triangles(generators.looped_clique(3), k4)
+
+    def test_cor2_matches_direct(self, small_er):
+        factor_b = generators.looped_clique(3)
+        product = KroneckerGraph(small_er, factor_b).materialize()
+        assert (cor2_edge_triangles(small_er, factor_b) != edge_triangles(product)).nnz == 0
+
+    def test_cor2_rejects_left_loops(self, k4):
+        with pytest.raises(ValueError):
+            cor2_edge_triangles(generators.looped_clique(3), k4)
+
+    def test_undirected_factor_type_enforced(self, directed_small, k4):
+        with pytest.raises(TypeError):
+            kron_vertex_triangles(directed_small, k4)
+
+
+class TestGeneralFormulaAgainstDirect:
+    @pytest.mark.parametrize("factor_a,factor_b,case", FACTOR_PAIRS,
+                             ids=[f"{i}-{c}" for i, (_, _, c) in enumerate(FACTOR_PAIRS)])
+    def test_vertex_formula(self, factor_a, factor_b, case):
+        assert self_loop_case(factor_a, factor_b) == case
+        product = KroneckerGraph(factor_a, factor_b).materialize()
+        assert np.array_equal(kron_vertex_triangles(factor_a, factor_b),
+                              vertex_triangles(product))
+
+    @pytest.mark.parametrize("factor_a,factor_b,case", FACTOR_PAIRS,
+                             ids=[f"{i}-{c}" for i, (_, _, c) in enumerate(FACTOR_PAIRS)])
+    def test_edge_formula(self, factor_a, factor_b, case):
+        product = KroneckerGraph(factor_a, factor_b).materialize()
+        assert (kron_edge_triangles(factor_a, factor_b) != edge_triangles(product)).nnz == 0
+
+    @pytest.mark.parametrize("factor_a,factor_b,case", FACTOR_PAIRS,
+                             ids=[f"{i}-{c}" for i, (_, _, c) in enumerate(FACTOR_PAIRS)])
+    def test_triangle_count(self, factor_a, factor_b, case):
+        product = KroneckerGraph(factor_a, factor_b).materialize()
+        assert kron_triangle_count(factor_a, factor_b) == total_triangles(product)
+
+    def test_global_count_factorization(self, weblike_small, small_er):
+        """τ(C) = 6 τ(A) τ(B) for loop-free factors."""
+        expected = 6 * total_triangles(weblike_small) * total_triangles(small_er)
+        assert kron_triangle_count(weblike_small, small_er) == expected
+
+
+class TestPaperExample1:
+    """The closed-form values of Example 1(a)-(c)."""
+
+    @pytest.mark.parametrize("n_a,n_b", [(3, 4), (4, 5), (5, 6), (3, 7)])
+    def test_example_1a(self, n_a, n_b):
+        a, b = generators.complete_graph(n_a), generators.complete_graph(n_b)
+        n = n_a * n_b
+        t = kron_vertex_triangles(a, b)
+        expected_t = (n + 1 - n_a - n_b) * (n + 4 - 2 * n_a - 2 * n_b) // 2
+        assert set(t.tolist()) == {expected_t}
+        delta = kron_edge_triangles(a, b)
+        assert set(delta.data.tolist()) == {n + 4 - 2 * n_a - 2 * n_b}
+
+    @pytest.mark.parametrize("n_a,n_b", [(3, 4), (4, 5), (5, 3)])
+    def test_example_1b(self, n_a, n_b):
+        a, b = generators.complete_graph(n_a), generators.looped_clique(n_b)
+        n = n_a * n_b
+        t = kron_vertex_triangles(a, b)
+        expected_t = (n - n_b) * (n - 2 * n_b) // 2
+        assert set(t.tolist()) == {expected_t}
+        delta = kron_edge_triangles(a, b)
+        assert set(delta.data.tolist()) == {n - 2 * n_b}
+
+    @pytest.mark.parametrize("n_a,n_b", [(3, 4), (4, 4), (2, 5)])
+    def test_example_1c(self, n_a, n_b):
+        a, b = generators.looped_clique(n_a), generators.looped_clique(n_b)
+        n = n_a * n_b
+        t = kron_vertex_triangles(a, b)
+        assert set(t.tolist()) == {comb(n - 1, 2)}
+        delta = kron_edge_triangles(a, b)
+        off_diag = delta - sp.diags(delta.diagonal(), dtype=delta.dtype)
+        assert set(off_diag.data[off_diag.data != 0].tolist()) == {n - 2}
+
+
+class TestPointQueries:
+    def test_vertex_point_query(self, small_er, k4):
+        full = kron_vertex_triangles(small_er, k4)
+        idx = np.array([0, 9, 23, full.size - 1])
+        assert np.array_equal(kron_vertex_triangles_at(small_er, k4, idx), full[idx])
+        assert kron_vertex_triangles_at(small_er, k4, 11) == full[11]
+
+    def test_edge_point_query(self, small_er, triangle):
+        full = kron_edge_triangles(small_er, triangle)
+        coo = full.tocoo()
+        for p, q, value in list(zip(coo.row, coo.col, coo.data))[:20]:
+            assert kron_edge_triangles_at(small_er, triangle, int(p), int(q)) == value
+
+    def test_edge_point_query_nonedge_is_zero(self, k4, k5):
+        # (0,0) is a self pair — no edge, no triangles.
+        assert kron_edge_triangles_at(k4, k5, 0, 0) == 0
+
+
+class TestParityObservation:
+    def test_even_triangle_counts_without_loops(self, weblike_small, small_er):
+        """Without self loops every product vertex has an even triangle count
+        (t_C = 2 t_A ⊗ t_B, remark after Theorem 1)."""
+        t = kron_vertex_triangles(weblike_small, small_er)
+        assert np.all(t % 2 == 0)

@@ -1,0 +1,125 @@
+"""Cross-checks between the three triangle algorithms and the unified front-end."""
+
+import numpy as np
+import pytest
+
+from repro import generators
+from repro.triangles import (
+    ALGORITHMS,
+    TriangleCensus,
+    count_triangles_edge_iterator,
+    edge_triangle_participation,
+    edge_triangles,
+    enumerate_triangles,
+    total_triangles,
+    total_triangles_node_iterator,
+    triangle_count,
+    vertex_triangle_participation,
+    vertex_triangles,
+    vertex_triangles_node_iterator,
+)
+
+
+GRAPH_FACTORIES = [
+    lambda: generators.complete_graph(6),
+    lambda: generators.hub_cycle_graph(),
+    lambda: generators.cycle_graph(7),
+    lambda: generators.erdos_renyi(20, 0.3, seed=2),
+    lambda: generators.webgraph_like(40, seed=5),
+    lambda: generators.barabasi_albert(30, 2, seed=6),
+]
+
+
+class TestNodeIterator:
+    @pytest.mark.parametrize("factory", GRAPH_FACTORIES)
+    def test_matches_matrix_kernel(self, factory):
+        g = factory()
+        assert np.array_equal(vertex_triangles_node_iterator(g), vertex_triangles(g))
+
+    def test_total(self, weblike_small):
+        assert total_triangles_node_iterator(weblike_small) == total_triangles(weblike_small)
+
+    def test_ignores_self_loops(self):
+        looped = generators.looped_clique(4)
+        assert vertex_triangles_node_iterator(looped).tolist() == [3, 3, 3, 3]
+
+
+class TestEnumeration:
+    def test_enumerates_each_triangle_once(self, k4):
+        triangles = list(enumerate_triangles(k4))
+        assert len(triangles) == 4
+        assert len(set(triangles)) == 4
+        for i, j, k in triangles:
+            assert i < j < k
+
+    def test_counts_match(self, small_er):
+        assert len(list(enumerate_triangles(small_er))) == total_triangles(small_er)
+
+    def test_triangle_free(self):
+        assert list(enumerate_triangles(generators.cycle_graph(8))) == []
+
+    def test_every_enumerated_triple_is_a_triangle(self, weblike_small):
+        for i, j, k in enumerate_triangles(weblike_small):
+            assert weblike_small.has_edge(i, j)
+            assert weblike_small.has_edge(j, k)
+            assert weblike_small.has_edge(i, k)
+
+
+class TestEdgeIterator:
+    @pytest.mark.parametrize("factory", GRAPH_FACTORIES)
+    def test_total_and_per_vertex_match(self, factory):
+        g = factory()
+        census = count_triangles_edge_iterator(g)
+        assert census.total == total_triangles(g)
+        assert np.array_equal(census.per_vertex, vertex_triangles(g))
+
+    @pytest.mark.parametrize("factory", GRAPH_FACTORIES)
+    def test_per_edge_matches(self, factory):
+        g = factory()
+        census = count_triangles_edge_iterator(g)
+        assert (census.per_edge != edge_triangles(g)).nnz == 0
+
+    def test_wedge_checks_bounded_by_arcs(self, weblike_small):
+        census = count_triangles_edge_iterator(weblike_small)
+        # One wedge check per oriented edge in the degree orientation.
+        assert census.wedge_checks == weblike_small.n_edges
+
+    def test_returns_dataclass(self, k4):
+        census = count_triangles_edge_iterator(k4)
+        assert isinstance(census, TriangleCensus)
+        assert census.total == 4
+
+    def test_empty_graph(self):
+        census = count_triangles_edge_iterator(generators.empty_graph(5))
+        assert census.total == 0
+        assert census.per_edge.nnz == 0
+
+
+class TestUnifiedFrontEnd:
+    def test_algorithms_tuple(self):
+        assert set(ALGORITHMS) == {"matrix", "node", "wedge"}
+
+    @pytest.mark.parametrize("method", ALGORITHMS)
+    def test_vertex_participation_all_methods(self, weblike_small, method):
+        expected = vertex_triangles(weblike_small)
+        assert np.array_equal(
+            vertex_triangle_participation(weblike_small, method=method), expected
+        )
+
+    @pytest.mark.parametrize("method", ["matrix", "wedge"])
+    def test_edge_participation_methods(self, small_er, method):
+        expected = edge_triangles(small_er)
+        got = edge_triangle_participation(small_er, method=method)
+        assert (got != expected).nnz == 0
+
+    def test_edge_participation_node_method_rejected(self, small_er):
+        with pytest.raises(ValueError):
+            edge_triangle_participation(small_er, method="node")
+
+    @pytest.mark.parametrize("method", ALGORITHMS)
+    def test_triangle_count_all_methods(self, hub_cycle, method):
+        assert triangle_count(hub_cycle, method=method) == 4
+
+    def test_unknown_method(self, k4):
+        with pytest.raises(ValueError):
+            vertex_triangle_participation(k4, method="quantum")

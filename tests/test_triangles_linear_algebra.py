@@ -1,0 +1,117 @@
+"""Tests for the sparse linear-algebra triangle kernels (Definitions 5-6)."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro import generators
+from repro.triangles import (
+    edge_triangles,
+    strip_self_loops,
+    total_triangles,
+    total_wedges,
+    vertex_triangles,
+    wedge_counts,
+)
+
+
+class TestVertexTriangles:
+    def test_clique_counts(self):
+        for n in (3, 4, 5, 6):
+            g = generators.complete_graph(n)
+            expected = (n - 1) * (n - 2) // 2
+            assert vertex_triangles(g).tolist() == [expected] * n
+
+    def test_triangle_free(self):
+        assert vertex_triangles(generators.cycle_graph(6)).sum() == 0
+        assert vertex_triangles(generators.star_graph(4)).sum() == 0
+        assert vertex_triangles(generators.path_graph(5)).sum() == 0
+
+    def test_c3_is_a_triangle(self):
+        assert vertex_triangles(generators.cycle_graph(3)).tolist() == [1, 1, 1]
+
+    def test_hub_cycle(self, hub_cycle):
+        assert vertex_triangles(hub_cycle).tolist() == [4, 2, 2, 2, 2]
+
+    def test_self_loops_ignored(self):
+        looped = generators.looped_clique(4)
+        plain = generators.complete_graph(4)
+        assert np.array_equal(vertex_triangles(looped), vertex_triangles(plain))
+
+    def test_accepts_raw_matrix(self, k4):
+        assert np.array_equal(vertex_triangles(k4.adjacency), vertex_triangles(k4))
+
+    def test_matches_networkx(self, weblike_small):
+        import networkx as nx
+
+        nx_triangles = nx.triangles(weblike_small.to_networkx())
+        ours = vertex_triangles(weblike_small)
+        assert ours.tolist() == [nx_triangles[v] for v in range(weblike_small.n_vertices)]
+
+
+class TestEdgeTriangles:
+    def test_clique_edges(self):
+        n = 6
+        delta = edge_triangles(generators.complete_graph(n))
+        assert delta.nnz == n * (n - 1)
+        assert set(delta.data.tolist()) == {n - 2}
+
+    def test_hub_cycle_edge_classes(self, hub_cycle):
+        delta = edge_triangles(hub_cycle)
+        # Hub edges participate in 2 triangles, cycle edges in 1 (Example 2).
+        hub_values = [delta[0, v] for v in range(1, 5)]
+        assert hub_values == [2, 2, 2, 2]
+        cycle_values = [delta[1, 2], delta[2, 3], delta[3, 4], delta[4, 1]]
+        assert cycle_values == [1, 1, 1, 1]
+
+    def test_symmetry(self, weblike_small):
+        delta = edge_triangles(weblike_small)
+        assert (delta != delta.T).nnz == 0
+
+    def test_row_sum_identity(self, weblike_small):
+        """t_A = ½ Δ_A 1 (stated after Definition 6)."""
+        delta = edge_triangles(weblike_small)
+        t = vertex_triangles(weblike_small)
+        assert np.array_equal(np.asarray(delta.sum(axis=1)).ravel() // 2, t)
+
+    def test_support_subset_of_adjacency(self, small_er):
+        delta = edge_triangles(small_er)
+        # Every non-zero participation entry must sit on an existing edge.
+        coo = delta.tocoo()
+        adjacency = small_er.adjacency
+        assert all(adjacency[i, j] == 1 for i, j in zip(coo.row, coo.col))
+
+    def test_self_loops_stripped(self):
+        looped = generators.looped_clique(4)
+        delta = edge_triangles(looped)
+        assert np.all(delta.diagonal() == 0)
+
+
+class TestTotals:
+    def test_total_triangles_clique(self):
+        assert total_triangles(generators.complete_graph(6)) == 20
+
+    def test_total_triangles_hub_cycle(self, hub_cycle):
+        assert total_triangles(hub_cycle) == 4
+
+    def test_total_matches_networkx(self, small_er):
+        import networkx as nx
+
+        expected = sum(nx.triangles(small_er.to_networkx()).values()) // 3
+        assert total_triangles(small_er) == expected
+
+    def test_wedges_clique(self):
+        n = 5
+        assert wedge_counts(generators.complete_graph(n)).tolist() == [6] * n
+        assert total_wedges(generators.complete_graph(n)) == 5 * 6
+
+    def test_wedges_star(self):
+        star = generators.star_graph(4)
+        assert wedge_counts(star)[0] == 6
+        assert total_wedges(star) == 6
+
+    def test_strip_self_loops(self):
+        looped = generators.looped_clique(3)
+        stripped = strip_self_loops(looped.adjacency)
+        assert stripped.diagonal().sum() == 0
+        assert stripped.nnz == 6

@@ -1,0 +1,104 @@
+"""Tests for the formula-vs-direct validation harness."""
+
+import numpy as np
+import pytest
+
+from repro import generators
+from repro.core import (
+    ValidationReport,
+    validate_directed_product,
+    validate_egonets,
+    validate_labeled_product,
+    validate_truss_transfer,
+    validate_undirected_product,
+)
+
+
+class TestValidationReport:
+    def test_empty_report_not_passed(self):
+        report = ValidationReport("empty")
+        assert not report.passed
+
+    def test_record_and_summary(self):
+        report = ValidationReport("demo")
+        report.record("a", True, "fine")
+        report.record("b", False, "max |Δ| = 3")
+        assert not report.passed
+        text = report.summary()
+        assert "FAIL" in text and "demo" in text and "max |Δ| = 3" in text
+
+    def test_all_pass(self):
+        report = ValidationReport("demo")
+        report.record("a", True)
+        report.record("b", True)
+        assert report.passed
+        assert "PASS" in report.summary()
+
+
+class TestUndirectedValidation:
+    def test_passes_on_valid_factors(self, weblike_small, triangle):
+        report = validate_undirected_product(weblike_small, triangle)
+        assert report.passed
+        assert set(report.checks) == {"degrees", "vertex_triangles", "edge_triangles"}
+
+    def test_passes_with_self_loops(self, small_er_loops):
+        factor_b = generators.looped_clique(3)
+        assert validate_undirected_product(small_er_loops, factor_b).passed
+
+    def test_memory_guard_propagates(self, weblike_small):
+        with pytest.raises(MemoryError):
+            validate_undirected_product(weblike_small, weblike_small, max_nnz=10)
+
+
+class TestDirectedValidation:
+    def test_passes(self, directed_small):
+        factor_b = generators.erdos_renyi(4, 0.6, seed=2, self_loops=True)
+        report = validate_directed_product(directed_small, factor_b)
+        assert report.passed
+        # 15 vertex checks + 15 edge checks.
+        assert len(report.checks) == 30
+
+
+class TestLabeledValidation:
+    def test_passes(self, labeled_small):
+        factor_b = generators.erdos_renyi(4, 0.6, seed=3)
+        report = validate_labeled_product(labeled_small, factor_b)
+        assert report.passed
+
+
+class TestTrussValidation:
+    def test_passes(self):
+        factor_a = generators.erdos_renyi(10, 0.4, seed=4)
+        factor_b = generators.triangle_constrained_pa(12, seed=5)
+        report = validate_truss_transfer(factor_a, factor_b)
+        assert report.passed
+        assert set(report.checks) == {"max_truss", "trussness_matrix", "truss_sizes"}
+
+    def test_rejects_invalid_factor(self, k5):
+        factor_a = generators.erdos_renyi(10, 0.4, seed=4)
+        with pytest.raises(ValueError):
+            validate_truss_transfer(factor_a, k5)
+
+
+class TestEgonetValidation:
+    def test_random_sample_passes(self, weblike_small):
+        factor_b = weblike_small.with_self_loops()
+        report = validate_egonets(weblike_small, factor_b, n_samples=6, seed=3)
+        assert report.passed
+        assert len(report.checks) == 6
+
+    def test_explicit_vertices(self, weblike_small, triangle):
+        report = validate_egonets(weblike_small, triangle, vertices=[0, 10, 50])
+        assert report.passed
+        assert set(report.checks) == {"vertex[0]", "vertex[10]", "vertex[50]"}
+
+    def test_details_recorded(self, weblike_small, triangle):
+        report = validate_egonets(weblike_small, triangle, vertices=[5])
+        assert "degree ego=" in report.details["vertex[5]"]
+
+    def test_scales_past_materialization_limit(self):
+        """Egonet validation works on products far too large to materialize here."""
+        factor = generators.webgraph_like(500, seed=11)
+        factor_b = factor.with_self_loops()
+        report = validate_egonets(factor, factor_b, n_samples=3, seed=1)
+        assert report.passed
