@@ -11,3 +11,19 @@ from pathlib import Path
 _SRC = Path(__file__).resolve().parent / "src"
 if str(_SRC) not in sys.path:
     sys.path.insert(0, str(_SRC))
+
+
+def pytest_addoption(parser):
+    """Register the benchmark smoke-mode flag (must live in an initial conftest).
+
+    ``--quick`` forces the perf-kernel benchmark into smoke mode: tiny
+    problem sizes, correctness assertions only, no timing thresholds.  The
+    same smoke mode is applied automatically when the benchmark is swept up
+    by the plain tier-1 ``pytest`` invocation (see ``benchmarks/conftest.py``).
+    """
+    parser.addoption(
+        "--quick",
+        action="store_true",
+        default=False,
+        help="run perf benchmarks in smoke mode (small sizes, no speedup assertions)",
+    )

@@ -29,10 +29,11 @@ Subpackages
 ``repro.generators``  factor generators (cliques, scale-free, R-MAT, stochastic Kronecker)
 ``repro.core``        the Kronecker formulas, the implicit product graph, validation
 ``repro.parallel``    partitioned communication-free generation and streaming
+``repro.perf``        vectorized CSR gather kernels behind the batched hot paths
 ``repro.analysis``    distribution diagnostics and summary tables
 """
 
-from repro import analysis, core, generators, graphs, parallel, triangles, truss
+from repro import analysis, core, generators, graphs, parallel, perf, triangles, truss
 from repro.core import (
     KroneckerGraph,
     KroneckerTriangleStats,
@@ -53,6 +54,7 @@ __all__ = [
     "generators",
     "core",
     "parallel",
+    "perf",
     "analysis",
     "Graph",
     "DirectedGraph",

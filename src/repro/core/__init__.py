@@ -26,6 +26,7 @@ from repro.core.degree_formulas import (
 from repro.core.directed_formulas import (
     check_directed_factor_assumptions,
     kron_directed_edge_triangles,
+    kron_directed_edge_triangles_at,
     kron_directed_part,
     kron_directed_vertex_triangles,
     kron_directed_vertex_triangles_at,
@@ -37,6 +38,7 @@ from repro.core.clustering_formulas import (
     kron_closed_walks_at,
     kron_global_clustering,
     kron_local_clustering,
+    kron_local_clustering_at,
     kron_wedge_total,
 )
 from repro.core.index_maps import (
@@ -62,6 +64,7 @@ from repro.core.labeled_formulas import (
     kron_inherited_labels,
     kron_label_filter,
     kron_labeled_edge_triangles,
+    kron_labeled_edge_triangles_at,
     kron_labeled_vertex_triangles,
     kron_labeled_vertex_triangles_at,
 )
@@ -119,6 +122,7 @@ __all__ = [
     "kron_closed_walks_at",
     "kron_wedge_total",
     "kron_local_clustering",
+    "kron_local_clustering_at",
     "kron_global_clustering",
     # index maps
     "alpha",
@@ -159,6 +163,7 @@ __all__ = [
     "kron_directed_vertex_triangles",
     "kron_directed_vertex_triangles_at",
     "kron_directed_edge_triangles",
+    "kron_directed_edge_triangles_at",
     # labeled formulas
     "check_labeled_factor_assumptions",
     "kron_inherited_labels",
@@ -166,6 +171,7 @@ __all__ = [
     "kron_labeled_vertex_triangles",
     "kron_labeled_vertex_triangles_at",
     "kron_labeled_edge_triangles",
+    "kron_labeled_edge_triangles_at",
     # truss
     "check_truss_factor_assumptions",
     "KroneckerTrussDecomposition",

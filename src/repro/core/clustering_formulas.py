@@ -24,8 +24,12 @@ from typing import Tuple, Union
 import numpy as np
 import scipy.sparse as sp
 
-from repro.core.degree_formulas import kron_degrees
-from repro.core.triangle_formulas import kron_triangle_count, kron_vertex_triangles
+from repro.core.degree_formulas import kron_degree_at, kron_degrees
+from repro.core.triangle_formulas import (
+    KroneckerTriangleStats,
+    kron_triangle_count,
+    kron_vertex_triangles,
+)
 from repro.graphs.adjacency import Graph
 
 __all__ = [
@@ -34,6 +38,7 @@ __all__ = [
     "kron_closed_walks_at",
     "kron_wedge_total",
     "kron_local_clustering",
+    "kron_local_clustering_at",
     "kron_global_clustering",
 ]
 
@@ -124,6 +129,29 @@ def kron_local_clustering(factor_a: Graph, factor_b: Graph) -> np.ndarray:
     mask = denom > 0
     out[mask] = 2.0 * triangles[mask] / denom[mask]
     return out
+
+
+def kron_local_clustering_at(
+    factor_a: Graph, factor_b: Graph, p: Union[int, np.ndarray]
+) -> Union[float, np.ndarray]:
+    """Local clustering coefficient of selected product vertices, batched.
+
+    Combines the factored triangle point query
+    (:meth:`~repro.core.triangle_formulas.KroneckerTriangleStats.vertex_value`)
+    with the factored degree point query — both vectorized — so a batch of
+    ``q`` vertices costs ``O(q)`` after the factor-sized precomputation,
+    never ``O(n_C)``.
+    """
+    scalar_input = np.isscalar(p)
+    p_arr = np.asarray(p, dtype=np.int64)
+    triangles = np.asarray(
+        KroneckerTriangleStats.from_factors(factor_a, factor_b).vertex_value(p_arr),
+        dtype=np.float64,
+    )
+    degrees = np.asarray(kron_degree_at(factor_a, factor_b, p_arr), dtype=np.float64)
+    denom = degrees * (degrees - 1.0)
+    out = np.divide(2.0 * triangles, denom, out=np.zeros_like(triangles), where=denom > 0)
+    return float(out) if scalar_input else out
 
 
 def kron_global_clustering(factor_a: Graph, factor_b: Graph) -> float:

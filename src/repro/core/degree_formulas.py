@@ -66,14 +66,20 @@ def kron_degrees(factor_a: Graph, factor_b: Graph) -> np.ndarray:
 
 
 def kron_degree_at(factor_a: Graph, factor_b: Graph, p: Union[int, np.ndarray]) -> Union[int, np.ndarray]:
-    """Degree of product vertex/vertices ``p`` without forming the full vector."""
+    """Degree of product vertex/vertices ``p`` without forming the full vector.
+
+    Batch-first: ``p`` may be a scalar or any integer array-like; arrays are
+    answered with one vectorized gather over the factor-level vectors.
+    """
     n_b = factor_b.n_vertices
     d_a, s_a = _degree_and_loops(factor_a)
     d_b, s_b = _degree_and_loops(factor_b)
-    i = np.asarray(p, dtype=np.int64) // n_b
-    k = np.asarray(p, dtype=np.int64) % n_b
+    scalar_input = np.isscalar(p)
+    p_arr = np.asarray(p, dtype=np.int64)
+    i = p_arr // n_b
+    k = p_arr % n_b
     out = (d_a[i] + s_a[i]) * (d_b[k] + s_b[k]) - s_a[i] * s_b[k]
-    return out if isinstance(p, np.ndarray) else int(out)
+    return int(out) if scalar_input else out
 
 
 # ---------------------------------------------------------------------------

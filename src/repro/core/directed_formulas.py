@@ -25,7 +25,7 @@ import scipy.sparse as sp
 
 from repro.graphs.adjacency import Graph, hadamard
 from repro.graphs.directed import DirectedGraph
-from repro.core.triangle_formulas import diag_of_cube
+from repro.core.triangle_formulas import _edge_census_point_query, diag_of_cube
 from repro.triangles.directed_counts import (
     CANONICAL_EDGE_TYPES,
     CANONICAL_VERTEX_TYPES,
@@ -40,6 +40,7 @@ __all__ = [
     "kron_directed_vertex_triangles",
     "kron_directed_edge_triangles",
     "kron_directed_vertex_triangles_at",
+    "kron_directed_edge_triangles_at",
 ]
 
 
@@ -111,6 +112,27 @@ def kron_directed_vertex_triangles_at(
         value = vec[i] * b_cube[k]
         out[name] = value if isinstance(p, np.ndarray) else int(value)
     return out
+
+
+def kron_directed_edge_triangles_at(
+    factor_a: DirectedGraph,
+    factor_b: Graph,
+    p: Union[int, np.ndarray],
+    q: Union[int, np.ndarray],
+    types: Optional[Iterable[str]] = None,
+) -> Dict[str, Union[int, np.ndarray]]:
+    """Batched point-query version of Theorem 5.
+
+    For product edges ``(p[t], q[t])`` evaluates
+    ``Δ^(τ)_C[p, q] = Δ^(τ)_A[i, j] · (B ∘ B²)[k, l]`` with one vectorized
+    CSR gather per side — no product-sized matrix and no per-edge Python loop.
+    """
+    check_directed_factor_assumptions(factor_a, factor_b)
+    requested = list(types) if types is not None else list(CANONICAL_EDGE_TYPES)
+    a_counts = directed_edge_triangle_counts(factor_a, requested)
+    adj_b = _b_adjacency(factor_b)
+    b_masked = hadamard(adj_b, adj_b @ adj_b)
+    return _edge_census_point_query(a_counts, b_masked, factor_b.n_vertices, p, q)
 
 
 def kron_directed_edge_triangles(

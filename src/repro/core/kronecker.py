@@ -28,6 +28,7 @@ from repro.core import index_maps
 from repro.graphs.adjacency import Graph, hadamard, to_csr
 from repro.graphs.directed import DirectedGraph
 from repro.graphs.labeled import VertexLabeledGraph
+from repro.perf.kernels import csr_has_entry
 
 __all__ = ["KroneckerGraph"]
 
@@ -161,21 +162,26 @@ class KroneckerGraph:
     # Local queries (never materialize C)
     # ------------------------------------------------------------------
     def has_edge(self, p: int, q: int) -> bool:
-        """Whether ``C[p, q] = A[i(p), i(q)] · B[k(p), k(q)]`` is non-zero."""
+        """Whether ``C[p, q] = A[i(p), i(q)] · B[k(p), k(q)]`` is non-zero.
+
+        Two binary searches on the factor ``indptr``/``indices`` arrays — no
+        sparse temporaries are allocated.
+        """
         i, k = self.factor_indices(int(p))
         j, l = self.factor_indices(int(q))
-        return bool(self._adj_a[i, j] != 0 and self._adj_b[k, l] != 0)
+        return csr_has_entry(self._adj_a, i, j) and csr_has_entry(self._adj_b, k, l)
 
     def degree(self, p: int) -> int:
         """Degree of product vertex ``p`` (self loop excluded), from factor rows.
 
         Row sum of ``C`` at ``p`` is ``rowsum_A(i) · rowsum_B(k)``; a self loop
         exists only when both factor vertices have one and contributes one.
+        The self-loop probe is a direct ``indptr``/``indices`` lookup.
         """
         i, k = self.factor_indices(int(p))
         row_a = int(self._adj_a.indptr[i + 1] - self._adj_a.indptr[i])
         row_b = int(self._adj_b.indptr[k + 1] - self._adj_b.indptr[k])
-        loop = int(self._adj_a[i, i] != 0 and self._adj_b[k, k] != 0)
+        loop = int(csr_has_entry(self._adj_a, i, i) and csr_has_entry(self._adj_b, k, k))
         return row_a * row_b - loop
 
     def degrees(self) -> np.ndarray:
@@ -253,16 +259,23 @@ class KroneckerGraph:
             yield np.stack([rows, cols], axis=1)
 
     def edges(self, *, max_nnz: int = DEFAULT_MATERIALIZE_LIMIT) -> np.ndarray:
-        """All directed edges of ``C`` as an array (guarded by ``max_nnz``)."""
+        """All directed edges of ``C`` as an array (guarded by ``max_nnz``).
+
+        The ``(nnz, 2)`` output is preallocated and filled block by block from
+        :meth:`iter_edge_blocks`, so peak memory is one output array plus one
+        block — not the doubled list-append-then-concatenate footprint.
+        """
         if self.nnz > max_nnz:
             raise MemoryError(
                 f"product has {self.nnz} stored entries, above the limit {max_nnz}; "
                 "use iter_edge_blocks() or repro.parallel streaming instead"
             )
-        blocks = list(self.iter_edge_blocks())
-        if not blocks:
-            return np.zeros((0, 2), dtype=np.int64)
-        return np.concatenate(blocks, axis=0)
+        out = np.empty((self.nnz, 2), dtype=np.int64)
+        filled = 0
+        for block in self.iter_edge_blocks():
+            out[filled:filled + block.shape[0]] = block
+            filled += block.shape[0]
+        return out
 
     def materialize_adjacency(self, *, max_nnz: int = DEFAULT_MATERIALIZE_LIMIT) -> sp.csr_matrix:
         """Materialize ``C = A ⊗ B`` as a CSR matrix (guarded by ``max_nnz``)."""

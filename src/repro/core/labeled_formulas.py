@@ -20,7 +20,7 @@ from typing import Dict, Iterable, Optional, Tuple, Union
 import numpy as np
 import scipy.sparse as sp
 
-from repro.core.triangle_formulas import diag_of_cube
+from repro.core.triangle_formulas import _edge_census_point_query, diag_of_cube
 from repro.graphs.adjacency import Graph, hadamard
 from repro.graphs.labeled import VertexLabeledGraph, vertex_triangle_label_types, edge_triangle_label_types
 from repro.triangles.labeled_counts import (
@@ -35,6 +35,7 @@ __all__ = [
     "kron_labeled_vertex_triangles",
     "kron_labeled_edge_triangles",
     "kron_labeled_vertex_triangles_at",
+    "kron_labeled_edge_triangles_at",
 ]
 
 LabelType = Tuple[int, int, int]
@@ -95,6 +96,28 @@ def kron_labeled_vertex_triangles_at(
         value = vec[i] * b_cube[k]
         out[t] = value if isinstance(p, np.ndarray) else int(value)
     return out
+
+
+def kron_labeled_edge_triangles_at(
+    factor_a: VertexLabeledGraph,
+    factor_b: Graph,
+    p: Union[int, np.ndarray],
+    q: Union[int, np.ndarray],
+    types: Optional[Iterable[LabelType]] = None,
+) -> Dict[LabelType, Union[int, np.ndarray]]:
+    """Batched point-query version of Theorem 7.
+
+    ``Δ^(τ)_C[p, q] = Δ^(τ)_A[i, j] · (B ∘ B²)[k, l]`` evaluated for a whole
+    batch of product edges with vectorized CSR gathers on the factor-sized
+    matrices only.
+    """
+    check_labeled_factor_assumptions(factor_a, factor_b)
+    requested = [tuple(t) for t in types] if types is not None \
+        else edge_triangle_label_types(factor_a.n_labels)
+    a_counts = labeled_edge_triangle_counts(factor_a, requested)
+    adj_b = factor_b.adjacency
+    b_masked = hadamard(adj_b, adj_b @ adj_b)
+    return _edge_census_point_query(a_counts, b_masked, factor_b.n_vertices, p, q)
 
 
 def kron_labeled_edge_triangles(

@@ -28,6 +28,7 @@ import numpy as np
 import scipy.sparse as sp
 
 from repro._typing import Edge, MatrixLike
+from repro.perf.kernels import csr_has_entry
 
 __all__ = ["Graph", "hadamard", "to_csr", "is_symmetric"]
 
@@ -229,8 +230,12 @@ class Graph:
         return row[row != vertex].copy()
 
     def has_edge(self, u: int, v: int) -> bool:
-        """Whether the (undirected) edge ``(u, v)`` is present."""
-        return bool(self._adj[u, v] != 0)
+        """Whether the (undirected) edge ``(u, v)`` is present.
+
+        A single binary search on the row's ``indices`` slice — no 1×1 sparse
+        temporary is allocated.
+        """
+        return csr_has_entry(self._adj, int(u), int(v))
 
     # ------------------------------------------------------------------
     # Edge iteration / export

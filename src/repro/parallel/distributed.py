@@ -7,12 +7,21 @@ ever talking to another rank.  The driver verifies that the union of the
 per-rank outputs is exactly the product's edge set and that per-rank
 statistics sum to the global formula values, which is the property the paper
 relies on when calling the generation "essentially communication-free".
+
+Performance contract: the factored statistics object is built **once** per
+generation run and shared (read-only) by every rank, and each rank evaluates
+its ground-truth payload with the batched
+:meth:`~repro.core.triangle_formulas.KroneckerTriangleStats.edge_values`
+kernel — no per-edge Python loop anywhere on the generation path.  Ranks run
+sequentially by default; pass ``use_processes=True`` to fan them out on a
+``multiprocessing`` pool.
 """
 
 from __future__ import annotations
 
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 import scipy.sparse as sp
@@ -59,13 +68,23 @@ def generate_rank_edges(
     partition: EdgePartition,
     *,
     with_statistics: bool = True,
+    stats: Optional[KroneckerTriangleStats] = None,
 ) -> RankOutput:
     """Generate the product edges owned by one rank (its slice of ``A``'s entries).
 
     Every ``A`` entry in the rank's slice is paired with every ``B`` entry;
     the statistics are evaluated from the factored
-    :class:`~repro.core.triangle_formulas.KroneckerTriangleStats`, i.e. using
-    only factor-sized data.
+    :class:`~repro.core.triangle_formulas.KroneckerTriangleStats` — via its
+    batched ``edge_values``/``vertex_value`` kernels, never one edge at a
+    time — using only factor-sized data.
+
+    Parameters
+    ----------
+    stats:
+        Pre-built factored statistics to share across ranks.  When ``None``
+        and ``with_statistics`` is set, the rank builds its own copy — a
+        driver generating many ranks should build it once and pass it in
+        (:func:`distributed_generate` does exactly that).
     """
     coo_a = factor_a.adjacency.tocoo()
     coo_b = factor_b.adjacency.tocoo()
@@ -84,13 +103,30 @@ def generate_rank_edges(
         return RankOutput(rank=partition.rank, edges=edges,
                           edge_triangles=empty, source_vertex_triangles=empty)
 
-    stats = KroneckerTriangleStats.from_factors(factor_a, factor_b)
-    vertex_t = stats.vertex_value(rows)
-    edge_t = np.asarray(
-        [stats.edge_value(int(p), int(q)) for p, q in zip(rows, cols)], dtype=np.int64
-    )
+    if stats is None:
+        stats = KroneckerTriangleStats.from_factors(factor_a, factor_b)
+    vertex_t = np.asarray(stats.vertex_value(rows), dtype=np.int64)
+    edge_t = stats.edge_values(rows, cols)
     return RankOutput(rank=partition.rank, edges=edges,
-                      edge_triangles=edge_t, source_vertex_triangles=np.asarray(vertex_t))
+                      edge_triangles=edge_t, source_vertex_triangles=vertex_t)
+
+
+#: Per-worker shared state (factors + statistics), shipped once per process
+#: via the pool initializer instead of being re-pickled into every task.
+_WORKER_STATE: Optional[Tuple[Graph, Graph, bool, Optional[KroneckerTriangleStats]]] = None
+
+
+def _worker_init(factor_a: Graph, factor_b: Graph, with_statistics: bool,
+                 stats: Optional[KroneckerTriangleStats]) -> None:
+    global _WORKER_STATE
+    _WORKER_STATE = (factor_a, factor_b, with_statistics, stats)
+
+
+def _rank_worker(partition: EdgePartition) -> RankOutput:
+    """Module-level worker (picklable); reads the shared per-process state."""
+    factor_a, factor_b, with_statistics, stats = _WORKER_STATE
+    return generate_rank_edges(factor_a, factor_b, partition,
+                               with_statistics=with_statistics, stats=stats)
 
 
 def distributed_generate(
@@ -99,13 +135,32 @@ def distributed_generate(
     n_ranks: int,
     *,
     with_statistics: bool = True,
+    use_processes: bool = False,
+    max_workers: Optional[int] = None,
 ) -> List[RankOutput]:
-    """Run the communication-free generation over ``n_ranks`` simulated ranks."""
+    """Run the communication-free generation over ``n_ranks`` simulated ranks.
+
+    The factored statistics are built exactly once and shared by every rank
+    (they are immutable, so sharing is safe in-process and cheap to ship to
+    workers).  With ``use_processes=True`` the ranks run concurrently on a
+    ``multiprocessing`` pool — the single-node stand-in for the paper's MPI
+    ranks; results are returned in rank order either way.
+    """
     partitions = partition_edges(factor_a.nnz, factor_b.nnz, n_ranks)
-    return [
-        generate_rank_edges(factor_a, factor_b, part, with_statistics=with_statistics)
-        for part in partitions
-    ]
+    stats = KroneckerTriangleStats.from_factors(factor_a, factor_b) \
+        if with_statistics else None
+    if not use_processes:
+        return [
+            generate_rank_edges(factor_a, factor_b, part,
+                                with_statistics=with_statistics, stats=stats)
+            for part in partitions
+        ]
+    with ProcessPoolExecutor(
+        max_workers=max_workers or min(n_ranks, 8),
+        initializer=_worker_init,
+        initargs=(factor_a, factor_b, with_statistics, stats),
+    ) as pool:
+        return list(pool.map(_rank_worker, partitions))
 
 
 def merge_rank_outputs(outputs: Sequence[RankOutput], n_vertices: int) -> sp.csr_matrix:

@@ -132,6 +132,64 @@ class TestDistributedGeneration:
         assert merge_rank_outputs([], 10).nnz == 0
 
 
+class TestSharedStatisticsAndExecutor:
+    def test_factor_statistics_built_exactly_once(self, small_er, triangle, monkeypatch):
+        """Regression: distributed_generate(..., n_ranks=k) must not rebuild the
+        factored statistics per rank — one build, shared by every rank."""
+        import repro.parallel.distributed as distributed_mod
+
+        calls = []
+        original = KroneckerTriangleStats.from_factors.__func__
+
+        def counting_from_factors(cls, factor_a, factor_b):
+            calls.append(1)
+            return original(cls, factor_a, factor_b)
+
+        monkeypatch.setattr(distributed_mod.KroneckerTriangleStats, "from_factors",
+                            classmethod(counting_from_factors))
+        outputs = distributed_generate(small_er, triangle, 6, with_statistics=True)
+        assert len(outputs) == 6
+        assert len(calls) == 1
+
+    def test_no_statistics_build_when_disabled(self, small_er, triangle, monkeypatch):
+        import repro.parallel.distributed as distributed_mod
+
+        calls = []
+        monkeypatch.setattr(
+            distributed_mod.KroneckerTriangleStats, "from_factors",
+            classmethod(lambda cls, a, b: calls.append(1)),
+        )
+        distributed_generate(small_er, triangle, 3, with_statistics=False)
+        assert calls == []
+
+    def test_explicit_stats_reused_by_generate_rank_edges(self, small_er, triangle):
+        stats = KroneckerTriangleStats.from_factors(small_er, triangle)
+        parts = partition_edges(small_er.nnz, triangle.nnz, 2)
+        for part in parts:
+            out = generate_rank_edges(small_er, triangle, part,
+                                      with_statistics=True, stats=stats)
+            expected = stats.edge_values(out.edges[:, 0], out.edges[:, 1])
+            assert np.array_equal(out.edge_triangles, expected)
+
+    def test_rank_statistics_are_vectorized_batches(self, small_er, triangle):
+        """The per-rank payload equals the batched kernel output (shape + dtype)."""
+        outputs = distributed_generate(small_er, triangle, 2, with_statistics=True)
+        for out in outputs:
+            assert out.edge_triangles.dtype == np.int64
+            assert out.edge_triangles.shape == (out.n_edges,)
+            assert out.source_vertex_triangles.shape == (out.n_edges,)
+
+    def test_process_executor_matches_sequential(self, small_er, triangle):
+        sequential = distributed_generate(small_er, triangle, 3, with_statistics=True)
+        parallel = distributed_generate(small_er, triangle, 3, with_statistics=True,
+                                        use_processes=True, max_workers=2)
+        assert [o.rank for o in parallel] == [o.rank for o in sequential]
+        for seq, par in zip(sequential, parallel):
+            assert np.array_equal(seq.edges, par.edges)
+            assert np.array_equal(seq.edge_triangles, par.edge_triangles)
+            assert np.array_equal(seq.source_vertex_triangles, par.source_vertex_triangles)
+
+
 class TestSimulatedComm:
     def test_gather_waits_for_all_ranks(self):
         comm = SimulatedComm(3)
