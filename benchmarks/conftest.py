@@ -12,21 +12,24 @@ import pytest
 
 from repro import generators
 
-#: Benchmark module that doubles as a tier-1 consistency smoke test: the
+#: Benchmark modules that double as tier-1 consistency smoke tests: the
 #: plain ``pytest`` invocation does not match ``bench_*.py`` files, so we
-#: collect this one explicitly — in smoke mode — to guarantee the vectorized
-#: and scalar ground-truth paths cannot silently diverge.
-_SMOKE_BENCH = "bench_perf_kernels.py"
+#: collect these explicitly — in smoke mode — to guarantee the vectorized,
+#: scalar, streamed and materialized paths cannot silently diverge.  Their
+#: full-size runs opt out of tier-1 through the ``slow`` marker registered
+#: in ``pytest.ini`` (run them with ``pytest -m slow benchmarks/<file>``)
+#: or, for ``bench_perf_kernels.py``, by naming the file directly.
+_SMOKE_BENCHES = ("bench_perf_kernels.py", "bench_streaming.py")
 
 
 def pytest_collect_file(file_path, parent):
-    """Collect ``bench_perf_kernels.py`` even under the default ``test_*`` glob.
+    """Collect the smoke benchmarks even under the default ``test_*`` glob.
 
     Skipped when the file was named directly on the command line — pytest's
     builtin collector already picks up explicit arguments, and returning a
     second ``Module`` here would run every benchmark twice.
     """
-    if file_path.name == _SMOKE_BENCH and not parent.session.isinitpath(file_path):
+    if file_path.name in _SMOKE_BENCHES and not parent.session.isinitpath(file_path):
         return pytest.Module.from_parent(parent, path=file_path)
     return None
 
@@ -46,11 +49,12 @@ def quick_mode(request) -> bool:
 
     def names_bench_file(arg: str) -> bool:
         # Positional path argument (optionally with a ::nodeid suffix) whose
-        # file name is the benchmark module.  config.args holds only pytest's
-        # resolved positional arguments, so flag values (-k, --deselect,
-        # --ignore ...) that merely mention the name cannot flip full mode on.
+        # file name is a smoke-benchmark module.  config.args holds only
+        # pytest's resolved positional arguments, so flag values (-k,
+        # --deselect, --ignore ...) that merely mention the name cannot flip
+        # full mode on.
         from pathlib import Path
-        return Path(arg.split("::", 1)[0]).name == _SMOKE_BENCH
+        return Path(arg.split("::", 1)[0]).name in _SMOKE_BENCHES
 
     return not any(names_bench_file(str(a)) for a in config.args)
 

@@ -18,8 +18,14 @@ published artefacts of the paper:
     the product is small enough, the full formula-vs-direct validation.
 
 ``repro-kron stream``
-    Load a bundle and write the product's edge list to a TSV file in
-    bounded-memory chunks.
+    Load a bundle and spill the product's edge list in bounded-memory
+    chunks — by default as a ``.npy`` shard directory with a JSON manifest
+    (TSV stays available via ``--format tsv`` or a ``.tsv`` output path).
+    With ``--ranks N`` the spill runs through the communication-free
+    streaming rank pipeline: every rank folds its blocks into aggregates,
+    the aggregates are allreduced, and the result is validated on the fly
+    against the closed-form factor statistics — no full edge list is ever
+    held in memory.
 
 Each sub-command is also usable programmatically through :func:`main`, which
 accepts an ``argv`` list and returns the process exit code (the test-suite
@@ -37,12 +43,19 @@ from repro import generators
 from repro.analysis import format_table, graph_summary, kronecker_summary
 from repro.core import (
     KroneckerGraph,
+    ValidationAccumulator,
     kron_global_clustering,
     validate_egonets,
     validate_undirected_product,
 )
-from repro.graphs import Graph, load_kronecker_bundle, save_kronecker_bundle
-from repro.parallel import stream_edges_to_file
+from repro.graphs import (
+    Graph,
+    NpyShardSink,
+    load_kronecker_bundle,
+    save_kronecker_bundle,
+    write_edge_shards,
+)
+from repro.parallel import distributed_generate, stream_edges_to_file
 
 __all__ = ["main", "build_parser"]
 
@@ -86,6 +99,9 @@ def build_parser() -> argparse.ArgumentParser:
     gen.add_argument("--seed", type=int, default=0)
     gen.add_argument("--self-loops-b", action="store_true",
                      help="add a self loop at every vertex of factor B (B ← B + I)")
+    gen.add_argument("--stream", type=Path, default=None, metavar="DIR",
+                     help="also spill the product edge list to a .npy shard "
+                          "directory (bounded-memory, never materialized)")
 
     stats = sub.add_parser("stats", help="print the summary table for a bundle")
     stats.add_argument("bundle", type=Path)
@@ -101,12 +117,26 @@ def build_parser() -> argparse.ArgumentParser:
     val.add_argument("--max-nnz", type=int, default=20_000_000,
                      help="materialization guard for --full")
 
-    stream = sub.add_parser("stream", help="write the product edge list to a TSV file")
+    stream = sub.add_parser(
+        "stream",
+        help="spill the product edge list in bounded-memory chunks "
+             "(.npy shards by default, TSV opt-in)")
     stream.add_argument("bundle", type=Path)
-    stream.add_argument("output", type=Path)
-    stream.add_argument("--max-edges", type=int, default=None)
+    stream.add_argument("output", type=Path,
+                        help="shard directory (default format) or .tsv file")
+    stream.add_argument("--format", choices=("auto", "shards", "tsv"), default="auto",
+                        help="spill format; 'auto' picks TSV for *.tsv/*.txt "
+                             "outputs and .npy shards otherwise")
+    stream.add_argument("--max-edges", type=int, default=None,
+                        help="cap on edges written (single-rank spill only)")
     stream.add_argument("--block", type=int, default=1024,
                         help="A-entries per streamed block (memory bound)")
+    stream.add_argument("--ranks", type=int, default=None, metavar="N",
+                        help="run the streaming rank pipeline over N simulated "
+                             "ranks, validating the allreduced aggregates "
+                             "against the closed-form factor statistics")
+    stream.add_argument("--processes", action="store_true",
+                        help="with --ranks: fan the ranks out on a process pool")
 
     return parser
 
@@ -129,6 +159,10 @@ def _cmd_generate(args: argparse.Namespace) -> int:
     print(f"wrote {args.bundle} ({args.bundle.stat().st_size:,} bytes)")
     print(f"factors: A = {factor_a}, B = {factor_b}")
     print(f"product: {product.n_vertices:,} vertices, {product.n_edges:,} edges")
+    if args.stream is not None:
+        written = write_edge_shards(product, args.stream,
+                                    metadata={"cli": "generate", "seed": args.seed})
+        print(f"streamed {written:,} edges to {args.stream} (.npy shards)")
     return 0
 
 
@@ -158,12 +192,49 @@ def _cmd_validate(args: argparse.Namespace) -> int:
     return exit_code
 
 
+def _resolve_stream_format(args: argparse.Namespace) -> str:
+    if args.format != "auto":
+        return args.format
+    return "tsv" if args.output.suffix in (".tsv", ".txt") else "shards"
+
+
 def _cmd_stream(args: argparse.Namespace) -> int:
     factor_a, factor_b, _ = _load_undirected_bundle(args.bundle)
     product = KroneckerGraph(factor_a, factor_b)
-    written = stream_edges_to_file(product, args.output,
-                                   a_edges_per_block=args.block, max_edges=args.max_edges)
-    print(f"wrote {written:,} edges to {args.output}")
+    fmt = _resolve_stream_format(args)
+    if args.processes and args.ranks is None:
+        raise SystemExit("--processes requires --ranks")
+
+    if args.ranks is not None:
+        if fmt == "tsv":
+            raise SystemExit("--ranks spills .npy shards; TSV is single-rank only")
+        if args.max_edges is not None:
+            raise SystemExit("--max-edges applies to single-rank spills only")
+        sink = NpyShardSink(args.output, name=product.name,
+                            n_vertices=product.n_vertices)
+        result = distributed_generate(
+            factor_a, factor_b, args.ranks,
+            streaming=True, a_edges_per_block=args.block,
+            sink=sink, use_processes=args.processes,
+        )
+        print(f"streamed {result.n_edges:,} edges over {args.ranks} ranks "
+              f"to {args.output} (.npy shards)")
+        print(f"peak block: {result.max_block_edges:,} edges "
+              f"(bound {args.block * factor_b.nnz:,})")
+        report = ValidationAccumulator(factor_a, factor_b,
+                                       stats=result.stats).validate(result.total)
+        print(report.summary())
+        return 0 if report.passed else 1
+
+    if fmt == "tsv":
+        written = stream_edges_to_file(product, args.output,
+                                       a_edges_per_block=args.block,
+                                       max_edges=args.max_edges)
+    else:
+        written = write_edge_shards(product, args.output,
+                                    a_edges_per_block=args.block,
+                                    max_edges=args.max_edges)
+    print(f"wrote {written:,} edges to {args.output} ({fmt})")
     return 0
 
 

@@ -77,6 +77,7 @@ from repro.core.sampling import (
 )
 from repro.core.triangle_formulas import (
     KroneckerTriangleStats,
+    TriangleStatsGatherer,
     cor1_vertex_triangles,
     cor2_edge_triangles,
     diag_of_cube,
@@ -95,6 +96,7 @@ from repro.core.truss_formulas import (
     kron_truss_decomposition,
 )
 from repro.core.validation import (
+    ValidationAccumulator,
     ValidationReport,
     validate_directed_product,
     validate_egonets,
@@ -156,6 +158,7 @@ __all__ = [
     "kron_vertex_triangles_at",
     "kron_edge_triangles_at",
     "KroneckerTriangleStats",
+    "TriangleStatsGatherer",
     # directed formulas
     "check_directed_factor_assumptions",
     "kron_reciprocal_part",
@@ -178,6 +181,7 @@ __all__ = [
     "kron_truss_decomposition",
     # validation
     "ValidationReport",
+    "ValidationAccumulator",
     "validate_undirected_product",
     "validate_directed_product",
     "validate_labeled_product",

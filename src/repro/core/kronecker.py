@@ -236,7 +236,13 @@ class KroneckerGraph:
     # ------------------------------------------------------------------
     # Edge iteration / materialization
     # ------------------------------------------------------------------
-    def iter_edge_blocks(self, *, a_edges_per_block: int = 1024) -> Iterator[np.ndarray]:
+    def iter_edge_blocks(
+        self,
+        *,
+        a_edges_per_block: int = 1024,
+        a_entry_start: int = 0,
+        a_entry_stop: Optional[int] = None,
+    ) -> Iterator[np.ndarray]:
         """Stream the directed edge list of ``C`` in blocks.
 
         For each block of ``a_edges_per_block`` stored entries of ``A``, emit
@@ -244,19 +250,56 @@ class KroneckerGraph:
         memory is bounded by the block size regardless of ``nnz(C)``.  This is
         the single-rank version of the communication-free distributed
         generation in :mod:`repro.parallel`.
+
+        Parameters
+        ----------
+        a_entry_start, a_entry_stop:
+            Half-open range of stored ``A`` entries (row-major CSR order) to
+            stream; defaults to the full entry list.  A rank of the
+            distributed generation passes its partition slice here so that
+            only its share of the product is ever generated.
         """
         coo_a = self._adj_a.tocoo()
         coo_b = self._adj_b.tocoo()
         b_rows = coo_b.row.astype(np.int64)
         b_cols = coo_b.col.astype(np.int64)
         n_b = self.n_factor_b
-        for start in range(0, coo_a.nnz, a_edges_per_block):
-            stop = min(start + a_edges_per_block, coo_a.nnz)
+        entry_stop = coo_a.nnz if a_entry_stop is None else int(a_entry_stop)
+        if not 0 <= a_entry_start <= entry_stop <= coo_a.nnz:
+            raise ValueError(
+                f"entry range [{a_entry_start}, {entry_stop}) outside [0, {coo_a.nnz})"
+            )
+        for start in range(a_entry_start, entry_stop, a_edges_per_block):
+            stop = min(start + a_edges_per_block, entry_stop)
             a_rows = coo_a.row[start:stop].astype(np.int64)
             a_cols = coo_a.col[start:stop].astype(np.int64)
             rows = (a_rows[:, None] * n_b + b_rows[None, :]).ravel()
             cols = (a_cols[:, None] * n_b + b_cols[None, :]).ravel()
             yield np.stack([rows, cols], axis=1)
+
+    def iter_rank_edge_blocks(
+        self, partition, *, a_edges_per_block: int = 1024
+    ) -> Iterator[np.ndarray]:
+        """Stream one rank's slice of the product edge list in bounded blocks.
+
+        The partition-scoped sibling of :meth:`iter_edge_blocks`: only the
+        ``A`` entries owned by *partition* (either layout from
+        :mod:`repro.parallel.partition`) are expanded, so a rank of the
+        communication-free generation holds at most
+        ``a_edges_per_block · nnz(B)`` edges at a time no matter how large
+        its slice is.  The statistics-annotated version lives in
+        :func:`repro.parallel.distributed.iter_rank_edge_blocks`.
+        """
+        # Deferred so the partition dispatch has a single home in the
+        # parallel layer without a module-level core → parallel cycle.
+        from repro.parallel.partition import entry_range
+
+        start, stop = entry_range(partition, self._adj_a.indptr)
+        return self.iter_edge_blocks(
+            a_edges_per_block=a_edges_per_block,
+            a_entry_start=start,
+            a_entry_stop=stop,
+        )
 
     def edges(self, *, max_nnz: int = DEFAULT_MATERIALIZE_LIMIT) -> np.ndarray:
         """All directed edges of ``C`` as an array (guarded by ``max_nnz``).

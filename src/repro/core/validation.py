@@ -27,8 +27,8 @@ from repro.core.labeled_formulas import (
     kron_labeled_edge_triangles,
     kron_labeled_vertex_triangles,
 )
-from repro.core.triangle_formulas import kron_edge_triangles, kron_vertex_triangles
-from repro.core.truss_formulas import kron_truss_decomposition
+from repro.core.triangle_formulas import KroneckerTriangleStats, kron_edge_triangles, kron_vertex_triangles
+from repro.core.truss_formulas import KroneckerTrussDecomposition, kron_truss_decomposition
 from repro.graphs.adjacency import Graph
 from repro.graphs.directed import DirectedGraph
 from repro.graphs.egonet import egonet
@@ -46,6 +46,7 @@ from repro.truss.decomposition import truss_decomposition
 
 __all__ = [
     "ValidationReport",
+    "ValidationAccumulator",
     "validate_undirected_product",
     "validate_directed_product",
     "validate_labeled_product",
@@ -193,6 +194,159 @@ def validate_truss_transfer(factor_a: Graph, factor_b: Graph,
     ok = formula_sizes == direct_sizes
     report.record("truss_sizes", ok, f"formula={formula_sizes}, direct={direct_sizes}")
     return report
+
+
+class ValidationAccumulator:
+    """On-the-fly validator for streamed generation aggregates.
+
+    The streaming pipeline never merges the per-rank edge lists; what it
+    *can* afford is the allreduce of the per-rank
+    :class:`~repro.parallel.streaming.StreamingRankAccumulator` aggregates.
+    This class holds the closed-form, factor-sized expectations for exactly
+    those aggregates — edge count, out-degree histogram,
+    triangle-participation histogram and total, trussness census — and
+    compares the reduced aggregate against them.  A dropped, duplicated or
+    tampered rank slice perturbs at least one aggregate, so corruption is
+    caught without the product ever existing in one place.
+
+    Every expectation is computed from per-factor quantities only (degree
+    profiles, the factored triangle components, the Theorem 3 truss
+    transfer); nothing here allocates a length-``n_C`` array.  The aggregate
+    argument is duck-typed (``n_edges``, ``degree_histogram(n)``,
+    ``triangle_histogram()``, ``triangle_total``, ``trussness_census()``,
+    ``with_statistics``, ``with_trussness``) so this module stays independent
+    of :mod:`repro.parallel`.
+    """
+
+    def __init__(
+        self,
+        factor_a: Graph,
+        factor_b: Graph,
+        *,
+        stats: Optional[KroneckerTriangleStats] = None,
+        truss: Optional[KroneckerTrussDecomposition] = None,
+    ):
+        self.factor_a = factor_a
+        self.factor_b = factor_b
+        self._stats = stats
+        self._truss = truss
+        self.expected_edges = factor_a.nnz * factor_b.nnz
+        self.n_vertices = factor_a.n_vertices * factor_b.n_vertices
+
+    # -- factor-side expectations --------------------------------------
+    def _stats_or_build(self) -> KroneckerTriangleStats:
+        if self._stats is None:
+            self._stats = KroneckerTriangleStats.from_factors(self.factor_a, self.factor_b)
+        return self._stats
+
+    def _truss_or_build(self) -> KroneckerTrussDecomposition:
+        if self._truss is None:
+            self._truss = kron_truss_decomposition(self.factor_a, self.factor_b)
+        return self._truss
+
+    def expected_degree_histogram(self) -> Dict[int, int]:
+        """``{out-entry count: #product vertices}`` from the factor profiles.
+
+        Product vertex ``(i, k)`` has raw out-entry count
+        ``row_nnz_A(i) · row_nnz_B(k)`` (self loops included, matching what a
+        stream consumer counts), so the histogram is the multiplicative
+        convolution of the two factor row-count tabulations.
+        """
+        row_a = np.diff(self.factor_a.adjacency.indptr).astype(np.int64)
+        row_b = np.diff(self.factor_b.adjacency.indptr).astype(np.int64)
+        va, ca = np.unique(row_a, return_counts=True)
+        vb, cb = np.unique(row_b, return_counts=True)
+        values = np.multiply.outer(va, vb).ravel()
+        weights = np.multiply.outer(ca, cb).ravel().astype(np.int64)
+        uniq, inverse = np.unique(values, return_inverse=True)
+        sums = np.zeros(uniq.shape[0], dtype=np.int64)
+        np.add.at(sums, inverse, weights)
+        return {int(v): int(c) for v, c in zip(uniq, sums)}
+
+    def expected_triangle_total(self) -> int:
+        """``Σ_{(p,q) ∈ E_C} Δ_C[p, q]`` from component sums only.
+
+        ``Σ (M_A ⊗ M_B) = (Σ M_A)(Σ M_B)`` term by term in the factored
+        expansion; for loop-free factors this equals ``6 τ(C)``.
+        """
+        total = 0.0
+        for coef, ma, mb in self._stats_or_build().edge_components:
+            total += coef * float(ma.sum()) * float(mb.sum())
+        return int(round(total))
+
+    def expected_triangle_histogram(self) -> Dict[int, int]:
+        """``{Δ value: #directed edges}`` including the zero bin."""
+        hist = dict(self._stats_or_build().edge_histogram())
+        nonzero = sum(hist.values())
+        zero = self.expected_edges - nonzero
+        if zero:
+            hist[0] = hist.get(0, 0) + zero
+        return hist
+
+    def expected_trussness_census(self) -> Dict[int, int]:
+        """``{trussness: #directed product edges}`` via the Theorem 3 transfer.
+
+        An ``A`` edge with trussness ``t ≥ 3`` contributes ``t`` for each of
+        the ``|T(3)_B|`` triangle edges of ``B`` and 2 for the rest; every
+        other product edge has trussness 2.
+        """
+        truss = self._truss_or_build()
+        trussness_a = truss.factor_a_decomposition.trussness
+        t3_directed = int(truss.b_triangle_edges.nnz)
+        census: Dict[int, int] = {}
+        values, counts = np.unique(trussness_a.data, return_counts=True)
+        transferred = 0
+        for t, count in zip(values, counts):
+            if int(t) < 3:
+                continue
+            block = int(count) * t3_directed
+            if block:
+                census[int(t)] = census.get(int(t), 0) + block
+                transferred += block
+        base = self.expected_edges - transferred
+        if base:
+            census[2] = census.get(2, 0) + base
+        return census
+
+    # -- the check ------------------------------------------------------
+    def validate(self, aggregate) -> ValidationReport:
+        """Compare one (rank-reduced) aggregate against the expectations."""
+        report = ValidationReport("streaming_aggregates")
+        report.record(
+            "edge_count",
+            aggregate.n_edges == self.expected_edges,
+            f"streamed={aggregate.n_edges}, formula={self.expected_edges}",
+        )
+        streamed_degrees = aggregate.degree_histogram(self.n_vertices)
+        expected_degrees = self.expected_degree_histogram()
+        report.record(
+            "degree_histogram",
+            streamed_degrees == expected_degrees,
+            f"{len(expected_degrees)} distinct degrees",
+        )
+        if getattr(aggregate, "with_statistics", False):
+            expected_total = self.expected_triangle_total()
+            report.record(
+                "triangle_total",
+                aggregate.triangle_total == expected_total,
+                f"streamed={aggregate.triangle_total}, formula={expected_total}",
+            )
+            streamed_hist = aggregate.triangle_histogram()
+            expected_hist = self.expected_triangle_histogram()
+            report.record(
+                "triangle_histogram",
+                streamed_hist == expected_hist,
+                f"{len(expected_hist)} distinct values",
+            )
+        if getattr(aggregate, "with_trussness", False):
+            streamed_census = aggregate.trussness_census()
+            expected_census = self.expected_trussness_census()
+            report.record(
+                "trussness_census",
+                streamed_census == expected_census,
+                f"streamed={streamed_census}, formula={expected_census}",
+            )
+        return report
 
 
 def validate_egonets(

@@ -9,11 +9,16 @@ from repro.graphs.adjacency import Graph, hadamard, is_symmetric, to_csr
 from repro.graphs.directed import DirectedGraph
 from repro.graphs.egonet import Egonet, egonet, egonet_degree, egonet_triangle_count
 from repro.graphs.io import (
+    NpyShardSink,
+    iter_edge_shards,
+    load_edge_shards,
     load_kronecker_bundle,
     read_directed_edge_list,
     read_edge_list,
+    read_shard_manifest,
     save_kronecker_bundle,
     write_edge_list,
+    write_edge_shards,
 )
 from repro.graphs.labeled import (
     VertexLabeledGraph,
@@ -41,4 +46,9 @@ __all__ = [
     "write_edge_list",
     "save_kronecker_bundle",
     "load_kronecker_bundle",
+    "NpyShardSink",
+    "write_edge_shards",
+    "read_shard_manifest",
+    "iter_edge_shards",
+    "load_edge_shards",
 ]

@@ -4,24 +4,32 @@ Single-node simulation of the paper's distributed generation path: partition
 descriptors (:mod:`repro.parallel.partition`), a minimal communicator
 abstraction (:mod:`repro.parallel.comm`), per-rank edge generation with local
 ground-truth statistics (:mod:`repro.parallel.distributed`), and
-bounded-memory streaming consumers (:mod:`repro.parallel.streaming`).
+bounded-memory streaming consumers plus the per-rank aggregate accumulator
+(:mod:`repro.parallel.streaming`).
 """
 
 from repro.parallel.comm import RankContext, SimulatedComm, run_on_ranks
 from repro.parallel.distributed import (
+    RankEdgeBlock,
     RankOutput,
+    StreamingGenerateResult,
     distributed_generate,
     generate_rank_edges,
+    iter_rank_edge_blocks,
     merge_rank_outputs,
+    stream_rank_aggregate,
 )
 from repro.parallel.partition import (
     EdgePartition,
     VertexBlockPartition,
     balance_statistics,
+    entry_range,
     partition_edges,
     partition_vertex_blocks,
 )
 from repro.parallel.streaming import (
+    StreamingRankAccumulator,
+    format_edge_block_tsv,
     stream_apply,
     stream_degree_histogram,
     stream_edge_count,
@@ -36,11 +44,18 @@ __all__ = [
     "VertexBlockPartition",
     "partition_edges",
     "partition_vertex_blocks",
+    "entry_range",
     "balance_statistics",
     "RankOutput",
+    "RankEdgeBlock",
+    "StreamingGenerateResult",
     "generate_rank_edges",
+    "iter_rank_edge_blocks",
+    "stream_rank_aggregate",
     "distributed_generate",
     "merge_rank_outputs",
+    "StreamingRankAccumulator",
+    "format_edge_block_tsv",
     "stream_apply",
     "stream_edge_count",
     "stream_degree_histogram",

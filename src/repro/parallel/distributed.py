@@ -8,30 +8,71 @@ per-rank outputs is exactly the product's edge set and that per-rank
 statistics sum to the global formula values, which is the property the paper
 relies on when calling the generation "essentially communication-free".
 
+Two execution modes are provided:
+
+* **materialized** (default) — each rank returns its whole slice as one
+  :class:`RankOutput`; peak memory per rank is the full
+  ``(stop - start) · nnz(B)`` edge array.
+* **streaming** (``streaming=True``) — each rank walks its slice in
+  ``a_edges_per_block · nnz(B)``-edge blocks
+  (:func:`iter_rank_edge_blocks`), folds them into a
+  :class:`~repro.parallel.streaming.StreamingRankAccumulator`, optionally
+  spills each block to a sink (e.g.
+  :class:`repro.graphs.io.NpyShardSink`), and returns only the aggregates.
+  The driver sum-reduces the accumulators through
+  :class:`~repro.parallel.comm.SimulatedComm` — the single-node stand-in for
+  writing a trillion-edge graph to a parallel file system while validating
+  it on the fly, without the product ever existing in memory.
+
 Performance contract: the factored statistics object is built **once** per
-generation run and shared (read-only) by every rank, and each rank evaluates
-its ground-truth payload with the batched
-:meth:`~repro.core.triangle_formulas.KroneckerTriangleStats.edge_values`
-kernel — no per-edge Python loop anywhere on the generation path.  Ranks run
-sequentially by default; pass ``use_processes=True`` to fan them out on a
-``multiprocessing`` pool.
+generation run and shared (read-only) by every rank; batched payloads go
+through :meth:`~repro.core.triangle_formulas.KroneckerTriangleStats.edge_values`
+(materialized path) or the cached-key
+:class:`~repro.core.triangle_formulas.TriangleStatsGatherer` (streaming path,
+one gatherer reused across all blocks) — no per-edge Python loop anywhere.
+Ranks run sequentially by default; pass ``use_processes=True`` to fan them
+out on a ``multiprocessing`` pool.
 """
 
 from __future__ import annotations
 
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import Callable, Iterator, List, NamedTuple, Optional, Sequence, Tuple, Union
 
 import numpy as np
 import scipy.sparse as sp
 
 from repro.core.kronecker import KroneckerGraph
-from repro.core.triangle_formulas import KroneckerTriangleStats
+from repro.core.triangle_formulas import KroneckerTriangleStats, TriangleStatsGatherer
+from repro.core.truss_formulas import KroneckerTrussDecomposition, kron_truss_decomposition
 from repro.graphs.adjacency import Graph
-from repro.parallel.partition import EdgePartition, partition_edges
+from repro.parallel.comm import SimulatedComm
+from repro.parallel.partition import (
+    EdgePartition,
+    VertexBlockPartition,
+    entry_range,
+    partition_edges,
+    partition_vertex_blocks,
+)
+from repro.parallel.streaming import StreamingRankAccumulator
 
-__all__ = ["RankOutput", "generate_rank_edges", "distributed_generate", "merge_rank_outputs"]
+__all__ = [
+    "RankOutput",
+    "RankEdgeBlock",
+    "StreamingGenerateResult",
+    "generate_rank_edges",
+    "iter_rank_edge_blocks",
+    "stream_rank_aggregate",
+    "distributed_generate",
+    "merge_rank_outputs",
+]
+
+PartitionType = Union[EdgePartition, VertexBlockPartition]
+
+#: Sink protocol: either an object with ``write(rank, block_index, edges)``
+#: (and optionally ``finalize()``) or a plain callable with that signature.
+SinkType = Union[Callable[[int, int, np.ndarray], None], object]
 
 
 @dataclass(frozen=True)
@@ -62,21 +103,35 @@ class RankOutput:
         return int(self.edges.shape[0])
 
 
+class RankEdgeBlock(NamedTuple):
+    """One bounded block of a rank's stream: edges plus their exact payloads."""
+
+    edges: np.ndarray
+    edge_triangles: np.ndarray
+    source_vertex_triangles: np.ndarray
+
+
+def _rank_entry_range(factor_a: Graph, partition: PartitionType) -> Tuple[int, int]:
+    return entry_range(partition, factor_a.adjacency.indptr)
+
+
 def generate_rank_edges(
     factor_a: Graph,
     factor_b: Graph,
-    partition: EdgePartition,
+    partition: PartitionType,
     *,
     with_statistics: bool = True,
     stats: Optional[KroneckerTriangleStats] = None,
 ) -> RankOutput:
-    """Generate the product edges owned by one rank (its slice of ``A``'s entries).
+    """Generate the product edges owned by one rank, as a single slice.
 
     Every ``A`` entry in the rank's slice is paired with every ``B`` entry;
     the statistics are evaluated from the factored
     :class:`~repro.core.triangle_formulas.KroneckerTriangleStats` — via its
     batched ``edge_values``/``vertex_value`` kernels, never one edge at a
-    time — using only factor-sized data.
+    time — using only factor-sized data.  Both partition layouts are
+    accepted: a :class:`~repro.parallel.partition.VertexBlockPartition` is
+    mapped to its contiguous CSR entry range first.
 
     Parameters
     ----------
@@ -89,7 +144,7 @@ def generate_rank_edges(
     coo_a = factor_a.adjacency.tocoo()
     coo_b = factor_b.adjacency.tocoo()
     n_b = factor_b.n_vertices
-    start, stop = partition.a_entry_start, partition.a_entry_stop
+    start, stop = _rank_entry_range(factor_a, partition)
     a_rows = coo_a.row[start:stop].astype(np.int64)
     a_cols = coo_a.col[start:stop].astype(np.int64)
     b_rows = coo_b.row.astype(np.int64)
@@ -111,22 +166,159 @@ def generate_rank_edges(
                       edge_triangles=edge_t, source_vertex_triangles=vertex_t)
 
 
-#: Per-worker shared state (factors + statistics), shipped once per process
-#: via the pool initializer instead of being re-pickled into every task.
-_WORKER_STATE: Optional[Tuple[Graph, Graph, bool, Optional[KroneckerTriangleStats]]] = None
+def iter_rank_edge_blocks(
+    factor_a: Graph,
+    factor_b: Graph,
+    partition: PartitionType,
+    *,
+    a_edges_per_block: int = 1024,
+    with_statistics: bool = True,
+    stats: Optional[KroneckerTriangleStats] = None,
+    gatherer: Optional[TriangleStatsGatherer] = None,
+) -> Iterator[RankEdgeBlock]:
+    """Stream one rank's slice as bounded, statistics-annotated blocks.
+
+    The fused streaming sibling of :func:`generate_rank_edges`: at most
+    ``a_edges_per_block · nnz(B)`` edges exist at a time, and every block's
+    triangle payload is evaluated through a single
+    :class:`~repro.core.triangle_formulas.TriangleStatsGatherer` — the
+    cached-key :class:`~repro.perf.kernels.CsrGatherer` kernels are built
+    once per call (or shared via *gatherer*), then reused for every block.
+    """
+    product = KroneckerGraph(factor_a, factor_b)
+    if with_statistics and gatherer is None:
+        if stats is None:
+            stats = KroneckerTriangleStats.from_factors(factor_a, factor_b)
+        gatherer = stats.gatherer()
+    empty = np.zeros(0, dtype=np.int64)
+    for edges in product.iter_rank_edge_blocks(partition,
+                                               a_edges_per_block=a_edges_per_block):
+        if not with_statistics:
+            yield RankEdgeBlock(edges, empty, empty)
+            continue
+        edge_t = gatherer.edge_values(edges[:, 0], edges[:, 1])
+        vertex_t = gatherer.vertex_values(edges[:, 0])
+        yield RankEdgeBlock(edges, edge_t, vertex_t)
+
+
+def stream_rank_aggregate(
+    factor_a: Graph,
+    factor_b: Graph,
+    partition: PartitionType,
+    *,
+    a_edges_per_block: int = 1024,
+    with_statistics: bool = True,
+    stats: Optional[KroneckerTriangleStats] = None,
+    gatherer: Optional[TriangleStatsGatherer] = None,
+    truss: Optional[KroneckerTrussDecomposition] = None,
+    sink: Optional[SinkType] = None,
+) -> StreamingRankAccumulator:
+    """Fold one rank's streamed blocks into aggregates (and optionally a sink).
+
+    This is the whole per-rank streaming pipeline: generate a block, evaluate
+    its exact payloads, fold it into the
+    :class:`~repro.parallel.streaming.StreamingRankAccumulator`, spill it to
+    *sink* if given, release it, repeat.  The rank never holds more than one
+    block and returns only factor-free aggregates.
+    """
+    acc = StreamingRankAccumulator(partition.rank,
+                                   with_statistics=with_statistics,
+                                   with_trussness=truss is not None)
+    write = getattr(sink, "write", sink)
+    for block_index, block in enumerate(
+        iter_rank_edge_blocks(factor_a, factor_b, partition,
+                              a_edges_per_block=a_edges_per_block,
+                              with_statistics=with_statistics, stats=stats,
+                              gatherer=gatherer)
+    ):
+        trussness = None
+        if truss is not None:
+            trussness = truss.edge_trussness_batch(block.edges[:, 0], block.edges[:, 1])
+        acc.update(block.edges,
+                   block.edge_triangles if with_statistics else None,
+                   trussness)
+        if write is not None:
+            write(partition.rank, block_index, block.edges)
+    return acc
+
+
+@dataclass(frozen=True)
+class StreamingGenerateResult:
+    """Outcome of a ``streaming=True`` distributed run.
+
+    Attributes
+    ----------
+    rank_aggregates:
+        One :class:`~repro.parallel.streaming.StreamingRankAccumulator` per
+        rank, in rank order.
+    total:
+        The allreduced (summed) aggregate across all ranks.
+    partitions:
+        The partition descriptors the run used.
+    stats:
+        The factored statistics the run built (``None`` when
+        ``with_statistics=False``) — pass them to
+        :class:`~repro.core.validation.ValidationAccumulator` so validation
+        does not rebuild them.
+    """
+
+    rank_aggregates: List[StreamingRankAccumulator]
+    total: StreamingRankAccumulator
+    partitions: List[PartitionType]
+    stats: Optional[KroneckerTriangleStats] = None
+
+    @property
+    def n_edges(self) -> int:
+        """Total directed product edges generated across all ranks."""
+        return self.total.n_edges
+
+    @property
+    def max_block_edges(self) -> int:
+        """Largest single block any rank ever held (the peak-memory bound)."""
+        return self.total.max_block_edges
+
+
+def _build_partitions(factor_a: Graph, factor_b: Graph, n_ranks: int,
+                      layout: str) -> List[PartitionType]:
+    if layout == "edges":
+        return partition_edges(factor_a.nnz, factor_b.nnz, n_ranks)
+    if layout == "vertex-blocks":
+        row_nnz = np.diff(factor_a.adjacency.indptr)
+        return partition_vertex_blocks(row_nnz, factor_b.n_vertices,
+                                       factor_b.nnz, n_ranks)
+    raise ValueError(f"unknown layout {layout!r}; choose 'edges' or 'vertex-blocks'")
+
+
+#: Per-worker shared state (factors + statistics + streaming config), shipped
+#: once per process via the pool initializer instead of being re-pickled into
+#: every task.
+_WORKER_STATE: Optional[tuple] = None
 
 
 def _worker_init(factor_a: Graph, factor_b: Graph, with_statistics: bool,
-                 stats: Optional[KroneckerTriangleStats]) -> None:
+                 stats: Optional[KroneckerTriangleStats],
+                 truss: Optional[KroneckerTrussDecomposition] = None,
+                 sink: Optional[SinkType] = None,
+                 a_edges_per_block: int = 1024) -> None:
     global _WORKER_STATE
-    _WORKER_STATE = (factor_a, factor_b, with_statistics, stats)
+    _WORKER_STATE = (factor_a, factor_b, with_statistics, stats,
+                     truss, sink, a_edges_per_block)
 
 
-def _rank_worker(partition: EdgePartition) -> RankOutput:
+def _rank_worker(partition: PartitionType) -> RankOutput:
     """Module-level worker (picklable); reads the shared per-process state."""
-    factor_a, factor_b, with_statistics, stats = _WORKER_STATE
+    factor_a, factor_b, with_statistics, stats, _, _, _ = _WORKER_STATE
     return generate_rank_edges(factor_a, factor_b, partition,
                                with_statistics=with_statistics, stats=stats)
+
+
+def _stream_worker(partition: PartitionType) -> StreamingRankAccumulator:
+    """Module-level streaming worker; folds a rank's blocks in the pool process."""
+    factor_a, factor_b, with_statistics, stats, truss, sink, block = _WORKER_STATE
+    return stream_rank_aggregate(factor_a, factor_b, partition,
+                                 a_edges_per_block=block,
+                                 with_statistics=with_statistics, stats=stats,
+                                 truss=truss, sink=sink)
 
 
 def distributed_generate(
@@ -137,7 +329,12 @@ def distributed_generate(
     with_statistics: bool = True,
     use_processes: bool = False,
     max_workers: Optional[int] = None,
-) -> List[RankOutput]:
+    layout: str = "edges",
+    streaming: bool = False,
+    a_edges_per_block: Optional[int] = None,
+    sink: Optional[SinkType] = None,
+    with_trussness: bool = False,
+) -> Union[List[RankOutput], StreamingGenerateResult]:
     """Run the communication-free generation over ``n_ranks`` simulated ranks.
 
     The factored statistics are built exactly once and shared by every rank
@@ -145,22 +342,94 @@ def distributed_generate(
     workers).  With ``use_processes=True`` the ranks run concurrently on a
     ``multiprocessing`` pool — the single-node stand-in for the paper's MPI
     ranks; results are returned in rank order either way.
+
+    Parameters
+    ----------
+    layout:
+        ``"edges"`` (contiguous ``A``-entry slices) or ``"vertex-blocks"``
+        (contiguous ``A``-row blocks with near-even edge load).  Both layouts
+        cover the product exactly once, so they merge to the same graph.
+    streaming:
+        When set, ranks fold their slice block-by-block instead of
+        materializing it, and a :class:`StreamingGenerateResult` of
+        aggregates is returned; the per-rank accumulators are sum-reduced
+        through :class:`~repro.parallel.comm.SimulatedComm` collectives.
+    a_edges_per_block:
+        Streamed block granularity: at most ``a_edges_per_block · nnz(B)``
+        edges per rank in memory at a time (default 1024).
+    sink:
+        Optional spill target for streamed blocks — an object with
+        ``write(rank, block_index, edges)`` (its ``finalize()`` is invoked by
+        the driver once all ranks are done) or a bare callable.  Must be
+        picklable under ``use_processes=True``
+        (:class:`repro.graphs.io.NpyShardSink` is).
+    with_trussness:
+        Streamed runs only: additionally evaluate each edge's trussness via
+        the Theorem 3 transfer and fold the census into the aggregates.
+        Requires the factors to satisfy the theorem's hypotheses
+        (``Δ_B ≤ 1``, loop-free).
     """
-    partitions = partition_edges(factor_a.nnz, factor_b.nnz, n_ranks)
+    partitions = _build_partitions(factor_a, factor_b, n_ranks, layout)
     stats = KroneckerTriangleStats.from_factors(factor_a, factor_b) \
         if with_statistics else None
+
+    if not streaming:
+        if with_trussness:
+            raise ValueError("with_trussness requires streaming=True")
+        if sink is not None:
+            raise ValueError("sink requires streaming=True")
+        if a_edges_per_block is not None:
+            raise ValueError("a_edges_per_block requires streaming=True")
+        if not use_processes:
+            return [
+                generate_rank_edges(factor_a, factor_b, part,
+                                    with_statistics=with_statistics, stats=stats)
+                for part in partitions
+            ]
+        with ProcessPoolExecutor(
+            max_workers=max_workers or min(n_ranks, 8),
+            initializer=_worker_init,
+            initargs=(factor_a, factor_b, with_statistics, stats),
+        ) as pool:
+            return list(pool.map(_rank_worker, partitions))
+
+    truss = kron_truss_decomposition(factor_a, factor_b) if with_trussness else None
+    block = 1024 if a_edges_per_block is None else int(a_edges_per_block)
+    if block < 1:
+        raise ValueError(f"a_edges_per_block must be >= 1, got {block}")
     if not use_processes:
-        return [
-            generate_rank_edges(factor_a, factor_b, part,
-                                with_statistics=with_statistics, stats=stats)
+        # One cached-key gatherer for the whole run — every rank's blocks
+        # reuse the same sorted component keys.
+        gatherer = stats.gatherer() if stats is not None else None
+        rank_aggregates = [
+            stream_rank_aggregate(factor_a, factor_b, part,
+                                  a_edges_per_block=block,
+                                  with_statistics=with_statistics, stats=stats,
+                                  gatherer=gatherer, truss=truss, sink=sink)
             for part in partitions
         ]
-    with ProcessPoolExecutor(
-        max_workers=max_workers or min(n_ranks, 8),
-        initializer=_worker_init,
-        initargs=(factor_a, factor_b, with_statistics, stats),
-    ) as pool:
-        return list(pool.map(_rank_worker, partitions))
+    else:
+        with ProcessPoolExecutor(
+            max_workers=max_workers or min(n_ranks, 8),
+            initializer=_worker_init,
+            initargs=(factor_a, factor_b, with_statistics, stats,
+                      truss, sink, block),
+        ) as pool:
+            rank_aggregates = list(pool.map(_stream_worker, partitions))
+
+    comm = SimulatedComm(n_ranks)
+    total = None
+    for acc in rank_aggregates:
+        total = comm.allreduce_sum("streaming-aggregate", acc.rank, acc)
+    if total.rank != -1:
+        # A size-1 allreduce hands back the contributed object itself; detach
+        # a merged copy so total never aliases a per-rank accumulator.
+        total = total + StreamingRankAccumulator(-1)
+    finalize = getattr(sink, "finalize", None)
+    if finalize is not None:
+        finalize()
+    return StreamingGenerateResult(rank_aggregates=rank_aggregates,
+                                   total=total, partitions=partitions, stats=stats)
 
 
 def merge_rank_outputs(outputs: Sequence[RankOutput], n_vertices: int) -> sp.csr_matrix:

@@ -101,6 +101,63 @@ class TestStream:
         lines = [l for l in out_path.read_text().splitlines() if not l.startswith("#")]
         assert len(lines) == factor_a.nnz * factor_b.nnz
 
+    def test_stream_default_is_npy_shards(self, bundle_path, tmp_path):
+        """A non-.tsv output spills binary shards with a manifest by default."""
+        from repro.graphs import load_edge_shards, read_shard_manifest
+
+        out_dir = tmp_path / "shards"
+        rc = cli.main(["stream", str(bundle_path), str(out_dir)])
+        assert rc == 0
+        factor_a, factor_b, _ = load_kronecker_bundle(bundle_path)
+        manifest = read_shard_manifest(out_dir)
+        assert manifest["total_edges"] == factor_a.nnz * factor_b.nnz
+        assert load_edge_shards(out_dir).shape == (manifest["total_edges"], 2)
+
+    def test_stream_explicit_tsv_format(self, bundle_path, tmp_path):
+        out_path = tmp_path / "edges.dat"
+        rc = cli.main(["stream", str(bundle_path), str(out_path),
+                       "--format", "tsv", "--max-edges", "40"])
+        assert rc == 0
+        lines = [l for l in out_path.read_text().splitlines() if not l.startswith("#")]
+        assert len(lines) == 40
+
+    def test_stream_ranks_pipeline_validates(self, bundle_path, tmp_path, capsys):
+        from repro.graphs import read_shard_manifest
+
+        out_dir = tmp_path / "rank-shards"
+        rc = cli.main(["stream", str(bundle_path), str(out_dir),
+                       "--ranks", "3", "--block", "16"])
+        assert rc == 0
+        captured = capsys.readouterr().out
+        assert "PASS" in captured
+        assert "peak block" in captured
+        factor_a, factor_b, _ = load_kronecker_bundle(bundle_path)
+        manifest = read_shard_manifest(out_dir)
+        assert manifest["total_edges"] == factor_a.nnz * factor_b.nnz
+
+    def test_stream_ranks_rejects_tsv(self, bundle_path, tmp_path):
+        with pytest.raises(SystemExit):
+            cli.main(["stream", str(bundle_path), str(tmp_path / "out.tsv"),
+                      "--ranks", "2"])
+
+    def test_stream_ranks_rejects_max_edges(self, bundle_path, tmp_path):
+        with pytest.raises(SystemExit):
+            cli.main(["stream", str(bundle_path), str(tmp_path / "d"),
+                      "--ranks", "2", "--max-edges", "10"])
+
+    def test_generate_stream_spills_shards(self, tmp_path):
+        from repro.graphs import read_shard_manifest
+
+        bundle = tmp_path / "tiny.npz"
+        shards = tmp_path / "spill"
+        rc = cli.main(["generate", str(bundle), "--factor-a", "clique",
+                       "--size-a", "4", "--factor-b", "clique", "--size-b", "3",
+                       "--stream", str(shards)])
+        assert rc == 0
+        factor_a, factor_b, _ = load_kronecker_bundle(bundle)
+        manifest = read_shard_manifest(shards)
+        assert manifest["total_edges"] == factor_a.nnz * factor_b.nnz
+
 
 class TestParser:
     def test_requires_command(self):
@@ -113,3 +170,10 @@ class TestParser:
 
     def test_build_parser_prog_name(self):
         assert cli.build_parser().prog == "repro-kron"
+
+
+class TestStreamFlagValidation:
+    def test_processes_requires_ranks(self, bundle_path, tmp_path):
+        with pytest.raises(SystemExit, match="--ranks"):
+            cli.main(["stream", str(bundle_path), str(tmp_path / "d"),
+                      "--processes"])

@@ -6,12 +6,17 @@ import pytest
 from repro.graphs import (
     DirectedGraph,
     Graph,
+    NpyShardSink,
     VertexLabeledGraph,
+    iter_edge_shards,
+    load_edge_shards,
     load_kronecker_bundle,
     read_directed_edge_list,
     read_edge_list,
+    read_shard_manifest,
     save_kronecker_bundle,
     write_edge_list,
+    write_edge_shards,
 )
 from repro import generators
 
@@ -116,3 +121,93 @@ class TestKroneckerBundle:
 
         product_nnz = KroneckerGraph(weblike_small, weblike_small).nnz
         assert path.stat().st_size < product_nnz  # bytes << product entries
+
+
+class TestEdgeShards:
+    def test_write_and_load_round_trip(self, tmp_path, small_er, triangle):
+        from repro.core import KroneckerGraph
+
+        product = KroneckerGraph(small_er, triangle)
+        written = write_edge_shards(product, tmp_path / "shards",
+                                    a_edges_per_block=5)
+        assert written == product.nnz
+        edges = load_edge_shards(tmp_path / "shards")
+        assert np.array_equal(edges, product.edges())
+
+    def test_manifest_contents(self, tmp_path, small_er, triangle):
+        from repro.core import KroneckerGraph
+
+        product = KroneckerGraph(small_er, triangle)
+        write_edge_shards(product, tmp_path / "shards", a_edges_per_block=5,
+                          metadata={"source": "test"})
+        manifest = read_shard_manifest(tmp_path / "shards")
+        assert manifest["kind"] == "edge-shards"
+        assert manifest["name"] == product.name
+        assert manifest["n_vertices"] == product.n_vertices
+        assert manifest["total_edges"] == product.nnz
+        assert manifest["metadata"] == {"source": "test"}
+        # every shard is one bounded block
+        assert all(s["n_edges"] <= 5 * triangle.nnz for s in manifest["shards"])
+
+    def test_iter_matches_block_schedule(self, tmp_path, small_er, triangle):
+        from repro.core import KroneckerGraph
+
+        product = KroneckerGraph(small_er, triangle)
+        write_edge_shards(product, tmp_path / "shards", a_edges_per_block=7)
+        streamed = list(product.iter_edge_blocks(a_edges_per_block=7))
+        loaded = list(iter_edge_shards(tmp_path / "shards"))
+        assert len(loaded) == len(streamed)
+        for got, expected in zip(loaded, streamed):
+            assert np.array_equal(got, expected)
+
+    def test_max_edges_cap(self, tmp_path, small_er, triangle):
+        from repro.core import KroneckerGraph
+
+        product = KroneckerGraph(small_er, triangle)
+        written = write_edge_shards(product, tmp_path / "shards",
+                                    a_edges_per_block=5, max_edges=17)
+        assert written == 17
+        assert load_edge_shards(tmp_path / "shards").shape[0] == 17
+
+    def test_sink_is_picklable(self, tmp_path):
+        import pickle
+
+        sink = NpyShardSink(tmp_path / "shards", name="x", n_vertices=9)
+        clone = pickle.loads(pickle.dumps(sink))
+        assert clone.directory == sink.directory
+        assert clone.name == "x" and clone.n_vertices == 9
+
+    def test_finalize_is_idempotent(self, tmp_path):
+        sink = NpyShardSink(tmp_path / "shards")
+        sink.write(0, 0, np.asarray([[1, 2], [3, 4]], dtype=np.int64))
+        first = sink.finalize()
+        second = sink.finalize()
+        assert first == second
+        assert first["total_edges"] == 2
+
+    def test_manifest_missing_raises(self, tmp_path):
+        (tmp_path / "not-shards").mkdir()
+        with pytest.raises(FileNotFoundError):
+            read_shard_manifest(tmp_path / "not-shards")
+
+    def test_wrong_manifest_kind_rejected(self, tmp_path):
+        import json
+
+        d = tmp_path / "other"
+        d.mkdir()
+        (d / "manifest.json").write_text(json.dumps({"kind": "something-else"}))
+        with pytest.raises(ValueError, match="edge-shard"):
+            read_shard_manifest(d)
+
+    def test_rerun_into_same_directory_discards_stale_shards(self, tmp_path, small_er, triangle):
+        """Regression: a re-spill must not fold a previous run's shards in."""
+        from repro.core import KroneckerGraph
+
+        product = KroneckerGraph(small_er, triangle)
+        write_edge_shards(product, tmp_path / "shards", a_edges_per_block=4)
+        first = read_shard_manifest(tmp_path / "shards")
+        write_edge_shards(product, tmp_path / "shards", a_edges_per_block=64)
+        second = read_shard_manifest(tmp_path / "shards")
+        assert second["total_edges"] == first["total_edges"] == product.nnz
+        assert len(second["shards"]) < len(first["shards"])
+        assert load_edge_shards(tmp_path / "shards").shape[0] == product.nnz

@@ -190,6 +190,89 @@ class TestSharedStatisticsAndExecutor:
             assert np.array_equal(seq.source_vertex_triangles, par.source_vertex_triangles)
 
 
+class TestLayoutEquivalence:
+    def test_vertex_blocks_merge_to_same_product(self, weblike_small, delta_le_one_factor):
+        """Edge-partition and vertex-block runs cover the identical CSR product."""
+        product = KroneckerGraph(weblike_small, delta_le_one_factor)
+        by_edges = distributed_generate(weblike_small, delta_le_one_factor, 5,
+                                        with_statistics=False)
+        by_blocks = distributed_generate(weblike_small, delta_le_one_factor, 5,
+                                         with_statistics=False,
+                                         layout="vertex-blocks")
+        merged_e = merge_rank_outputs(by_edges, product.n_vertices)
+        merged_v = merge_rank_outputs(by_blocks, product.n_vertices)
+        assert (merged_e != merged_v).nnz == 0
+        assert (merged_v != product.materialize_adjacency()).nnz == 0
+        assert merged_v.max() == 1  # every edge generated exactly once
+
+    def test_vertex_block_statistics_match_edge_layout(self, small_er, triangle):
+        by_edges = distributed_generate(small_er, triangle, 3)
+        by_blocks = distributed_generate(small_er, triangle, 3,
+                                         layout="vertex-blocks")
+        cat = lambda outs, field: np.concatenate([getattr(o, field) for o in outs])
+        # Same multiset of (edge, payload) rows, possibly ordered differently.
+        def canon(outs):
+            edges = np.concatenate([o.edges for o in outs], axis=0)
+            rows = np.stack([edges[:, 0], edges[:, 1],
+                             cat(outs, "edge_triangles"),
+                             cat(outs, "source_vertex_triangles")], axis=1)
+            return rows[np.lexsort(rows.T[::-1])]
+        assert np.array_equal(canon(by_edges), canon(by_blocks))
+
+    def test_process_pool_bit_identical_vertex_blocks(self, small_er, triangle):
+        sequential = distributed_generate(small_er, triangle, 3,
+                                          layout="vertex-blocks")
+        parallel = distributed_generate(small_er, triangle, 3,
+                                        layout="vertex-blocks",
+                                        use_processes=True, max_workers=2)
+        for seq, par in zip(sequential, parallel):
+            assert np.array_equal(seq.edges, par.edges)
+            assert np.array_equal(seq.edge_triangles, par.edge_triangles)
+            assert np.array_equal(seq.source_vertex_triangles,
+                                  par.source_vertex_triangles)
+
+    def test_unknown_layout_rejected(self, small_er, triangle):
+        with pytest.raises(ValueError, match="layout"):
+            distributed_generate(small_er, triangle, 2, layout="hilbert-curve")
+
+
+class TestMergeFailureModes:
+    def test_duplicated_rank_slice_detected(self, small_er, triangle):
+        """A rank emitting twice shows up as entries > 1 in the merge."""
+        outputs = distributed_generate(small_er, triangle, 3, with_statistics=False)
+        corrupted = list(outputs) + [outputs[1]]  # rank 1 double-counted
+        merged = merge_rank_outputs(corrupted, small_er.n_vertices * 3)
+        assert merged.max() == 2
+        product = KroneckerGraph(small_er, triangle)
+        assert (merged != product.materialize_adjacency()).nnz > 0
+
+    def test_spurious_edges_detected(self, small_er, triangle):
+        """An edge no rank should own breaks the merge-vs-product comparison."""
+        from repro.parallel import RankOutput
+
+        outputs = list(distributed_generate(small_er, triangle, 2,
+                                            with_statistics=False))
+        product = KroneckerGraph(small_er, triangle)
+        adj = product.materialize_adjacency().tocoo()
+        present = set(zip(adj.row.tolist(), adj.col.tolist()))
+        spurious = next((p, q) for p in range(product.n_vertices)
+                        for q in range(product.n_vertices)
+                        if (p, q) not in present)
+        empty = np.zeros(0, dtype=np.int64)
+        outputs.append(RankOutput(rank=2,
+                                  edges=np.asarray([spurious], dtype=np.int64),
+                                  edge_triangles=empty,
+                                  source_vertex_triangles=empty))
+        merged = merge_rank_outputs(outputs, product.n_vertices)
+        assert (merged != product.materialize_adjacency()).nnz == 1
+
+    def test_missing_rank_slice_detected(self, small_er, triangle):
+        outputs = distributed_generate(small_er, triangle, 3, with_statistics=False)
+        merged = merge_rank_outputs(outputs[:-1], small_er.n_vertices * 3)
+        product = KroneckerGraph(small_er, triangle)
+        assert (merged != product.materialize_adjacency()).nnz > 0
+
+
 class TestSimulatedComm:
     def test_gather_waits_for_all_ranks(self):
         comm = SimulatedComm(3)

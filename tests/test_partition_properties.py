@@ -1,0 +1,171 @@
+"""Property-based tests (hypothesis) for the partition layer invariants.
+
+Every partitioner must produce a *disjoint cover*: each unit of work (an
+``A`` entry or an ``A`` row) owned by exactly one rank, with the per-rank
+``product_edges`` accounting summing to the global total — the property the
+communication-free generation rests on.  The adversarial profiles here
+(heavy-tailed rows, all-zero rows, more ranks than rows) exercise the
+``row_stop`` clamp paths that yield empty trailing ranks; those must be
+handled, never crash, and the load balance measured against the best any
+contiguous partitioner could do (``bounded_imbalance``) must stay ≤ 2.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.parallel import (
+    balance_statistics,
+    entry_range,
+    partition_edges,
+    partition_vertex_blocks,
+)
+
+PARTITION_SETTINGS = settings(
+    max_examples=60,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@st.composite
+def degree_profiles(draw):
+    """Adversarial ``A`` row-nnz profiles: skewed, sparse-with-zeros, or flat."""
+    n_rows = draw(st.integers(min_value=0, max_value=40))
+    kind = draw(st.sampled_from(["flat", "skewed", "zero-heavy", "one-hot"]))
+    if kind == "flat":
+        profile = draw(st.lists(st.integers(0, 6), min_size=n_rows, max_size=n_rows))
+    elif kind == "skewed":
+        profile = [draw(st.integers(0, 3)) for _ in range(n_rows)]
+        if n_rows:
+            hub = draw(st.integers(0, n_rows - 1))
+            profile[hub] = draw(st.integers(50, 500))
+    elif kind == "zero-heavy":
+        profile = [0] * n_rows
+        for _ in range(draw(st.integers(0, max(1, n_rows // 4)))):
+            if n_rows:
+                profile[draw(st.integers(0, n_rows - 1))] = draw(st.integers(1, 4))
+    else:  # one-hot
+        profile = [0] * n_rows
+        if n_rows:
+            profile[draw(st.integers(0, n_rows - 1))] = draw(st.integers(1, 100))
+    return np.asarray(profile, dtype=np.int64)
+
+
+class TestEdgePartitionProperties:
+    @PARTITION_SETTINGS
+    @given(nnz_a=st.integers(0, 500), nnz_b=st.integers(0, 50),
+           n_ranks=st.integers(1, 64))
+    def test_disjoint_cover_and_accounting(self, nnz_a, nnz_b, n_ranks):
+        parts = partition_edges(nnz_a, nnz_b, n_ranks)
+        assert len(parts) == n_ranks
+        assert parts[0].a_entry_start == 0
+        assert parts[-1].a_entry_stop == nnz_a
+        for prev, cur in zip(parts, parts[1:]):
+            assert prev.a_entry_stop == cur.a_entry_start  # disjoint, contiguous
+        for p in parts:
+            assert 0 <= p.a_entry_start <= p.a_entry_stop <= nnz_a
+            assert p.product_edges == p.n_a_entries * nnz_b
+        assert sum(p.product_edges for p in parts) == nnz_a * nnz_b
+
+    @PARTITION_SETTINGS
+    @given(nnz_a=st.integers(1, 500), nnz_b=st.integers(1, 50),
+           n_ranks=st.integers(1, 64))
+    def test_bounded_imbalance_le_2(self, nnz_a, nnz_b, n_ranks):
+        parts = partition_edges(nnz_a, nnz_b, n_ranks)
+        stats = balance_statistics(parts, max_atom_load=nnz_b)
+        assert stats["bounded_imbalance"] <= 2.0
+
+    def test_more_ranks_than_entries_yields_empty_ranks(self):
+        parts = partition_edges(3, 5, 10)
+        empty = [p for p in parts if p.n_a_entries == 0]
+        assert len(empty) == 7  # handled, not crashed
+        assert sum(p.product_edges for p in parts) == 15
+
+
+class TestVertexBlockPartitionProperties:
+    @PARTITION_SETTINGS
+    @given(profile=degree_profiles(), n_vertices_b=st.integers(1, 8),
+           nnz_b=st.integers(1, 30), n_ranks=st.integers(1, 64))
+    def test_disjoint_cover_of_row_range(self, profile, n_vertices_b, nnz_b, n_ranks):
+        parts = partition_vertex_blocks(profile, n_vertices_b, nnz_b, n_ranks)
+        assert len(parts) == n_ranks
+        assert parts[0].a_row_start == 0
+        assert parts[-1].a_row_stop == profile.shape[0]
+        for prev, cur in zip(parts, parts[1:]):
+            assert prev.a_row_stop == cur.a_row_start
+        for p in parts:
+            assert 0 <= p.a_row_start <= p.a_row_stop <= profile.shape[0]
+            assert p.product_vertex_start == p.a_row_start * n_vertices_b
+            assert p.product_vertex_stop == p.a_row_stop * n_vertices_b
+
+    @PARTITION_SETTINGS
+    @given(profile=degree_profiles(), n_vertices_b=st.integers(1, 8),
+           nnz_b=st.integers(1, 30), n_ranks=st.integers(1, 64))
+    def test_product_edges_sum_to_global_total(self, profile, n_vertices_b,
+                                               nnz_b, n_ranks):
+        parts = partition_vertex_blocks(profile, n_vertices_b, nnz_b, n_ranks)
+        assert sum(p.product_edges for p in parts) == int(profile.sum()) * nnz_b
+        for p in parts:
+            assert p.product_edges == int(
+                profile[p.a_row_start:p.a_row_stop].sum()) * nnz_b
+
+    @PARTITION_SETTINGS
+    @given(profile=degree_profiles(), nnz_b=st.integers(1, 30),
+           n_ranks=st.integers(1, 64))
+    def test_bounded_imbalance_le_2_adversarial(self, profile, nnz_b, n_ranks):
+        """Greedy contiguous cuts overshoot the target by at most one row."""
+        parts = partition_vertex_blocks(profile, 4, nnz_b, n_ranks)
+        max_atom = int(profile.max()) * nnz_b if profile.size else 0
+        stats = balance_statistics(parts, max_atom_load=max_atom)
+        assert stats["bounded_imbalance"] <= 2.0
+
+    def test_more_ranks_than_rows_empty_trailing_ranks(self):
+        """The row_stop clamp yields empty trailing ranks — handled, not crashed."""
+        profile = np.asarray([5, 1, 2], dtype=np.int64)
+        parts = partition_vertex_blocks(profile, 3, 10, 8)
+        assert len(parts) == 8
+        assert parts[-1].a_row_stop == 3
+        assert sum(p.product_edges for p in parts) == 80
+        empty = [p for p in parts if p.a_row_start == p.a_row_stop]
+        assert empty  # trailing ranks own nothing
+        for p in empty:
+            assert p.product_edges == 0
+
+    def test_all_zero_rows(self):
+        profile = np.zeros(6, dtype=np.int64)
+        parts = partition_vertex_blocks(profile, 2, 7, 3)
+        assert sum(p.product_edges for p in parts) == 0
+        assert parts[-1].a_row_stop == 6
+        stats = balance_statistics(parts, max_atom_load=0)
+        assert stats["bounded_imbalance"] == 1.0
+
+    def test_empty_profile(self):
+        parts = partition_vertex_blocks(np.zeros(0, dtype=np.int64), 2, 7, 4)
+        assert len(parts) == 4
+        assert all(p.a_row_start == p.a_row_stop == 0 for p in parts)
+
+
+class TestEntryRangeBridge:
+    @PARTITION_SETTINGS
+    @given(profile=degree_profiles(), n_ranks=st.integers(1, 16))
+    def test_vertex_blocks_map_to_disjoint_entry_cover(self, profile, n_ranks):
+        """entry_range over vertex blocks covers [0, nnz_A) exactly once."""
+        parts = partition_vertex_blocks(profile, 4, 9, n_ranks)
+        indptr = np.concatenate([[0], np.cumsum(profile)]).astype(np.int64)
+        ranges = [entry_range(p, indptr) for p in parts]
+        assert ranges[0][0] == 0
+        assert ranges[-1][1] == int(profile.sum())
+        for (_, prev_stop), (cur_start, _) in zip(ranges, ranges[1:]):
+            assert prev_stop == cur_start
+        for p, (start, stop) in zip(parts, ranges):
+            assert (stop - start) * 9 == p.product_edges
+
+    def test_edge_partition_passthrough(self):
+        part = partition_edges(10, 3, 2)[1]
+        assert entry_range(part, np.zeros(1)) == (part.a_entry_start, part.a_entry_stop)
+
+    def test_rejects_unknown_partition_type(self):
+        with pytest.raises(TypeError):
+            entry_range(object(), np.zeros(1))
