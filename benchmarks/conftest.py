@@ -15,11 +15,13 @@ from repro import generators
 #: Benchmark modules that double as tier-1 consistency smoke tests: the
 #: plain ``pytest`` invocation does not match ``bench_*.py`` files, so we
 #: collect these explicitly — in smoke mode — to guarantee the vectorized,
-#: scalar, streamed and materialized paths cannot silently diverge.  Their
+#: scalar, streamed, materialized and shard-store paths cannot silently
+#: diverge.  Their
 #: full-size runs opt out of tier-1 through the ``slow`` marker registered
 #: in ``pytest.ini`` (run them with ``pytest -m slow benchmarks/<file>``)
 #: or, for ``bench_perf_kernels.py``, by naming the file directly.
-_SMOKE_BENCHES = ("bench_perf_kernels.py", "bench_streaming.py")
+_SMOKE_BENCHES = ("bench_perf_kernels.py", "bench_streaming.py",
+                  "bench_shard_store.py")
 
 
 def pytest_collect_file(file_path, parent):

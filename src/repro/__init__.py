@@ -30,10 +30,11 @@ Subpackages
 ``repro.core``        the Kronecker formulas, the implicit product graph, validation
 ``repro.parallel``    partitioned communication-free generation and streaming
 ``repro.perf``        vectorized CSR gather kernels behind the batched hot paths
+``repro.store``       out-of-core shard store: compaction, manifest v2, range queries
 ``repro.analysis``    distribution diagnostics and summary tables
 """
 
-from repro import analysis, core, generators, graphs, parallel, perf, triangles, truss
+from repro import analysis, core, generators, graphs, parallel, perf, store, triangles, truss
 from repro.core import (
     KroneckerGraph,
     KroneckerTriangleStats,
@@ -55,6 +56,7 @@ __all__ = [
     "core",
     "parallel",
     "perf",
+    "store",
     "analysis",
     "Graph",
     "DirectedGraph",

@@ -25,7 +25,17 @@ published artefacts of the paper:
     streaming rank pipeline: every rank folds its blocks into aggregates,
     the aggregates are allreduced, and the result is validated on the fly
     against the closed-form factor statistics — no full edge list is ever
-    held in memory.
+    held in memory.  ``--async-io`` swaps in the threaded
+    :class:`repro.store.AsyncShardSink` so shard writes overlap generation.
+
+``repro-kron compact``
+    Compact a per-block spill directory into a source-sorted store with a
+    manifest v2 recording per-shard vertex ranges (``repro.store``).
+
+``repro-kron query``
+    Serve degree / neighbor / egonet / edge-range queries from a compacted
+    store, decoding only the shards whose manifest range overlaps the query
+    — the product is never materialized.
 
 Each sub-command is also usable programmatically through :func:`main`, which
 accepts an ``argv`` list and returns the process exit code (the test-suite
@@ -56,6 +66,7 @@ from repro.graphs import (
     write_edge_shards,
 )
 from repro.parallel import distributed_generate, stream_edges_to_file
+from repro.store import AsyncShardSink, ShardStore, compact_shards
 
 __all__ = ["main", "build_parser"]
 
@@ -137,6 +148,39 @@ def build_parser() -> argparse.ArgumentParser:
                              "against the closed-form factor statistics")
     stream.add_argument("--processes", action="store_true",
                         help="with --ranks: fan the ranks out on a process pool")
+    stream.add_argument("--async-io", action="store_true",
+                        help="with --ranks: overlap shard writes with block "
+                             "generation via a threaded writer sink "
+                             "(in-process ranks only)")
+
+    compact = sub.add_parser(
+        "compact",
+        help="merge a per-block spill into source-sorted shards with a "
+             "manifest v2 recording per-shard vertex ranges")
+    compact.add_argument("source", type=Path, help="spill directory to compact")
+    compact.add_argument("destination", type=Path, help="output store directory")
+    compact.add_argument("--target-edges", type=int, default=262_144,
+                         help="edges per output shard (default 262144)")
+
+    query = sub.add_parser(
+        "query",
+        help="answer vertex/range queries from a compacted shard store "
+             "without materializing the product")
+    query.add_argument("store", type=Path, help="compacted store directory")
+    what = query.add_mutually_exclusive_group(required=True)
+    what.add_argument("--degree", type=int, metavar="V",
+                      help="degree of product vertex V")
+    what.add_argument("--neighbors", type=int, metavar="V",
+                      help="sorted neighbour list of product vertex V")
+    what.add_argument("--egonet", type=int, metavar="V",
+                      help="egonet summary (size, centre degree, triangles) "
+                           "of product vertex V")
+    what.add_argument("--range", type=int, nargs=2, metavar=("LO", "HI"),
+                      help="edges with source vertex in [LO, HI)")
+    query.add_argument("--cache", type=int, default=4,
+                       help="decoded shards kept in the LRU cache (default 4)")
+    query.add_argument("--limit", type=int, default=20,
+                       help="rows of output printed for list results (default 20)")
 
     return parser
 
@@ -205,13 +249,20 @@ def _cmd_stream(args: argparse.Namespace) -> int:
     if args.processes and args.ranks is None:
         raise SystemExit("--processes requires --ranks")
 
+    if args.async_io and args.ranks is None:
+        raise SystemExit("--async-io requires --ranks")
+    if args.async_io and args.processes:
+        raise SystemExit("--async-io runs in-process ranks only; drop "
+                         "--processes (the pool already overlaps I/O)")
+
     if args.ranks is not None:
         if fmt == "tsv":
             raise SystemExit("--ranks spills .npy shards; TSV is single-rank only")
         if args.max_edges is not None:
             raise SystemExit("--max-edges applies to single-rank spills only")
-        sink = NpyShardSink(args.output, name=product.name,
-                            n_vertices=product.n_vertices)
+        sink_cls = AsyncShardSink if args.async_io else NpyShardSink
+        sink = sink_cls(args.output, name=product.name,
+                        n_vertices=product.n_vertices)
         result = distributed_generate(
             factor_a, factor_b, args.ranks,
             streaming=True, a_edges_per_block=args.block,
@@ -221,6 +272,10 @@ def _cmd_stream(args: argparse.Namespace) -> int:
               f"to {args.output} (.npy shards)")
         print(f"peak block: {result.max_block_edges:,} edges "
               f"(bound {args.block * factor_b.nnz:,})")
+        if args.async_io:
+            print(f"async writer: {sink.blocks_written:,} blocks, "
+                  f"{sink.writer_busy_s * 1e3:.1f} ms of I/O overlapped "
+                  f"({sink.producer_wait_s * 1e3:.1f} ms back-pressure)")
         report = ValidationAccumulator(factor_a, factor_b,
                                        stats=result.stats).validate(result.total)
         print(report.summary())
@@ -238,11 +293,56 @@ def _cmd_stream(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_compact(args: argparse.Namespace) -> int:
+    manifest = compact_shards(args.source, args.destination,
+                              target_shard_edges=args.target_edges,
+                              metadata={"cli": "compact"})
+    n_src = manifest["metadata"]["compaction"]["source_shards"]
+    print(f"compacted {n_src} spill shards ({manifest['total_edges']:,} edges) "
+          f"into {len(manifest['shards'])} source-sorted shards at {args.destination}")
+    if manifest["shards"]:
+        lo = manifest["shards"][0]["src_min"]
+        hi = manifest["shards"][-1]["src_max"]
+        print(f"manifest v2: per-shard vertex ranges cover [{lo}, {hi}] "
+              f"of {manifest['n_vertices']:,} product vertices")
+    return 0
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    store = ShardStore(args.store, cache_shards=args.cache)
+    if args.degree is not None:
+        print(f"degree({args.degree}) = {store.degree(args.degree)}")
+    elif args.neighbors is not None:
+        nbrs = store.neighbors(args.neighbors)
+        shown = ", ".join(map(str, nbrs[: args.limit]))
+        suffix = ", ..." if nbrs.size > args.limit else ""
+        print(f"neighbors({args.neighbors}) = [{shown}{suffix}] "
+              f"({nbrs.size} vertices)")
+    elif args.egonet is not None:
+        ego = store.egonet(args.egonet)
+        print(f"egonet({args.egonet}): {ego.n_vertices} vertices, "
+              f"centre degree {ego.degree_of_center()}, "
+              f"{ego.triangles_at_center()} triangles at the centre")
+    else:
+        lo, hi = args.range
+        edges = store.edges_in_range(lo, hi)
+        print(f"edges_in_range({lo}, {hi}) = {edges.shape[0]:,} edges")
+        for src, dst in edges[: args.limit]:
+            print(f"  {src}\t{dst}")
+        if edges.shape[0] > args.limit:
+            print(f"  ... ({edges.shape[0] - args.limit:,} more)")
+    print(f"decoded {store.shard_reads} of {store.n_shards} shards "
+          f"({store.cache_hits} cache hits)")
+    return 0
+
+
 _COMMANDS = {
     "generate": _cmd_generate,
     "stats": _cmd_stats,
     "validate": _cmd_validate,
     "stream": _cmd_stream,
+    "compact": _cmd_compact,
+    "query": _cmd_query,
 }
 
 

@@ -218,12 +218,72 @@ def write_edge_shards(
     return written
 
 
-def read_shard_manifest(directory: PathLike) -> dict:
-    """Load the manifest of a shard directory written by :class:`NpyShardSink`."""
-    path = Path(directory) / SHARD_MANIFEST
-    manifest = json.loads(path.read_text())
+#: Manifest versions this reader understands.  v1 is the per-block spill
+#: written by :class:`NpyShardSink`; v2 adds per-shard source-vertex ranges
+#: and is written by :func:`repro.store.compact_shards`.
+SUPPORTED_MANIFEST_VERSIONS = (1, 2)
+
+#: Top-level fields every edge-shard manifest must carry.
+_MANIFEST_REQUIRED = ("kind", "format_version", "n_vertices", "total_edges", "shards")
+
+#: Extra fields required at format version 2.
+_MANIFEST_REQUIRED_V2 = ("sorted_by", "payload_columns")
+
+
+def _validate_shard_manifest(manifest: object, path: Path) -> dict:
+    """Schema-check a decoded manifest, raising :class:`ValueError` that names
+    the offending field (never a bare ``KeyError`` deep inside a consumer)."""
+    if not isinstance(manifest, dict):
+        raise ValueError(f"{path}: manifest must be a JSON object, "
+                         f"got {type(manifest).__name__}")
     if manifest.get("kind") != "edge-shards":
-        raise ValueError(f"{path} is not an edge-shard manifest")
+        raise ValueError(f"{path} is not an edge-shard manifest "
+                         f"(kind={manifest.get('kind')!r})")
+    for field in _MANIFEST_REQUIRED:
+        if field not in manifest:
+            raise ValueError(f"{path}: manifest is missing required field {field!r}")
+    version = manifest["format_version"]
+    if version not in SUPPORTED_MANIFEST_VERSIONS:
+        raise ValueError(
+            f"{path}: unsupported manifest format_version {version!r} "
+            f"(supported: {', '.join(map(str, SUPPORTED_MANIFEST_VERSIONS))})")
+    shards = manifest["shards"]
+    if not isinstance(shards, list):
+        raise ValueError(f"{path}: 'shards' must be a list, "
+                         f"got {type(shards).__name__}")
+    per_shard = ("file", "n_edges") if version == 1 \
+        else ("file", "n_edges", "src_min", "src_max")
+    for index, shard in enumerate(shards):
+        if not isinstance(shard, dict):
+            raise ValueError(f"{path}: shards[{index}] must be an object")
+        for field in per_shard:
+            if field not in shard:
+                raise ValueError(
+                    f"{path}: shards[{index}] is missing required field {field!r}")
+    if version == 2:
+        for field in _MANIFEST_REQUIRED_V2:
+            if field not in manifest:
+                raise ValueError(
+                    f"{path}: v2 manifest is missing required field {field!r}")
+    return manifest
+
+
+def read_shard_manifest(directory: PathLike) -> dict:
+    """Load and validate the manifest of a ``.npy`` shard directory.
+
+    Both manifest versions are accepted: the per-block **v1** spill written by
+    :class:`NpyShardSink` and the compacted **v2** store written by
+    :func:`repro.store.compact_shards` (whose shard entries carry
+    ``src_min``/``src_max`` source-vertex ranges).  v1 manifests are upgraded
+    transparently: the returned dictionary always carries ``sorted_by``
+    (``None`` for an unsorted block spill) and ``payload_columns``, so
+    consumers can branch on one shape.  Corrupted or foreign manifests raise a
+    :class:`ValueError` naming the missing or unexpected field.
+    """
+    path = Path(directory) / SHARD_MANIFEST
+    manifest = _validate_shard_manifest(json.loads(path.read_text()), path)
+    manifest.setdefault("sorted_by", None)
+    manifest.setdefault("payload_columns", ["src", "dst"])
     return manifest
 
 

@@ -1,0 +1,24 @@
+"""Out-of-core shard store: compaction, manifest v2, and range queries.
+
+The storage subsystem behind the paper's never-materialize-``C`` scaling
+story.  The streaming pipeline (:mod:`repro.parallel`) spills the product
+edge list as write-optimized per-block ``.npy`` shards; this package turns
+that spill into a *servable* edge store:
+
+* :func:`compact_shards` — bounded-memory external merge sort of the
+  per-block shards into source-sorted, size-targeted shards, recorded in a
+  **manifest v2** with per-shard ``[src_min, src_max]`` vertex ranges;
+* :class:`ShardStore` — range-query layer answering ``degree`` /
+  ``neighbors`` / ``edges_in_range`` / ``egonet`` by binary-searching the
+  manifest ranges, with an LRU of decoded shards and batch-first entry
+  points per the repo's vectorization conventions;
+* :class:`AsyncShardSink` — drop-in streaming sink whose writer thread
+  overlaps shard I/O with block generation
+  (``distributed_generate(streaming=True, sink=AsyncShardSink(dir))``).
+"""
+
+from repro.store.async_sink import AsyncShardSink
+from repro.store.compaction import MANIFEST_V2, compact_shards
+from repro.store.query import ShardStore
+
+__all__ = ["AsyncShardSink", "ShardStore", "compact_shards", "MANIFEST_V2"]

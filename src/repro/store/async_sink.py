@@ -1,0 +1,171 @@
+"""Async spill sink: overlap block generation with shard writes.
+
+:class:`AsyncShardSink` implements the streaming sink protocol
+(``write(rank, block_index, edges)`` + ``finalize()``) in front of a
+:class:`repro.graphs.io.NpyShardSink`, but hands the actual ``np.save`` to a
+dedicated writer thread fed through a bounded queue.  A streaming rank calls
+``write`` and immediately goes back to generating its next block while the
+previous one is still being written — generation and disk I/O overlap, which
+is the whole point of the sink protocol taking opaque ``(rank, block, edges)``
+triples (:func:`repro.parallel.distributed_generate` needs no change:
+``distributed_generate(..., streaming=True, sink=AsyncShardSink(dir))``).
+
+Memory stays bounded: at most ``queue_blocks`` blocks wait in the queue (a
+full queue back-pressures the producer), so the peak spill footprint is
+``(queue_blocks + 1)`` blocks on top of the one block the rank itself holds.
+Disk layout and manifest are identical to the synchronous sink — a compaction
+or reader cannot tell which sink wrote the spill.
+
+The sink is deliberately **not picklable**: under
+``distributed_generate(use_processes=True)`` each worker would get its own
+writer thread whose queue could still be draining after the rank function
+returns, racing the driver's ``finalize()`` against in-flight files.  Process
+pools already overlap I/O with generation across workers — use the plain
+:class:`~repro.graphs.io.NpyShardSink` there.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from pathlib import Path
+from typing import Optional, Union
+
+import numpy as np
+
+from repro.graphs.io import NpyShardSink
+
+__all__ = ["AsyncShardSink"]
+
+PathLike = Union[str, Path]
+
+#: Sentinel telling the writer thread to drain and exit.
+_STOP = None
+
+
+class AsyncShardSink:
+    """Threaded ``.npy`` shard writer implementing the streaming sink protocol.
+
+    Parameters
+    ----------
+    directory, name, n_vertices:
+        Forwarded to the inner :class:`~repro.graphs.io.NpyShardSink`
+        (which claims the directory and clears stale shards).
+    queue_blocks:
+        Bound on blocks waiting to be written; a full queue blocks ``write``
+        (back-pressure) so a fast producer cannot buffer the whole product.
+
+    Attributes
+    ----------
+    blocks_written:
+        Blocks the writer thread has flushed to disk.
+    writer_busy_s:
+        Wall time the writer thread spent inside ``np.save`` — compare with
+        the producer's generation time to see the overlap.
+    producer_wait_s:
+        Wall time ``write`` spent blocked on a full queue (back-pressure).
+    """
+
+    def __init__(self, directory: PathLike, *, name: str = "",
+                 n_vertices: int = 0, queue_blocks: int = 8):
+        if queue_blocks < 1:
+            raise ValueError(f"queue_blocks must be >= 1, got {queue_blocks}")
+        self._inner = NpyShardSink(directory, name=name, n_vertices=n_vertices)
+        self.queue_blocks = int(queue_blocks)
+        self._queue: "queue.Queue" = queue.Queue(maxsize=self.queue_blocks)
+        self._thread: Optional[threading.Thread] = None
+        self._error: Optional[BaseException] = None
+        self.blocks_written = 0
+        self.writer_busy_s = 0.0
+        self.producer_wait_s = 0.0
+
+    # -- passthrough state -------------------------------------------------
+    @property
+    def directory(self) -> Path:
+        """Spill directory (same layout as the synchronous sink)."""
+        return self._inner.directory
+
+    @property
+    def name(self) -> str:
+        return self._inner.name
+
+    @property
+    def n_vertices(self) -> int:
+        return self._inner.n_vertices
+
+    # -- writer thread -----------------------------------------------------
+    def _worker(self) -> None:
+        while True:
+            item = self._queue.get()
+            try:
+                if item is _STOP:
+                    return
+                if self._error is not None:
+                    continue  # keep draining so the producer never deadlocks
+                start = time.perf_counter()
+                rank, block_index, edges = item
+                self._inner.write(rank, block_index, edges)
+                self.writer_busy_s += time.perf_counter() - start
+                self.blocks_written += 1
+            except BaseException as exc:  # surfaced on the producer side
+                self._error = exc
+            finally:
+                self._queue.task_done()
+
+    def _ensure_thread(self) -> None:
+        if self._thread is None or not self._thread.is_alive():
+            self._thread = threading.Thread(
+                target=self._worker, name="async-shard-writer", daemon=True)
+            self._thread.start()
+
+    def _raise_pending(self) -> None:
+        if self._error is not None:
+            error, self._error = self._error, None
+            raise RuntimeError("async shard writer failed") from error
+
+    # -- sink protocol -----------------------------------------------------
+    def write(self, rank: int, block_index: int, edges: np.ndarray) -> None:
+        """Enqueue one edge block for writing and return immediately.
+
+        The block is snapshotted (copied to a contiguous ``int64`` array)
+        before it is queued, so a caller that reuses its block buffer stays
+        correct.  Blocks when ``queue_blocks`` writes are already pending.
+        """
+        self._raise_pending()
+        snapshot = np.array(edges, dtype=np.int64, order="C", copy=True)
+        self._ensure_thread()
+        start = time.perf_counter()
+        self._queue.put((int(rank), int(block_index), snapshot))
+        self.producer_wait_s += time.perf_counter() - start
+
+    def flush(self) -> None:
+        """Block until every queued write has hit disk (thread keeps running)."""
+        self._queue.join()
+        self._raise_pending()
+
+    def finalize(self, metadata: Optional[dict] = None) -> dict:
+        """Drain the queue, stop the writer, and write the JSON manifest.
+
+        Safe to call more than once; matching the synchronous sink, the
+        manifest is rebuilt from the shard files on disk.
+        """
+        if self._thread is not None and self._thread.is_alive():
+            self._queue.put(_STOP)
+            self._thread.join()
+        self._thread = None
+        self._raise_pending()
+        return self._inner.finalize(metadata=metadata)
+
+    # -- pickling is a deliberate error ------------------------------------
+    def __getstate__(self):
+        raise TypeError(
+            "AsyncShardSink cannot be pickled: a per-process writer thread "
+            "could still be draining when the driver finalizes the manifest. "
+            "Use NpyShardSink with distributed_generate(use_processes=True); "
+            "the process pool already overlaps I/O with generation.")
+
+    def __repr__(self) -> str:
+        return (f"AsyncShardSink({str(self.directory)!r}, "
+                f"queue_blocks={self.queue_blocks}, "
+                f"blocks_written={self.blocks_written})")

@@ -159,6 +159,102 @@ class TestStream:
         assert manifest["total_edges"] == factor_a.nnz * factor_b.nnz
 
 
+class TestCompactAndQuery:
+    @pytest.fixture
+    def store_dir(self, bundle_path, tmp_path):
+        """Spill → compact, through the CLI only."""
+        spill = tmp_path / "spill"
+        rc = cli.main(["stream", str(bundle_path), str(spill),
+                       "--ranks", "3", "--block", "16"])
+        assert rc == 0
+        store = tmp_path / "store"
+        rc = cli.main(["compact", str(spill), str(store),
+                       "--target-edges", "2000"])
+        assert rc == 0
+        return store
+
+    def test_compact_writes_manifest_v2(self, store_dir, tmp_path, capsys):
+        from repro.graphs import read_shard_manifest
+
+        manifest = read_shard_manifest(store_dir)
+        assert manifest["format_version"] == 2
+        assert manifest["sorted_by"] == "source"
+        # Re-shard through the CLI again to check the reported summary.
+        rc = cli.main(["compact", str(store_dir), str(tmp_path / "again"),
+                       "--target-edges", "4000"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "source-sorted shards" in out
+        assert "manifest v2" in out
+
+    def test_query_degree_matches_product(self, store_dir, bundle_path, capsys):
+        from repro.core import KroneckerGraph
+
+        factor_a, factor_b, _ = load_kronecker_bundle(bundle_path)
+        product = KroneckerGraph(factor_a, factor_b)
+        rc = cli.main(["query", str(store_dir), "--degree", "17"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert f"degree(17) = {product.degree(17)}" in out
+        assert "decoded" in out
+
+    def test_query_neighbors(self, store_dir, capsys):
+        rc = cli.main(["query", str(store_dir), "--neighbors", "17",
+                       "--limit", "4"])
+        assert rc == 0
+        assert "neighbors(17)" in capsys.readouterr().out
+
+    def test_query_egonet(self, store_dir, capsys):
+        rc = cli.main(["query", str(store_dir), "--egonet", "17"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "egonet(17)" in out
+        assert "triangles" in out
+
+    def test_query_range(self, store_dir, capsys):
+        rc = cli.main(["query", str(store_dir), "--range", "0", "50",
+                       "--limit", "3"])
+        assert rc == 0
+        assert "edges_in_range(0, 50)" in capsys.readouterr().out
+
+    def test_query_requires_exactly_one_operation(self, store_dir):
+        with pytest.raises(SystemExit):
+            cli.main(["query", str(store_dir)])
+        with pytest.raises(SystemExit):
+            cli.main(["query", str(store_dir), "--degree", "1",
+                      "--egonet", "2"])
+
+    def test_query_rejects_uncompacted_spill(self, bundle_path, tmp_path):
+        spill = tmp_path / "spill"
+        cli.main(["stream", str(bundle_path), str(spill), "--ranks", "2"])
+        with pytest.raises(ValueError, match="compact_shards"):
+            cli.main(["query", str(spill), "--degree", "0"])
+
+    def test_stream_async_io(self, bundle_path, tmp_path, capsys):
+        from repro.graphs import read_shard_manifest
+
+        out_dir = tmp_path / "async-shards"
+        rc = cli.main(["stream", str(bundle_path), str(out_dir),
+                       "--ranks", "3", "--block", "16", "--async-io"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "async writer" in out
+        assert "PASS" in out
+        factor_a, factor_b, _ = load_kronecker_bundle(bundle_path)
+        manifest = read_shard_manifest(out_dir)
+        assert manifest["total_edges"] == factor_a.nnz * factor_b.nnz
+
+    def test_async_io_requires_ranks(self, bundle_path, tmp_path):
+        with pytest.raises(SystemExit, match="--ranks"):
+            cli.main(["stream", str(bundle_path), str(tmp_path / "d"),
+                      "--async-io"])
+
+    def test_async_io_rejects_processes(self, bundle_path, tmp_path):
+        with pytest.raises(SystemExit, match="in-process"):
+            cli.main(["stream", str(bundle_path), str(tmp_path / "d"),
+                      "--ranks", "2", "--async-io", "--processes"])
+
+
 class TestParser:
     def test_requires_command(self):
         with pytest.raises(SystemExit):

@@ -199,6 +199,16 @@ class TestEdgeShards:
         with pytest.raises(ValueError, match="edge-shard"):
             read_shard_manifest(d)
 
+    def test_v1_manifest_upgraded_transparently(self, tmp_path, small_er, triangle):
+        """The reader fills the v2-era fields so consumers see one shape."""
+        from repro.core import KroneckerGraph
+
+        write_edge_shards(KroneckerGraph(small_er, triangle), tmp_path / "shards")
+        manifest = read_shard_manifest(tmp_path / "shards")
+        assert manifest["format_version"] == 1
+        assert manifest["sorted_by"] is None
+        assert manifest["payload_columns"] == ["src", "dst"]
+
     def test_rerun_into_same_directory_discards_stale_shards(self, tmp_path, small_er, triangle):
         """Regression: a re-spill must not fold a previous run's shards in."""
         from repro.core import KroneckerGraph
@@ -211,3 +221,84 @@ class TestEdgeShards:
         assert second["total_edges"] == first["total_edges"] == product.nnz
         assert len(second["shards"]) < len(first["shards"])
         assert load_edge_shards(tmp_path / "shards").shape[0] == product.nnz
+
+
+class TestManifestValidation:
+    """Corrupted or foreign manifests must fail with a field-naming ValueError
+    (never a bare KeyError deep inside a consumer)."""
+
+    @staticmethod
+    def _write_manifest(directory, payload):
+        import json
+
+        directory.mkdir(exist_ok=True)
+        (directory / "manifest.json").write_text(json.dumps(payload))
+        return directory
+
+    @staticmethod
+    def _valid_v1():
+        return {"kind": "edge-shards", "format_version": 1, "name": "x",
+                "n_vertices": 4, "total_edges": 1,
+                "shards": [{"file": "edges-r00000-b000000.npy", "n_edges": 1}]}
+
+    def test_valid_v1_passes(self, tmp_path):
+        d = self._write_manifest(tmp_path / "ok", self._valid_v1())
+        assert read_shard_manifest(d)["total_edges"] == 1
+
+    def test_not_an_object(self, tmp_path):
+        d = self._write_manifest(tmp_path / "bad", ["not", "a", "dict"])
+        with pytest.raises(ValueError, match="JSON object"):
+            read_shard_manifest(d)
+
+    def test_missing_kind(self, tmp_path):
+        payload = self._valid_v1()
+        del payload["kind"]
+        d = self._write_manifest(tmp_path / "bad", payload)
+        with pytest.raises(ValueError, match="edge-shard"):
+            read_shard_manifest(d)
+
+    @pytest.mark.parametrize("field", ["format_version", "n_vertices",
+                                       "total_edges", "shards"])
+    def test_missing_required_field_named(self, tmp_path, field):
+        payload = self._valid_v1()
+        del payload[field]
+        d = self._write_manifest(tmp_path / "bad", payload)
+        with pytest.raises(ValueError, match=field):
+            read_shard_manifest(d)
+
+    def test_unsupported_version(self, tmp_path):
+        payload = self._valid_v1()
+        payload["format_version"] = 99
+        d = self._write_manifest(tmp_path / "bad", payload)
+        with pytest.raises(ValueError, match="format_version 99"):
+            read_shard_manifest(d)
+
+    def test_shards_not_a_list(self, tmp_path):
+        payload = self._valid_v1()
+        payload["shards"] = {"file": "x.npy"}
+        d = self._write_manifest(tmp_path / "bad", payload)
+        with pytest.raises(ValueError, match="shards"):
+            read_shard_manifest(d)
+
+    def test_shard_entry_missing_field_named_with_index(self, tmp_path):
+        payload = self._valid_v1()
+        payload["shards"] = [{"file": "a.npy", "n_edges": 1}, {"file": "b.npy"}]
+        d = self._write_manifest(tmp_path / "bad", payload)
+        with pytest.raises(ValueError, match=r"shards\[1\].*n_edges"):
+            read_shard_manifest(d)
+
+    def test_v2_requires_ranges_per_shard(self, tmp_path):
+        payload = self._valid_v1()
+        payload.update(format_version=2, sorted_by="source",
+                       payload_columns=["src", "dst"])
+        d = self._write_manifest(tmp_path / "bad", payload)
+        with pytest.raises(ValueError, match="src_min"):
+            read_shard_manifest(d)
+
+    def test_v2_requires_sort_metadata(self, tmp_path):
+        payload = self._valid_v1()
+        payload["format_version"] = 2
+        payload["shards"][0].update(src_min=0, src_max=3)
+        d = self._write_manifest(tmp_path / "bad", payload)
+        with pytest.raises(ValueError, match="sorted_by"):
+            read_shard_manifest(d)

@@ -1,0 +1,466 @@
+"""Tests for the out-of-core shard store (repro.store).
+
+Covers the three layers — compaction/manifest v2, the ShardStore query
+layer, and the async writer sink — plus the spill edge cases: zero-edge
+ranks, single-shard directories, and idempotent re-compaction.  The
+acceptance-criterion check that queries decode only the manifest-selected
+shards uses a counting hook over the store's file loader.
+"""
+
+import json
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.core import KroneckerGraph
+from repro.graphs import NpyShardSink, load_edge_shards, read_shard_manifest
+from repro.graphs.egonet import egonet
+from repro.parallel import distributed_generate
+from repro.store import AsyncShardSink, ShardStore, compact_shards
+import repro.store.query as query_mod
+
+
+def _sorted_edges(edges: np.ndarray) -> np.ndarray:
+    return edges[np.lexsort((edges[:, 1], edges[:, 0]))]
+
+
+@pytest.fixture
+def product(weblike_small, delta_le_one_factor) -> KroneckerGraph:
+    return KroneckerGraph(weblike_small, delta_le_one_factor)
+
+
+@pytest.fixture
+def spill_dir(tmp_path, product, weblike_small, delta_le_one_factor):
+    """A 4-rank per-block spill of the product (v1 manifest)."""
+    sink = NpyShardSink(tmp_path / "spill", name=product.name,
+                        n_vertices=product.n_vertices)
+    distributed_generate(weblike_small, delta_le_one_factor, 4,
+                         streaming=True, a_edges_per_block=8, sink=sink)
+    return tmp_path / "spill"
+
+
+@pytest.fixture
+def store_dir(tmp_path, spill_dir):
+    compact_shards(spill_dir, tmp_path / "store", target_shard_edges=1500)
+    return tmp_path / "store"
+
+
+class TestCompaction:
+    def test_manifest_v2_schema(self, store_dir, product):
+        manifest = read_shard_manifest(store_dir)
+        assert manifest["format_version"] == 2
+        assert manifest["sorted_by"] == "source"
+        assert manifest["payload_columns"] == ["src", "dst"]
+        assert manifest["total_edges"] == product.nnz
+        assert manifest["n_vertices"] == product.n_vertices
+        for shard in manifest["shards"]:
+            assert shard["src_min"] <= shard["src_max"]
+
+    def test_edges_survive_and_sort(self, store_dir, product):
+        edges = load_edge_shards(store_dir)
+        assert np.array_equal(edges, _sorted_edges(product.edges()))
+
+    def test_target_shard_size_respected(self, store_dir):
+        manifest = read_shard_manifest(store_dir)
+        assert all(s["n_edges"] == 1500 for s in manifest["shards"][:-1])
+        assert manifest["shards"][-1]["n_edges"] <= 1500
+
+    def test_ranges_match_shard_contents(self, store_dir):
+        manifest = read_shard_manifest(store_dir)
+        for shard in manifest["shards"]:
+            edges = np.load(store_dir / shard["file"])
+            assert shard["src_min"] == int(edges[0, 0])
+            assert shard["src_max"] == int(edges[-1, 0])
+            assert np.all(np.diff(edges[:, 0]) >= 0)
+
+    def test_idempotent_recompaction(self, tmp_path, store_dir):
+        """Compacting an already-compacted store reproduces it exactly."""
+        compact_shards(store_dir, tmp_path / "again", target_shard_edges=1500)
+        first = read_shard_manifest(store_dir)
+        second = read_shard_manifest(tmp_path / "again")
+        assert second["shards"] == first["shards"]
+        for shard in first["shards"]:
+            assert np.array_equal(np.load(store_dir / shard["file"]),
+                                  np.load(tmp_path / "again" / shard["file"]))
+
+    def test_resharding_to_new_target(self, tmp_path, store_dir, product):
+        compact_shards(store_dir, tmp_path / "coarse", target_shard_edges=10_000)
+        coarse = read_shard_manifest(tmp_path / "coarse")
+        assert len(coarse["shards"]) < len(read_shard_manifest(store_dir)["shards"])
+        assert np.array_equal(load_edge_shards(tmp_path / "coarse"),
+                              _sorted_edges(product.edges()))
+
+    def test_same_directory_rejected(self, spill_dir):
+        with pytest.raises(ValueError, match="different directory"):
+            compact_shards(spill_dir, spill_dir)
+
+    def test_stale_output_cleared(self, tmp_path, spill_dir, product):
+        dest = tmp_path / "store"
+        compact_shards(spill_dir, dest, target_shard_edges=300)
+        n_fine = len(read_shard_manifest(dest)["shards"])
+        compact_shards(spill_dir, dest, target_shard_edges=5000)
+        manifest = read_shard_manifest(dest)
+        assert len(manifest["shards"]) < n_fine
+        files = {p.name for p in dest.glob("*.npy")}
+        assert files == {s["file"] for s in manifest["shards"]}
+        assert load_edge_shards(dest).shape[0] == product.nnz
+
+    def test_invalid_parameters(self, spill_dir, tmp_path):
+        with pytest.raises(ValueError, match="target_shard_edges"):
+            compact_shards(spill_dir, tmp_path / "x", target_shard_edges=0)
+        with pytest.raises(ValueError, match="merge_chunk_edges"):
+            compact_shards(spill_dir, tmp_path / "x", merge_chunk_edges=0)
+
+    def test_tiny_merge_chunk_still_correct(self, tmp_path, spill_dir, product):
+        """A pathological 1-edge merge chunk exercises many merge rounds."""
+        compact_shards(spill_dir, tmp_path / "tiny", target_shard_edges=700,
+                       merge_chunk_edges=1)
+        assert np.array_equal(load_edge_shards(tmp_path / "tiny"),
+                              _sorted_edges(product.edges()))
+
+    def test_hub_source_larger_than_merge_chunk(self, tmp_path):
+        """A hub vertex whose edge group dwarfs the merge chunk and spans
+        every run exercises the bounded destination-level tie merge."""
+        rng = np.random.default_rng(3)
+        hub_dsts = rng.permutation(90)
+        all_edges = [np.stack([np.full(90, 7), hub_dsts], axis=1)]
+        sink = NpyShardSink(tmp_path / "spill", n_vertices=100)
+        for rank in range(3):
+            other = np.stack([rng.integers(0, 100, 20),
+                              rng.integers(0, 100, 20)], axis=1)
+            block = np.concatenate([all_edges[0][rank * 30:(rank + 1) * 30], other])
+            all_edges.append(other)
+            sink.write(rank, 0, block.astype(np.int64))
+        sink.finalize()
+        compact_shards(tmp_path / "spill", tmp_path / "store",
+                       target_shard_edges=16, merge_chunk_edges=4)
+        expected = _sorted_edges(np.concatenate(all_edges[1:] + all_edges[:1]))
+        assert np.array_equal(load_edge_shards(tmp_path / "store"), expected)
+
+    def test_metadata_carried_and_merged(self, tmp_path, product, small_er, triangle):
+        from repro.graphs import write_edge_shards
+
+        src = KroneckerGraph(small_er, triangle)
+        write_edge_shards(src, tmp_path / "s", a_edges_per_block=5,
+                          metadata={"origin": "spill", "keep": True})
+        manifest = compact_shards(tmp_path / "s", tmp_path / "d",
+                                  metadata={"origin": "compact"})
+        assert manifest["metadata"]["origin"] == "compact"
+        assert manifest["metadata"]["keep"] is True
+        assert manifest["metadata"]["compaction"]["target_shard_edges"] == 262_144
+
+    def test_corrupt_spill_total_detected(self, tmp_path, spill_dir):
+        manifest_path = spill_dir / "manifest.json"
+        manifest = json.loads(manifest_path.read_text())
+        manifest["total_edges"] += 7
+        manifest_path.write_text(json.dumps(manifest))
+        with pytest.raises(ValueError, match="corrupt"):
+            compact_shards(spill_dir, tmp_path / "d")
+
+
+class TestSpillEdgeCases:
+    def test_zero_edge_rank_shards(self, tmp_path):
+        """Ranks that produce zero edges leave empty shards; compaction and
+        queries shrug them off."""
+        sink = NpyShardSink(tmp_path / "spill", n_vertices=10)
+        sink.write(0, 0, np.asarray([[3, 4], [1, 2]], dtype=np.int64))
+        sink.write(1, 0, np.zeros((0, 2), dtype=np.int64))
+        sink.write(2, 0, np.zeros((0, 2), dtype=np.int64))
+        sink.finalize()
+        manifest = compact_shards(tmp_path / "spill", tmp_path / "store")
+        assert manifest["total_edges"] == 2
+        assert len(manifest["shards"]) == 1
+        store = ShardStore(tmp_path / "store")
+        assert store.neighbors(1).tolist() == [2]
+        assert store.degree(5) == 0
+
+    def test_entirely_empty_spill(self, tmp_path):
+        sink = NpyShardSink(tmp_path / "spill", n_vertices=6)
+        sink.write(0, 0, np.zeros((0, 2), dtype=np.int64))
+        sink.finalize()
+        manifest = compact_shards(tmp_path / "spill", tmp_path / "store")
+        assert manifest["shards"] == [] and manifest["total_edges"] == 0
+        store = ShardStore(tmp_path / "store")
+        assert store.degree(0) == 0
+        assert store.neighbors(3).size == 0
+        assert store.edges_in_range(0, 6).shape == (0, 2)
+        assert store.egonet(2).n_vertices == 1
+
+    def test_single_shard_directory(self, tmp_path, small_er, triangle):
+        from repro.graphs import write_edge_shards
+
+        product = KroneckerGraph(small_er, triangle)
+        write_edge_shards(product, tmp_path / "spill", a_edges_per_block=10_000)
+        assert len(read_shard_manifest(tmp_path / "spill")["shards"]) == 1
+        manifest = compact_shards(tmp_path / "spill", tmp_path / "store")
+        assert len(manifest["shards"]) == 1
+        store = ShardStore(tmp_path / "store")
+        assert np.array_equal(store.edges_in_range(0, product.n_vertices),
+                              _sorted_edges(product.edges()))
+
+
+class TestShardStoreQueries:
+    def test_rejects_uncompacted_spill(self, spill_dir):
+        with pytest.raises(ValueError, match="compact_shards"):
+            ShardStore(spill_dir)
+
+    def test_rejects_bad_cache_size(self, store_dir):
+        with pytest.raises(ValueError, match="cache_shards"):
+            ShardStore(store_dir, cache_shards=0)
+
+    def test_rejects_foreign_payload_columns(self, store_dir):
+        manifest_path = store_dir / "manifest.json"
+        manifest = json.loads(manifest_path.read_text())
+        manifest["payload_columns"] = ["src", "dst", "triangles"]
+        manifest_path.write_text(json.dumps(manifest))
+        with pytest.raises(ValueError, match="payload_columns"):
+            ShardStore(store_dir)
+
+    def test_rejects_unordered_shard_ranges(self, store_dir):
+        manifest_path = store_dir / "manifest.json"
+        manifest = json.loads(manifest_path.read_text())
+        manifest["shards"][0], manifest["shards"][1] = (
+            manifest["shards"][1], manifest["shards"][0])
+        manifest_path.write_text(json.dumps(manifest))
+        with pytest.raises(ValueError, match="nondecreasing"):
+            ShardStore(store_dir)
+
+    def test_edges_in_range_equals_materialized(self, store_dir, product):
+        store = ShardStore(store_dir)
+        reference = _sorted_edges(product.edges())
+        assert np.array_equal(store.edges_in_range(0, product.n_vertices),
+                              reference)
+        lo, hi = product.n_vertices // 3, 2 * product.n_vertices // 3
+        window = reference[(reference[:, 0] >= lo) & (reference[:, 0] < hi)]
+        assert np.array_equal(store.edges_in_range(lo, hi), window)
+        assert store.edges_in_range(5, 5).shape == (0, 2)
+        assert store.edges_in_range(7, 3).shape == (0, 2)
+
+    def test_degrees_match_product(self, store_dir, product):
+        store = ShardStore(store_dir)
+        vs = np.arange(product.n_vertices)
+        assert np.array_equal(store.degrees(vs), product.degrees())
+        edges = product.edges()
+        assert np.array_equal(store.out_degrees(vs),
+                              np.bincount(edges[:, 0],
+                                          minlength=product.n_vertices))
+
+    def test_scalar_wrappers_match_batch(self, store_dir, product, rng):
+        store = ShardStore(store_dir)
+        for v in map(int, rng.choice(product.n_vertices, 10, replace=False)):
+            assert store.degree(v) == product.degree(v)
+            assert store.out_degree(v) == int(store.out_degrees([v])[0])
+
+    def test_neighbors_match_product(self, store_dir, product, rng):
+        store = ShardStore(store_dir)
+        for v in map(int, rng.choice(product.n_vertices, 10, replace=False)):
+            assert np.array_equal(store.neighbors(v), product.neighbors(v))
+
+    def test_self_loops_excluded_like_kronecker(self, tmp_path, small_er_loops):
+        """B with self loops ⇒ product with self loops; degree conventions
+        must keep matching KroneckerGraph."""
+        from repro.graphs import write_edge_shards
+
+        product = KroneckerGraph(small_er_loops, small_er_loops)
+        write_edge_shards(product, tmp_path / "spill", a_edges_per_block=16)
+        compact_shards(tmp_path / "spill", tmp_path / "store",
+                       target_shard_edges=900)
+        store = ShardStore(tmp_path / "store")
+        assert product.has_self_loops
+        vs = np.arange(product.n_vertices)
+        assert np.array_equal(store.degrees(vs), product.degrees())
+        loops = np.flatnonzero(store.out_degrees(vs) - store.degrees(vs))
+        assert loops.size == product.n_self_loops
+        v = int(loops[0])
+        assert store.has_edge(v, v)
+        assert v not in store.neighbors(v)
+        assert v in store.neighbors(v, include_self_loop=True)
+
+    def test_has_edge(self, store_dir, product, rng):
+        store = ShardStore(store_dir)
+        edges = product.edges()
+        for row in rng.choice(edges.shape[0], 10, replace=False):
+            p, q = map(int, edges[row])
+            assert store.has_edge(p, q)
+        assert not store.has_edge(0, 0)
+
+    def test_egonet_matches_product(self, store_dir, product, rng):
+        store = ShardStore(store_dir)
+        for v in map(int, rng.choice(product.n_vertices, 8, replace=False)):
+            ego_store, ego_graph = store.egonet(v), egonet(product, v)
+            assert np.array_equal(ego_store.vertices, ego_graph.vertices)
+            assert (ego_store.graph.adjacency
+                    != ego_graph.graph.adjacency).nnz == 0
+            assert ego_store.triangles_at_center() == ego_graph.triangles_at_center()
+            assert ego_store.degree_of_center() == product.degree(v)
+
+    def test_subgraph_matches_product(self, store_dir, product, rng):
+        store = ShardStore(store_dir)
+        vs = rng.choice(product.n_vertices, 25, replace=False)
+        got = store.subgraph_adjacency(vs)
+        expected = product.subgraph_adjacency(vs)
+        assert (got != expected).nnz == 0
+
+    def test_subgraph_rejects_duplicates(self, store_dir):
+        store = ShardStore(store_dir)
+        with pytest.raises(ValueError, match="duplicates"):
+            store.subgraph_adjacency([1, 2, 1])
+
+    def test_vertex_out_of_range(self, store_dir, product):
+        store = ShardStore(store_dir)
+        with pytest.raises(IndexError):
+            store.degree(product.n_vertices)
+        with pytest.raises(IndexError):
+            store.out_degrees([-1])
+
+    def test_empty_batch(self, store_dir):
+        store = ShardStore(store_dir)
+        assert store.out_degrees(np.zeros(0, dtype=np.int64)).shape == (0,)
+        assert store.edges_for_sources([]).shape == (0, 2)
+
+
+class TestShardStoreIO:
+    def test_only_overlapping_shards_decoded(self, store_dir, monkeypatch):
+        """Acceptance criterion: a vertex query touches only the shards the
+        manifest's range search selects (counted via a file-open hook)."""
+        opened = []
+        real_load = query_mod._load_shard_file
+
+        def counting_load(path):
+            opened.append(path.name)
+            return real_load(path)
+
+        monkeypatch.setattr(query_mod, "_load_shard_file", counting_load)
+        store = ShardStore(store_dir, cache_shards=2)
+        manifest = read_shard_manifest(store_dir)
+        v = manifest["shards"][0]["src_max"]  # worst case: a boundary vertex
+        expected = [s["file"] for s in manifest["shards"]
+                    if s["src_min"] <= v <= s["src_max"]]
+        store.degree(v)
+        store.neighbors(v)
+        assert sorted(set(opened)) == sorted(expected)
+        assert len(set(opened)) < len(manifest["shards"])
+        assert store.shard_reads == len(opened)
+
+    def test_range_query_decodes_only_window(self, store_dir, monkeypatch):
+        opened = []
+        real_load = query_mod._load_shard_file
+        monkeypatch.setattr(
+            query_mod, "_load_shard_file",
+            lambda path: opened.append(path.name) or real_load(path))
+        store = ShardStore(store_dir, cache_shards=8)
+        manifest = read_shard_manifest(store_dir)
+        lo = manifest["shards"][1]["src_min"]
+        hi = manifest["shards"][2]["src_max"] + 1
+        store.edges_in_range(lo, hi)
+        expected = {s["file"] for s in manifest["shards"]
+                    if s["src_min"] < hi and s["src_max"] >= lo}
+        assert set(opened) == expected
+
+    def test_lru_serves_repeats_without_disk(self, store_dir):
+        store = ShardStore(store_dir, cache_shards=4)
+        v = store.n_vertices // 2
+        store.neighbors(v)
+        reads = store.shard_reads
+        for _ in range(5):
+            store.neighbors(v)
+        assert store.shard_reads == reads
+        assert store.cache_hits >= 5
+
+    def test_lru_eviction_bounds_memory(self, store_dir):
+        store = ShardStore(store_dir, cache_shards=1)
+        store.edges_in_range(0, store.n_vertices)
+        assert len(store._cache) == 1
+        assert store.shard_reads == store.n_shards
+
+    def test_clear_cache(self, store_dir):
+        store = ShardStore(store_dir, cache_shards=4)
+        v = store.n_vertices // 2
+        store.neighbors(v)
+        reads = store.shard_reads
+        store.clear_cache()
+        store.neighbors(v)
+        assert store.shard_reads > reads
+
+    def test_v1_manifest_still_loads(self, spill_dir, product):
+        """PR 2 sinks keep working: v1 manifests load, upgrade, and read."""
+        manifest = read_shard_manifest(spill_dir)
+        assert manifest["format_version"] == 1
+        assert manifest["sorted_by"] is None
+        assert manifest["payload_columns"] == ["src", "dst"]
+        assert load_edge_shards(spill_dir).shape[0] == product.nnz
+
+
+class TestAsyncShardSink:
+    def test_equivalent_to_sync_sink(self, tmp_path, weblike_small,
+                                     delta_le_one_factor, spill_dir):
+        sink = AsyncShardSink(tmp_path / "aspill", queue_blocks=3,
+                              n_vertices=KroneckerGraph(
+                                  weblike_small, delta_le_one_factor).n_vertices)
+        distributed_generate(weblike_small, delta_le_one_factor, 4,
+                             streaming=True, a_edges_per_block=8, sink=sink)
+        sync_manifest = read_shard_manifest(spill_dir)
+        async_manifest = read_shard_manifest(tmp_path / "aspill")
+        assert async_manifest["shards"] == sync_manifest["shards"]
+        assert np.array_equal(load_edge_shards(tmp_path / "aspill"),
+                              load_edge_shards(spill_dir))
+        assert sink.blocks_written == len(async_manifest["shards"])
+
+    def test_write_snapshots_caller_buffer(self, tmp_path):
+        """A caller reusing its block buffer must not corrupt queued writes."""
+        sink = AsyncShardSink(tmp_path / "s", queue_blocks=4)
+        block = np.asarray([[1, 2], [3, 4]], dtype=np.int64)
+        sink.write(0, 0, block)
+        block[:] = -1
+        sink.finalize()
+        assert np.array_equal(np.load(tmp_path / "s" / "edges-r00000-b000000.npy"),
+                              [[1, 2], [3, 4]])
+
+    def test_flush_waits_for_disk(self, tmp_path):
+        sink = AsyncShardSink(tmp_path / "s", queue_blocks=8)
+        for i in range(6):
+            sink.write(0, i, np.asarray([[i, i + 1]], dtype=np.int64))
+        sink.flush()
+        assert sink.blocks_written == 6
+        assert len(list((tmp_path / "s").glob("edges-*.npy"))) == 6
+
+    def test_finalize_idempotent_and_restartable(self, tmp_path):
+        sink = AsyncShardSink(tmp_path / "s")
+        sink.write(0, 0, np.asarray([[0, 1]], dtype=np.int64))
+        first = sink.finalize()
+        assert first == sink.finalize()
+        sink.write(0, 1, np.asarray([[1, 2]], dtype=np.int64))
+        assert sink.finalize()["total_edges"] == 2
+
+    def test_writer_errors_surface(self, tmp_path, monkeypatch):
+        sink = AsyncShardSink(tmp_path / "s", queue_blocks=2)
+
+        class _FailingSink:
+            def write(self, rank, block_index, edges):
+                raise OSError("disk full")
+
+        monkeypatch.setattr(sink, "_inner", _FailingSink())
+        sink.write(0, 0, np.asarray([[0, 1]], dtype=np.int64))
+        with pytest.raises(RuntimeError, match="async shard writer"):
+            sink.flush()
+
+    def test_not_picklable(self, tmp_path):
+        sink = AsyncShardSink(tmp_path / "s")
+        with pytest.raises(TypeError, match="NpyShardSink"):
+            pickle.dumps(sink)
+
+    def test_full_pipeline_through_store(self, tmp_path, weblike_small,
+                                         delta_le_one_factor):
+        """generate → async spill → compact → query, never materializing C."""
+        product = KroneckerGraph(weblike_small, delta_le_one_factor)
+        sink = AsyncShardSink(tmp_path / "spill", name=product.name,
+                              n_vertices=product.n_vertices)
+        distributed_generate(weblike_small, delta_le_one_factor, 3,
+                             streaming=True, a_edges_per_block=16, sink=sink)
+        compact_shards(tmp_path / "spill", tmp_path / "store",
+                       target_shard_edges=2000)
+        store = ShardStore(tmp_path / "store")
+        assert store.total_edges == product.nnz
+        assert np.array_equal(store.degrees(np.arange(product.n_vertices)),
+                              product.degrees())
