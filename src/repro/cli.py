@@ -27,15 +27,21 @@ published artefacts of the paper:
     against the closed-form factor statistics — no full edge list is ever
     held in memory.  ``--async-io`` swaps in the threaded
     :class:`repro.store.AsyncShardSink` so shard writes overlap generation.
+    ``--payload triangles,trussness`` widens the spilled shards with exact
+    per-edge ground-truth columns (evaluated per block through the factored
+    statistics), recorded by name in the manifest.
 
 ``repro-kron compact``
     Compact a per-block spill directory into a source-sorted store with a
-    manifest v2 recording per-shard vertex ranges (``repro.store``).
+    manifest v2 recording per-shard vertex ranges (``repro.store``); payload
+    columns are carried through the external merge sort unchanged.
 
 ``repro-kron query``
     Serve degree / neighbor / egonet / edge-range queries from a compacted
     store, decoding only the shards whose manifest range overlaps the query
-    — the product is never materialized.
+    — the product is never materialized.  ``--payload`` adds the stored
+    per-edge ground truth to the answer and ``--json`` emits a single JSON
+    object for scripts.
 
 Each sub-command is also usable programmatically through :func:`main`, which
 accepts an ``argv`` list and returns the process exit code (the test-suite
@@ -45,9 +51,10 @@ drives it this way).
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from pathlib import Path
-from typing import List, Optional
+from typing import List, Optional, Tuple
 
 from repro import generators
 from repro.analysis import format_table, graph_summary, kronecker_summary
@@ -66,7 +73,13 @@ from repro.graphs import (
     write_edge_shards,
 )
 from repro.parallel import distributed_generate, stream_edges_to_file
-from repro.store import AsyncShardSink, ShardStore, compact_shards
+from repro.store import (
+    KNOWN_PAYLOAD_COLUMNS,
+    AsyncShardSink,
+    PayloadEvaluator,
+    ShardStore,
+    compact_shards,
+)
 
 __all__ = ["main", "build_parser"]
 
@@ -152,6 +165,12 @@ def build_parser() -> argparse.ArgumentParser:
                         help="with --ranks: overlap shard writes with block "
                              "generation via a threaded writer sink "
                              "(in-process ranks only)")
+    stream.add_argument("--payload", type=str, default=None, metavar="COLS",
+                        help="comma-separated per-edge ground-truth columns "
+                             "to carry in the spilled shards (from: "
+                             "triangles, trussness); shards become "
+                             "(m, 2+k) rows and the manifest records the "
+                             "column names (.npy shard format only)")
 
     compact = sub.add_parser(
         "compact",
@@ -181,6 +200,13 @@ def build_parser() -> argparse.ArgumentParser:
                        help="decoded shards kept in the LRU cache (default 4)")
     query.add_argument("--limit", type=int, default=20,
                        help="rows of output printed for list results (default 20)")
+    query.add_argument("--payload", action="store_true",
+                       help="include the store's per-edge payload columns "
+                            "(triangle counts, trussness, ...) in the answer; "
+                            "requires a payload-carrying store")
+    query.add_argument("--json", action="store_true", dest="as_json",
+                       help="emit the query result as one JSON object on "
+                            "stdout (for scripts)")
 
     return parser
 
@@ -242,10 +268,26 @@ def _resolve_stream_format(args: argparse.Namespace) -> str:
     return "tsv" if args.output.suffix in (".tsv", ".txt") else "shards"
 
 
+def _parse_payload_columns(spec: Optional[str]) -> Tuple[str, ...]:
+    """Split and validate ``--payload`` *before* any sink touches the output
+    directory — a typo'd column name must not cost the user an existing
+    spill (constructing a sink clears the destination)."""
+    if not spec:
+        return ()
+    columns = tuple(c.strip() for c in spec.split(",") if c.strip())
+    unknown = [c for c in columns if c not in KNOWN_PAYLOAD_COLUMNS]
+    if unknown:
+        raise SystemExit(
+            f"unknown payload column(s) {', '.join(unknown)}; "
+            f"choose from: {', '.join(KNOWN_PAYLOAD_COLUMNS)}")
+    return columns
+
+
 def _cmd_stream(args: argparse.Namespace) -> int:
     factor_a, factor_b, _ = _load_undirected_bundle(args.bundle)
     product = KroneckerGraph(factor_a, factor_b)
     fmt = _resolve_stream_format(args)
+    payload_columns = _parse_payload_columns(args.payload)
     if args.processes and args.ranks is None:
         raise SystemExit("--processes requires --ranks")
 
@@ -254,6 +296,9 @@ def _cmd_stream(args: argparse.Namespace) -> int:
     if args.async_io and args.processes:
         raise SystemExit("--async-io runs in-process ranks only; drop "
                          "--processes (the pool already overlaps I/O)")
+    if payload_columns and fmt == "tsv":
+        raise SystemExit("--payload requires the .npy shard format "
+                         "(payload columns live in the shard rows)")
 
     if args.ranks is not None:
         if fmt == "tsv":
@@ -262,14 +307,19 @@ def _cmd_stream(args: argparse.Namespace) -> int:
             raise SystemExit("--max-edges applies to single-rank spills only")
         sink_cls = AsyncShardSink if args.async_io else NpyShardSink
         sink = sink_cls(args.output, name=product.name,
-                        n_vertices=product.n_vertices)
+                        n_vertices=product.n_vertices,
+                        payload_columns=payload_columns)
         result = distributed_generate(
             factor_a, factor_b, args.ranks,
             streaming=True, a_edges_per_block=args.block,
             sink=sink, use_processes=args.processes,
+            payload_columns=payload_columns,
         )
         print(f"streamed {result.n_edges:,} edges over {args.ranks} ranks "
               f"to {args.output} (.npy shards)")
+        if payload_columns:
+            print(f"payload columns: {', '.join(payload_columns)} "
+                  "(exact per-edge ground truth, evaluated per block)")
         print(f"peak block: {result.max_block_edges:,} edges "
               f"(bound {args.block * factor_b.nnz:,})")
         if args.async_io:
@@ -286,9 +336,14 @@ def _cmd_stream(args: argparse.Namespace) -> int:
                                        a_edges_per_block=args.block,
                                        max_edges=args.max_edges)
     else:
+        evaluator = PayloadEvaluator.from_factors(
+            factor_a, factor_b, payload_columns) if payload_columns else None
         written = write_edge_shards(product, args.output,
                                     a_edges_per_block=args.block,
-                                    max_edges=args.max_edges)
+                                    max_edges=args.max_edges,
+                                    payload=evaluator)
+        if payload_columns:
+            print(f"payload columns: {', '.join(payload_columns)}")
     print(f"wrote {written:,} edges to {args.output} ({fmt})")
     return 0
 
@@ -308,31 +363,134 @@ def _cmd_compact(args: argparse.Namespace) -> int:
     return 0
 
 
+def _query_degree(store: ShardStore, args: argparse.Namespace) -> dict:
+    v = args.degree
+    return {"query": "degree", "vertex": v, "degree": store.degree(v)}
+
+
+def _query_neighbors(store: ShardStore, args: argparse.Namespace) -> dict:
+    v = args.neighbors
+    result = {"query": "neighbors", "vertex": v}
+    if args.payload:
+        rows = store.edges_for_sources([v], with_payload=True)
+        rows = rows[rows[:, 1] != v]  # store convention: self loop excluded
+        result["neighbors"] = [int(q) for q in rows[:, 1]]
+        result["payload"] = {
+            name: [int(x) for x in rows[:, 2 + offset]]
+            for offset, name in enumerate(store.payload_columns)
+        }
+    else:
+        result["neighbors"] = [int(q) for q in store.neighbors(v)]
+    result["count"] = len(result["neighbors"])
+    return result
+
+
+def _query_egonet(store: ShardStore, args: argparse.Namespace) -> dict:
+    v = args.egonet
+    if args.payload:
+        ego, rows = store.egonet(v, with_payload=True)
+    else:
+        ego, rows = store.egonet(v), None
+    result = {
+        "query": "egonet",
+        "vertex": v,
+        "n_vertices": int(ego.n_vertices),
+        "centre_degree": int(ego.degree_of_center()),
+        "triangles_at_centre": int(ego.triangles_at_center()),
+    }
+    if rows is not None:
+        result["n_induced_edges"] = int(rows.shape[0])
+        result["payload_totals"] = {
+            name: int(rows[:, 2 + offset].sum())
+            for offset, name in enumerate(store.payload_columns)
+        }
+    return result
+
+
+def _query_range(store: ShardStore, args: argparse.Namespace) -> dict:
+    lo, hi = args.range
+    rows = store.edges_in_range(lo, hi, with_payload=args.payload)
+    columns = ["src", "dst"]
+    if args.payload:
+        columns += list(store.payload_columns)
+    return {
+        "query": "edges_in_range",
+        "lo": lo,
+        "hi": hi,
+        "n_edges": int(rows.shape[0]),
+        "columns": columns,
+        "edges": [[int(x) for x in row] for row in rows[: args.limit]],
+    }
+
+
+def _print_query_text(result: dict, limit: int) -> None:
+    kind = result["query"]
+    if kind == "degree":
+        print(f"degree({result['vertex']}) = {result['degree']}")
+    elif kind == "neighbors":
+        nbrs = result["neighbors"]
+        payload = result.get("payload")
+        if payload:
+            names = list(payload)
+            print(f"neighbors({result['vertex']}) with "
+                  f"[{', '.join(names)}] ({result['count']} vertices):")
+            for row_index, q in enumerate(nbrs[:limit]):
+                values = ", ".join(f"{name}={payload[name][row_index]}"
+                                   for name in names)
+                print(f"  {q}\t{values}")
+            if len(nbrs) > limit:
+                print(f"  ... ({len(nbrs) - limit} more)")
+        else:
+            shown = ", ".join(map(str, nbrs[:limit]))
+            suffix = ", ..." if len(nbrs) > limit else ""
+            print(f"neighbors({result['vertex']}) = [{shown}{suffix}] "
+                  f"({result['count']} vertices)")
+    elif kind == "egonet":
+        print(f"egonet({result['vertex']}): {result['n_vertices']} vertices, "
+              f"centre degree {result['centre_degree']}, "
+              f"{result['triangles_at_centre']} triangles at the centre")
+        if "payload_totals" in result:
+            totals = ", ".join(f"{name} total {value}"
+                               for name, value in result["payload_totals"].items())
+            print(f"  induced edges: {result['n_induced_edges']} ({totals})")
+    else:
+        print(f"edges_in_range({result['lo']}, {result['hi']}) = "
+              f"{result['n_edges']:,} edges")
+        if len(result["columns"]) > 2:
+            print(f"  columns: {chr(9).join(result['columns'])}")
+        for row in result["edges"]:
+            print("  " + "\t".join(map(str, row)))
+        if result["n_edges"] > len(result["edges"]):
+            print(f"  ... ({result['n_edges'] - len(result['edges']):,} more)")
+
+
 def _cmd_query(args: argparse.Namespace) -> int:
     store = ShardStore(args.store, cache_shards=args.cache)
+    if args.payload and not store.payload_columns:
+        raise SystemExit(
+            f"{args.store} carries no payload columns; re-run the spill with "
+            "`stream --payload ...` and recompact to serve per-edge ground "
+            "truth")
     if args.degree is not None:
-        print(f"degree({args.degree}) = {store.degree(args.degree)}")
+        result = _query_degree(store, args)
     elif args.neighbors is not None:
-        nbrs = store.neighbors(args.neighbors)
-        shown = ", ".join(map(str, nbrs[: args.limit]))
-        suffix = ", ..." if nbrs.size > args.limit else ""
-        print(f"neighbors({args.neighbors}) = [{shown}{suffix}] "
-              f"({nbrs.size} vertices)")
+        result = _query_neighbors(store, args)
     elif args.egonet is not None:
-        ego = store.egonet(args.egonet)
-        print(f"egonet({args.egonet}): {ego.n_vertices} vertices, "
-              f"centre degree {ego.degree_of_center()}, "
-              f"{ego.triangles_at_center()} triangles at the centre")
+        result = _query_egonet(store, args)
     else:
-        lo, hi = args.range
-        edges = store.edges_in_range(lo, hi)
-        print(f"edges_in_range({lo}, {hi}) = {edges.shape[0]:,} edges")
-        for src, dst in edges[: args.limit]:
-            print(f"  {src}\t{dst}")
-        if edges.shape[0] > args.limit:
-            print(f"  ... ({edges.shape[0] - args.limit:,} more)")
-    print(f"decoded {store.shard_reads} of {store.n_shards} shards "
-          f"({store.cache_hits} cache hits)")
+        result = _query_range(store, args)
+    result["store"] = {
+        "n_shards": store.n_shards,
+        "shard_reads": store.shard_reads,
+        "cache_hits": store.cache_hits,
+        "payload_columns": list(store.payload_columns),
+    }
+    if args.as_json:
+        print(json.dumps(result, indent=2, sort_keys=True))
+    else:
+        _print_query_text(result, args.limit)
+        print(f"decoded {store.shard_reads} of {store.n_shards} shards "
+              f"({store.cache_hits} cache hits)")
     return 0
 
 

@@ -13,12 +13,14 @@ from repro.graphs.io import (
     iter_edge_shards,
     load_edge_shards,
     load_kronecker_bundle,
+    normalize_payload_columns,
     read_directed_edge_list,
     read_edge_list,
     read_shard_manifest,
     save_kronecker_bundle,
     write_edge_list,
     write_edge_shards,
+    write_shard_manifest,
 )
 from repro.graphs.labeled import (
     VertexLabeledGraph,
@@ -47,7 +49,9 @@ __all__ = [
     "save_kronecker_bundle",
     "load_kronecker_bundle",
     "NpyShardSink",
+    "normalize_payload_columns",
     "write_edge_shards",
+    "write_shard_manifest",
     "read_shard_manifest",
     "iter_edge_shards",
     "load_edge_shards",

@@ -21,8 +21,9 @@ Formats
 from __future__ import annotations
 
 import json
+import os
 from pathlib import Path
-from typing import Optional, Tuple, Union
+from typing import Optional, Sequence, Tuple, Union
 
 import numpy as np
 import scipy.sparse as sp
@@ -38,7 +39,9 @@ __all__ = [
     "save_kronecker_bundle",
     "load_kronecker_bundle",
     "NpyShardSink",
+    "normalize_payload_columns",
     "write_edge_shards",
+    "write_shard_manifest",
     "read_shard_manifest",
     "iter_edge_shards",
     "load_edge_shards",
@@ -48,6 +51,64 @@ PathLike = Union[str, Path]
 
 #: Manifest file name of a ``.npy`` shard directory.
 SHARD_MANIFEST = "manifest.json"
+
+#: Temp-file suffix of an in-flight manifest write (see
+#: :func:`write_shard_manifest`); never read, always safe to delete.
+_MANIFEST_TMP = SHARD_MANIFEST + ".tmp"
+
+#: The two columns every edge shard starts with.
+_ENDPOINT_COLUMNS = ("src", "dst")
+
+
+def normalize_payload_columns(columns: Sequence[str]) -> Tuple[str, ...]:
+    """Canonical *extra* payload column names from either spelling.
+
+    Accepts the extras alone (``("triangles",)``) or the full manifest form
+    prefixed with the endpoint columns (``["src", "dst", "triangles"]``) and
+    returns just the extras.  Names must be non-empty strings, unique, and
+    must not collide with the reserved endpoint columns.
+    """
+    cols = list(columns)
+    if not all(isinstance(c, str) and c for c in cols):
+        raise ValueError(f"payload column names must be non-empty strings, got {cols!r}")
+    if tuple(cols[:2]) == _ENDPOINT_COLUMNS:
+        cols = cols[2:]
+    reserved = [c for c in cols if c in _ENDPOINT_COLUMNS]
+    if reserved:
+        raise ValueError(
+            f"payload column names {reserved} are reserved for the edge "
+            "endpoints; extras must come after ['src', 'dst']")
+    if len(set(cols)) != len(cols):
+        raise ValueError(f"duplicate payload column names: {cols!r}")
+    return tuple(cols)
+
+
+def write_shard_manifest(directory: PathLike, manifest: dict) -> None:
+    """Durably publish a shard manifest (atomic replace, never a torn file).
+
+    The JSON is written to a temp file *in the same directory*, fsynced, and
+    ``os.replace``-d onto ``manifest.json``, so a crash — process kill or
+    power loss — leaves either the previous manifest or the new one; readers
+    can never observe a truncated manifest that would surface as a raw
+    ``JSONDecodeError``.  (Without the fsync the rename could reach disk
+    before the temp file's data blocks, resurrecting exactly the torn-file
+    state this helper exists to rule out.)
+    """
+    directory = Path(directory)
+    tmp = directory / _MANIFEST_TMP
+    with open(tmp, "w", encoding="utf-8") as handle:
+        handle.write(json.dumps(manifest, indent=2, sort_keys=True) + "\n")
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(tmp, directory / SHARD_MANIFEST)
+    try:
+        dir_fd = os.open(directory, os.O_RDONLY)
+    except OSError:  # pragma: no cover - platforms without directory opens
+        return
+    try:
+        os.fsync(dir_fd)  # persist the rename itself
+    finally:
+        os.close(dir_fd)
 
 
 def write_edge_list(graph: Union[Graph, DirectedGraph], path: PathLike, *, header: bool = True) -> None:
@@ -116,11 +177,21 @@ class NpyShardSink:
     handle and the sink works unchanged under a ``multiprocessing`` pool
     (the object holds only path state and is picklable).  ``finalize()``
     scans the directory and writes a small JSON manifest recording shard
-    order and per-shard edge counts; readers go through the manifest.
+    order and per-shard edge counts; readers go through the manifest, which
+    is published atomically (:func:`write_shard_manifest`).
 
     Compared to the TSV writer this replaces as the default, shards are
     written with one ``np.save`` per block — no per-row formatting at all —
     and round-trip losslessly as ``int64``.
+
+    Shards may carry per-edge ground-truth payload columns beyond the two
+    ``(src, dst)`` endpoints: construct the sink with
+    ``payload_columns=("triangles", "trussness")`` and feed it
+    ``(m, 2 + k)`` blocks whose extra columns hold the named values (the
+    streaming pipeline evaluates them per block through one
+    :class:`~repro.core.triangle_formulas.TriangleStatsGatherer` per rank
+    pass).  The manifest records the column names so every reader — the
+    compactor and :class:`repro.store.ShardStore` — knows the row layout.
 
     Constructing a sink claims the directory for one run: shard files and
     the manifest left over from a previous spill are deleted so a rerun with
@@ -130,37 +201,49 @@ class NpyShardSink:
     driver.)
     """
 
-    __slots__ = ("directory", "name", "n_vertices")
+    __slots__ = ("directory", "name", "n_vertices", "payload_columns")
 
     #: Glob matching the shard files this sink writes.
     _SHARD_GLOB = "edges-r*-b*.npy"
 
-    def __init__(self, directory: PathLike, *, name: str = "", n_vertices: int = 0):
+    def __init__(self, directory: PathLike, *, name: str = "", n_vertices: int = 0,
+                 payload_columns: Sequence[str] = ()):
         self.directory = Path(directory)
         self.directory.mkdir(parents=True, exist_ok=True)
         for stale in self.directory.glob(self._SHARD_GLOB):
             stale.unlink()
-        manifest = self.directory / SHARD_MANIFEST
-        if manifest.exists():
-            manifest.unlink()
+        for stale in (self.directory / SHARD_MANIFEST, self.directory / _MANIFEST_TMP):
+            if stale.exists():
+                stale.unlink()
         self.name = name
         self.n_vertices = int(n_vertices)
+        self.payload_columns = normalize_payload_columns(payload_columns)
+
+    @property
+    def block_columns(self) -> int:
+        """Width every written block must have: ``2 + len(payload_columns)``."""
+        return 2 + len(self.payload_columns)
 
     def shard_path(self, rank: int, block_index: int) -> Path:
         """Deterministic shard file path for one ``(rank, block)`` pair."""
         return self.directory / f"edges-r{rank:05d}-b{block_index:06d}.npy"
 
     def write(self, rank: int, block_index: int, edges: np.ndarray) -> None:
-        """Spill one edge block (the streaming sink protocol)."""
-        np.save(self.shard_path(rank, block_index),
-                np.ascontiguousarray(edges, dtype=np.int64))
+        """Spill one ``(m, 2 + k)`` edge block (the streaming sink protocol)."""
+        block = np.ascontiguousarray(edges, dtype=np.int64)
+        if block.ndim != 2 or block.shape[1] != self.block_columns:
+            raise ValueError(
+                f"sink expects (m, {self.block_columns}) blocks for "
+                f"payload_columns {list(_ENDPOINT_COLUMNS + self.payload_columns)}; "
+                f"got shape {block.shape}")
+        np.save(self.shard_path(rank, block_index), block)
 
     def shard_paths(self):
         """All shard files currently in the directory, in (rank, block) order."""
         return sorted(self.directory.glob(self._SHARD_GLOB))
 
     def finalize(self, metadata: Optional[dict] = None) -> dict:
-        """Write the JSON manifest (idempotent) and return it.
+        """Write the JSON manifest (idempotent, atomic) and return it.
 
         Shard lengths are read from the ``.npy`` headers via memory mapping —
         finalization never loads edge data.
@@ -177,12 +260,12 @@ class NpyShardSink:
             "name": self.name,
             "n_vertices": self.n_vertices,
             "total_edges": total,
+            "payload_columns": list(_ENDPOINT_COLUMNS + self.payload_columns),
             "shards": shards,
         }
         if metadata:
             manifest["metadata"] = dict(metadata)
-        (self.directory / SHARD_MANIFEST).write_text(
-            json.dumps(manifest, indent=2, sort_keys=True) + "\n")
+        write_shard_manifest(self.directory, manifest)
         return manifest
 
 
@@ -193,6 +276,7 @@ def write_edge_shards(
     a_edges_per_block: int = 1024,
     max_edges: Optional[int] = None,
     metadata: Optional[dict] = None,
+    payload=None,
 ) -> int:
     """Stream a product's edge list into a ``.npy`` shard directory.
 
@@ -200,9 +284,19 @@ def write_edge_shards(
     object with ``iter_edge_blocks``/``name``/``n_vertices`` (duck-typed so
     this module never imports :mod:`repro.core`).  Returns the number of
     edges written; the manifest is finalized before returning.
+
+    Parameters
+    ----------
+    payload:
+        Optional per-edge payload evaluator — an object with a ``columns``
+        tuple of extra column names and ``attach(edges) -> (m, 2 + k)``
+        (:class:`repro.store.PayloadEvaluator` is the canonical one).  Each
+        streamed block is widened before it is spilled and the manifest
+        records the column names.
     """
     sink = NpyShardSink(directory, name=getattr(product, "name", ""),
-                        n_vertices=getattr(product, "n_vertices", 0))
+                        n_vertices=getattr(product, "n_vertices", 0),
+                        payload_columns=payload.columns if payload is not None else ())
     written = 0
     for block_index, block in enumerate(
         product.iter_edge_blocks(a_edges_per_block=a_edges_per_block)
@@ -210,6 +304,8 @@ def write_edge_shards(
         if max_edges is not None and written + block.shape[0] > max_edges:
             block = block[: max_edges - written]
         if block.shape[0]:
+            if payload is not None:
+                block = payload.attach(block)
             sink.write(0, block_index, block)
             written += block.shape[0]
         if max_edges is not None and written >= max_edges:
@@ -251,8 +347,16 @@ def _validate_shard_manifest(manifest: object, path: Path) -> dict:
     if not isinstance(shards, list):
         raise ValueError(f"{path}: 'shards' must be a list, "
                          f"got {type(shards).__name__}")
+    if version == 2:
+        for field in _MANIFEST_REQUIRED_V2:
+            if field not in manifest:
+                raise ValueError(
+                    f"{path}: v2 manifest is missing required field {field!r}")
+    if "payload_columns" in manifest:
+        _validate_payload_columns(manifest["payload_columns"], path)
     per_shard = ("file", "n_edges") if version == 1 \
         else ("file", "n_edges", "src_min", "src_max")
+    prev_min = prev_max = -1
     for index, shard in enumerate(shards):
         if not isinstance(shard, dict):
             raise ValueError(f"{path}: shards[{index}] must be an object")
@@ -260,12 +364,41 @@ def _validate_shard_manifest(manifest: object, path: Path) -> dict:
             if field not in shard:
                 raise ValueError(
                     f"{path}: shards[{index}] is missing required field {field!r}")
-    if version == 2:
-        for field in _MANIFEST_REQUIRED_V2:
-            if field not in manifest:
+        if version == 2:
+            # Range sanity lives here — at the single reader — so every
+            # consumer (ShardStore, CLI query, iter_edge_shards) fails with
+            # the same field-naming error, not a downstream surprise.
+            for field in ("src_min", "src_max"):
+                value = shard[field]
+                if isinstance(value, bool) or not isinstance(value, int) or value < 0:
+                    raise ValueError(
+                        f"{path}: shards[{index}].{field} must be a "
+                        f"non-negative integer, got {value!r}")
+            if shard["src_min"] > shard["src_max"]:
                 raise ValueError(
-                    f"{path}: v2 manifest is missing required field {field!r}")
+                    f"{path}: shards[{index}].src_min ({shard['src_min']}) "
+                    f"exceeds src_max ({shard['src_max']})")
+            if shard["src_min"] < prev_min or shard["src_max"] < prev_max:
+                raise ValueError(
+                    f"{path}: shard src_min/src_max vertex ranges are not "
+                    f"nondecreasing at shards[{index}]; the store is corrupt "
+                    "or was not written by repro.store.compact_shards")
+            prev_min, prev_max = shard["src_min"], shard["src_max"]
     return manifest
+
+
+def _validate_payload_columns(columns: object, path: Path) -> None:
+    """Schema rules for the ``payload_columns`` manifest field."""
+    if (not isinstance(columns, list)
+            or not all(isinstance(c, str) and c for c in columns)):
+        raise ValueError(f"{path}: 'payload_columns' must be a list of "
+                         f"non-empty strings, got {columns!r}")
+    if tuple(columns[:2]) != _ENDPOINT_COLUMNS:
+        raise ValueError(f"{path}: 'payload_columns' must begin with "
+                         f"['src', 'dst'], got {columns!r}")
+    if len(set(columns)) != len(columns):
+        raise ValueError(f"{path}: 'payload_columns' contains duplicate "
+                         f"names: {columns!r}")
 
 
 def read_shard_manifest(directory: PathLike) -> dict:
@@ -278,32 +411,54 @@ def read_shard_manifest(directory: PathLike) -> dict:
     transparently: the returned dictionary always carries ``sorted_by``
     (``None`` for an unsorted block spill) and ``payload_columns``, so
     consumers can branch on one shape.  Corrupted or foreign manifests raise a
-    :class:`ValueError` naming the missing or unexpected field.
+    :class:`ValueError` naming the missing or unexpected field; a manifest
+    that is not even valid JSON (e.g. a pre-atomic-write truncated file)
+    raises a :class:`ValueError` naming the file, never a raw
+    ``json.JSONDecodeError``.
     """
     path = Path(directory) / SHARD_MANIFEST
-    manifest = _validate_shard_manifest(json.loads(path.read_text()), path)
+    try:
+        decoded = json.loads(path.read_text())
+    except json.JSONDecodeError as exc:
+        raise ValueError(
+            f"{path}: manifest is not valid JSON ({exc}); the file looks like "
+            "a truncated or interrupted write — re-run the spill or "
+            "compaction that produced this directory") from exc
+    manifest = _validate_shard_manifest(decoded, path)
     manifest.setdefault("sorted_by", None)
-    manifest.setdefault("payload_columns", ["src", "dst"])
+    manifest.setdefault("payload_columns", list(_ENDPOINT_COLUMNS))
     return manifest
 
 
 def iter_edge_shards(directory: PathLike):
-    """Yield the ``(m, 2)`` edge arrays of a shard directory in manifest order."""
+    """Yield the ``(m, 2 + k)`` edge arrays of a shard directory in manifest
+    order, where ``k`` is the number of extra ``payload_columns``; a shard
+    file whose width disagrees with the manifest raises a :class:`ValueError`
+    naming the file."""
     directory = Path(directory)
     manifest = read_shard_manifest(directory)
+    width = len(manifest["payload_columns"])
     for shard in manifest["shards"]:
-        yield np.load(directory / shard["file"])
+        block = np.load(directory / shard["file"])
+        if block.ndim != 2 or block.shape[1] != width:
+            raise ValueError(
+                f"{directory / shard['file']}: shard has shape {block.shape} "
+                f"but the manifest payload_columns "
+                f"{manifest['payload_columns']!r} require {width} columns")
+        yield block
 
 
 def load_edge_shards(directory: PathLike) -> np.ndarray:
-    """Concatenate every shard of a directory into one ``(total, 2)`` array.
+    """Concatenate every shard of a directory into one ``(total, 2 + k)`` array.
 
     The reader-side inverse of the streamed spill; peak memory is the full
-    output plus one shard, mirroring ``KroneckerGraph.edges``.
+    output plus one shard, mirroring ``KroneckerGraph.edges``.  The first two
+    columns are always ``(src, dst)``; any extra columns carry the manifest's
+    named per-edge payloads.
     """
     manifest = read_shard_manifest(Path(directory))
     total = int(manifest["total_edges"])
-    out = np.empty((total, 2), dtype=np.int64)
+    out = np.empty((total, len(manifest["payload_columns"])), dtype=np.int64)
     filled = 0
     for block in iter_edge_shards(directory):
         out[filled:filled + block.shape[0]] = block

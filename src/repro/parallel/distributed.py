@@ -47,6 +47,7 @@ from repro.core.kronecker import KroneckerGraph
 from repro.core.triangle_formulas import KroneckerTriangleStats, TriangleStatsGatherer
 from repro.core.truss_formulas import KroneckerTrussDecomposition, kron_truss_decomposition
 from repro.graphs.adjacency import Graph
+from repro.graphs.io import normalize_payload_columns
 from repro.parallel.comm import SimulatedComm
 from repro.parallel.partition import (
     EdgePartition,
@@ -201,6 +202,46 @@ def iter_rank_edge_blocks(
         yield RankEdgeBlock(edges, edge_t, vertex_t)
 
 
+def _check_payload_columns(payload_columns: Sequence[str], *,
+                           with_statistics: bool, with_trussness: bool
+                           ) -> Tuple[str, ...]:
+    """Validate spill payload columns against the evaluators this run builds.
+
+    The name registry is :data:`repro.store.KNOWN_PAYLOAD_COLUMNS`; the
+    streaming pipeline does not re-evaluate columns through a
+    ``PayloadEvaluator`` — it reuses the per-block arrays it already computed
+    for the aggregates (see :func:`_payload_extras`), so each known name must
+    map to a run flag here.
+    """
+    from repro.store.payloads import KNOWN_PAYLOAD_COLUMNS
+
+    columns = normalize_payload_columns(payload_columns)
+    for name in columns:
+        if name not in KNOWN_PAYLOAD_COLUMNS:
+            raise ValueError(
+                f"unknown payload column {name!r}; evaluable columns are "
+                f"{list(KNOWN_PAYLOAD_COLUMNS)}")
+        if name == "triangles" and not with_statistics:
+            raise ValueError("payload column 'triangles' requires "
+                             "with_statistics=True")
+        if name == "trussness" and not with_trussness:
+            raise ValueError("payload column 'trussness' requires "
+                             "with_trussness=True")
+    return columns
+
+
+def _payload_extras(block: "RankEdgeBlock", trussness: Optional[np.ndarray],
+                    payload_columns: Sequence[str]) -> List[np.ndarray]:
+    """The already-evaluated per-block array behind each payload column."""
+    sources = {"triangles": block.edge_triangles, "trussness": trussness}
+    try:
+        return [sources[name] for name in payload_columns]
+    except KeyError as exc:  # a KNOWN_PAYLOAD_COLUMNS entry not wired up here
+        raise ValueError(
+            f"payload column {exc.args[0]!r} has no streaming evaluation; "
+            "wire it into repro.parallel.distributed._payload_extras") from exc
+
+
 def stream_rank_aggregate(
     factor_a: Graph,
     factor_b: Graph,
@@ -212,6 +253,7 @@ def stream_rank_aggregate(
     gatherer: Optional[TriangleStatsGatherer] = None,
     truss: Optional[KroneckerTrussDecomposition] = None,
     sink: Optional[SinkType] = None,
+    payload_columns: Sequence[str] = (),
 ) -> StreamingRankAccumulator:
     """Fold one rank's streamed blocks into aggregates (and optionally a sink).
 
@@ -220,7 +262,17 @@ def stream_rank_aggregate(
     :class:`~repro.parallel.streaming.StreamingRankAccumulator`, spill it to
     *sink* if given, release it, repeat.  The rank never holds more than one
     block and returns only factor-free aggregates.
+
+    With *payload_columns* the spilled blocks are widened to ``(m, 2 + k)``:
+    the named per-edge ground-truth values — already evaluated once per block
+    for the aggregates, through the single per-pass gatherer — are stacked
+    onto the edges before ``sink.write``, so the spill carries exact payloads
+    at no extra evaluation cost.  ``"triangles"`` requires
+    ``with_statistics``; ``"trussness"`` requires *truss*.
     """
+    payload_columns = _check_payload_columns(
+        payload_columns, with_statistics=with_statistics,
+        with_trussness=truss is not None)
     acc = StreamingRankAccumulator(partition.rank,
                                    with_statistics=with_statistics,
                                    with_trussness=truss is not None)
@@ -238,7 +290,11 @@ def stream_rank_aggregate(
                    block.edge_triangles if with_statistics else None,
                    trussness)
         if write is not None:
-            write(partition.rank, block_index, block.edges)
+            out = block.edges
+            if payload_columns:
+                extras = _payload_extras(block, trussness, payload_columns)
+                out = np.concatenate([out, np.stack(extras, axis=1)], axis=1)
+            write(partition.rank, block_index, out)
     return acc
 
 
@@ -299,26 +355,29 @@ def _worker_init(factor_a: Graph, factor_b: Graph, with_statistics: bool,
                  stats: Optional[KroneckerTriangleStats],
                  truss: Optional[KroneckerTrussDecomposition] = None,
                  sink: Optional[SinkType] = None,
-                 a_edges_per_block: int = 1024) -> None:
+                 a_edges_per_block: int = 1024,
+                 payload_columns: Tuple[str, ...] = ()) -> None:
     global _WORKER_STATE
     _WORKER_STATE = (factor_a, factor_b, with_statistics, stats,
-                     truss, sink, a_edges_per_block)
+                     truss, sink, a_edges_per_block, payload_columns)
 
 
 def _rank_worker(partition: PartitionType) -> RankOutput:
     """Module-level worker (picklable); reads the shared per-process state."""
-    factor_a, factor_b, with_statistics, stats, _, _, _ = _WORKER_STATE
+    factor_a, factor_b, with_statistics, stats = _WORKER_STATE[:4]
     return generate_rank_edges(factor_a, factor_b, partition,
                                with_statistics=with_statistics, stats=stats)
 
 
 def _stream_worker(partition: PartitionType) -> StreamingRankAccumulator:
     """Module-level streaming worker; folds a rank's blocks in the pool process."""
-    factor_a, factor_b, with_statistics, stats, truss, sink, block = _WORKER_STATE
+    (factor_a, factor_b, with_statistics, stats,
+     truss, sink, block, payload_columns) = _WORKER_STATE
     return stream_rank_aggregate(factor_a, factor_b, partition,
                                  a_edges_per_block=block,
                                  with_statistics=with_statistics, stats=stats,
-                                 truss=truss, sink=sink)
+                                 truss=truss, sink=sink,
+                                 payload_columns=payload_columns)
 
 
 def distributed_generate(
@@ -334,6 +393,7 @@ def distributed_generate(
     a_edges_per_block: Optional[int] = None,
     sink: Optional[SinkType] = None,
     with_trussness: bool = False,
+    payload_columns: Sequence[str] = (),
 ) -> Union[List[RankOutput], StreamingGenerateResult]:
     """Run the communication-free generation over ``n_ranks`` simulated ranks.
 
@@ -368,7 +428,21 @@ def distributed_generate(
         the Theorem 3 transfer and fold the census into the aggregates.
         Requires the factors to satisfy the theorem's hypotheses
         (``Δ_B ≤ 1``, loop-free).
+    payload_columns:
+        Streamed runs with a *sink* only: carry the named per-edge
+        ground-truth columns (``"triangles"``, ``"trussness"``) in the
+        spilled blocks, which become ``(m, 2 + k)`` — construct the sink
+        with the matching ``payload_columns`` so its manifest records the
+        layout.  Naming ``"trussness"`` implies ``with_trussness=True``.
     """
+    payload_columns = normalize_payload_columns(payload_columns)
+    if payload_columns:
+        if not streaming or sink is None:
+            raise ValueError("payload_columns requires streaming=True and a sink "
+                             "(payloads are carried in the spilled shards)")
+        # The trussness payload needs the Theorem 3 decomposition anyway;
+        # folding the census into the aggregates comes for free.
+        with_trussness = with_trussness or "trussness" in payload_columns
     partitions = _build_partitions(factor_a, factor_b, n_ranks, layout)
     stats = KroneckerTriangleStats.from_factors(factor_a, factor_b) \
         if with_statistics else None
@@ -405,7 +479,8 @@ def distributed_generate(
             stream_rank_aggregate(factor_a, factor_b, part,
                                   a_edges_per_block=block,
                                   with_statistics=with_statistics, stats=stats,
-                                  gatherer=gatherer, truss=truss, sink=sink)
+                                  gatherer=gatherer, truss=truss, sink=sink,
+                                  payload_columns=payload_columns)
             for part in partitions
         ]
     else:
@@ -413,7 +488,7 @@ def distributed_generate(
             max_workers=max_workers or min(n_ranks, 8),
             initializer=_worker_init,
             initargs=(factor_a, factor_b, with_statistics, stats,
-                      truss, sink, block),
+                      truss, sink, block, payload_columns),
         ) as pool:
             rank_aggregates = list(pool.map(_stream_worker, partitions))
 

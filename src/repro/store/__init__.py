@@ -14,11 +14,24 @@ that spill into a *servable* edge store:
   points per the repo's vectorization conventions;
 * :class:`AsyncShardSink` — drop-in streaming sink whose writer thread
   overlaps shard I/O with block generation
-  (``distributed_generate(streaming=True, sink=AsyncShardSink(dir))``).
+  (``distributed_generate(streaming=True, sink=AsyncShardSink(dir))``);
+* :class:`PayloadEvaluator` — named per-edge ground-truth columns
+  (``"triangles"``, ``"trussness"``) that ride along in the shards as
+  ``(m, 2 + k)`` rows and are served back by :class:`ShardStore`
+  (``with_payload=True`` / ``edge_payloads``), exactly equal to the
+  closed-form factor statistics.
 """
 
 from repro.store.async_sink import AsyncShardSink
 from repro.store.compaction import MANIFEST_V2, compact_shards
+from repro.store.payloads import KNOWN_PAYLOAD_COLUMNS, PayloadEvaluator
 from repro.store.query import ShardStore
 
-__all__ = ["AsyncShardSink", "ShardStore", "compact_shards", "MANIFEST_V2"]
+__all__ = [
+    "AsyncShardSink",
+    "KNOWN_PAYLOAD_COLUMNS",
+    "PayloadEvaluator",
+    "ShardStore",
+    "compact_shards",
+    "MANIFEST_V2",
+]

@@ -30,7 +30,7 @@ import queue
 import threading
 import time
 from pathlib import Path
-from typing import Optional, Union
+from typing import Optional, Sequence, Union
 
 import numpy as np
 
@@ -49,9 +49,10 @@ class AsyncShardSink:
 
     Parameters
     ----------
-    directory, name, n_vertices:
+    directory, name, n_vertices, payload_columns:
         Forwarded to the inner :class:`~repro.graphs.io.NpyShardSink`
-        (which claims the directory and clears stale shards).
+        (which claims the directory, clears stale shards, and — with
+        *payload_columns* — expects ``(m, 2 + k)`` payload-carrying blocks).
     queue_blocks:
         Bound on blocks waiting to be written; a full queue blocks ``write``
         (back-pressure) so a fast producer cannot buffer the whole product.
@@ -68,10 +69,13 @@ class AsyncShardSink:
     """
 
     def __init__(self, directory: PathLike, *, name: str = "",
-                 n_vertices: int = 0, queue_blocks: int = 8):
+                 n_vertices: int = 0, queue_blocks: int = 8,
+                 payload_columns: Sequence[str] = ()):
         if queue_blocks < 1:
             raise ValueError(f"queue_blocks must be >= 1, got {queue_blocks}")
-        self._inner = NpyShardSink(directory, name=name, n_vertices=n_vertices)
+        self._inner = NpyShardSink(directory, name=name, n_vertices=n_vertices,
+                                   payload_columns=payload_columns)
+        self._payload_columns = self._inner.payload_columns
         self.queue_blocks = int(queue_blocks)
         self._queue: "queue.Queue" = queue.Queue(maxsize=self.queue_blocks)
         self._thread: Optional[threading.Thread] = None
@@ -93,6 +97,11 @@ class AsyncShardSink:
     @property
     def n_vertices(self) -> int:
         return self._inner.n_vertices
+
+    @property
+    def payload_columns(self):
+        """Extra per-edge payload columns the shards carry (may be empty)."""
+        return self._payload_columns
 
     # -- writer thread -----------------------------------------------------
     def _worker(self) -> None:
@@ -134,6 +143,13 @@ class AsyncShardSink:
         """
         self._raise_pending()
         snapshot = np.array(edges, dtype=np.int64, order="C", copy=True)
+        width = 2 + len(self._payload_columns)
+        if snapshot.ndim != 2 or snapshot.shape[1] != width:
+            # Fail on the producer side, synchronously — a width mismatch is
+            # a caller bug, not a deferred I/O failure.
+            raise ValueError(
+                f"sink expects (m, {width}) blocks for payload columns "
+                f"{list(self._payload_columns)}; got shape {snapshot.shape}")
         self._ensure_thread()
         start = time.perf_counter()
         self._queue.put((int(rank), int(block_index), snapshot))

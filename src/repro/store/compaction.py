@@ -19,6 +19,17 @@ to scan every shard.  :func:`compact_shards` turns that spill into a
    which is what lets :class:`repro.store.ShardStore` binary-search its way to
    the one or two shards a query actually needs.
 
+Payload columns ride along untouched: a spill whose manifest names extra
+``payload_columns`` (``(m, 2 + k)`` shards) compacts to the same layout —
+sort keys stay ``(src, dst)``, every merge and cut moves whole rows, and the
+output manifest carries the column names forward.  Peak memory scales by the
+row width, nothing else changes.
+
+The manifest is published atomically (temp file + ``os.replace``) after the
+shards, and any ``.npy`` file in the destination that the fresh manifest does
+not list is deleted — a re-compaction with a coarser ``target_shard_edges``
+cannot leave orphaned shards for directory globs to pick up.
+
 Compacting an already-compacted store is idempotent (the sorted shards are
 reused as merge runs directly, skipping phase 1) and re-sharding to a new
 ``target_shard_edges`` is just a re-run.
@@ -26,14 +37,18 @@ reused as merge runs directly, skipping phase 1) and re-sharding to a new
 
 from __future__ import annotations
 
-import json
 import shutil
 from pathlib import Path
 from typing import List, Optional, Union
 
 import numpy as np
 
-from repro.graphs.io import SHARD_MANIFEST, NpyShardSink, read_shard_manifest
+from repro.graphs.io import (
+    SHARD_MANIFEST,
+    NpyShardSink,
+    read_shard_manifest,
+    write_shard_manifest,
+)
 
 __all__ = ["compact_shards", "MANIFEST_V2"]
 
@@ -54,7 +69,11 @@ _RUNS_DIR = "_compact-runs"
 
 
 def _sort_edges(edges: np.ndarray) -> np.ndarray:
-    """Edges in ``(src, dst)`` lexicographic order, as contiguous ``int64``."""
+    """Rows in ``(src, dst)`` lexicographic order, as contiguous ``int64``.
+
+    Sort keys are always the two endpoint columns; any payload columns ride
+    along with their row.
+    """
     edges = np.ascontiguousarray(edges, dtype=np.int64)
     if edges.shape[0] <= 1:
         return edges
@@ -189,19 +208,23 @@ def compact_shards(
 
     Reads any shard directory with a valid manifest (the per-block v1 spill of
     :class:`repro.graphs.io.NpyShardSink` / ``AsyncShardSink``, or an existing
-    v2 store for re-sharding), merges its edges in ``(src, dst)`` order, cuts
-    them into shards of about *target_shard_edges* edges, and writes a
-    **manifest v2** whose shard entries record the covered
-    ``[src_min, src_max]`` source-vertex range.  Peak memory is bounded by one
-    input shard (run formation) plus ``n_runs × merge_chunk_edges`` edges and
-    one output shard (merge) — the product edge list is never held whole.
+    v2 store for re-sharding), merges its rows in ``(src, dst)`` order —
+    payload columns travel with their row, unchanged — cuts them into shards
+    of about *target_shard_edges* edges, and writes a **manifest v2** whose
+    shard entries record the covered ``[src_min, src_max]`` source-vertex
+    range and whose ``payload_columns`` carry the source's column names
+    forward.  Peak memory is bounded by one input shard (run formation) plus
+    ``n_runs × merge_chunk_edges`` rows and one output shard (merge) — the
+    product edge list is never held whole.
 
     Parameters
     ----------
     source, destination:
         Input spill directory and output store directory (must differ).
         Stale shard files and manifest in *destination* are cleared first,
-        mirroring the :class:`~repro.graphs.io.NpyShardSink` constructor.
+        mirroring the :class:`~repro.graphs.io.NpyShardSink` constructor; the
+        new manifest is published atomically and any destination ``.npy`` it
+        does not list is deleted afterwards.
     target_shard_edges:
         Edges per output shard; every shard except the last has exactly this
         many.
@@ -222,16 +245,31 @@ def compact_shards(
     if merge_chunk_edges < 1:
         raise ValueError(f"merge_chunk_edges must be >= 1, got {merge_chunk_edges}")
     src_manifest = read_shard_manifest(source)
+    payload_columns = list(src_manifest["payload_columns"])
+    n_columns = len(payload_columns)
     destination.mkdir(parents=True, exist_ok=True)
     if source.resolve() == destination.resolve():
         raise ValueError("compaction must write to a different directory "
                          "than its source")
+    # Claim the destination for this run: drop the previous manifest first so
+    # an interrupted compaction is unambiguous (no manifest = no store) and a
+    # reader can never pair the old manifest with half-rewritten shards.
+    for stale in (destination / SHARD_MANIFEST,
+                  destination / (SHARD_MANIFEST + ".tmp")):
+        if stale.exists():
+            stale.unlink()
     for pattern in (_COMPACT_SHARD_GLOB, _BLOCK_SHARD_GLOB):
         for stale in destination.glob(pattern):
             stale.unlink()
-    stale_manifest = destination / SHARD_MANIFEST
-    if stale_manifest.exists():
-        stale_manifest.unlink()
+
+    def _load_run(path: Path, **kwargs) -> np.ndarray:
+        run = np.load(path, **kwargs)
+        if run.ndim != 2 or run.shape[1] != n_columns:
+            raise ValueError(
+                f"{path}: shard has shape {run.shape} but the source manifest "
+                f"payload_columns {payload_columns!r} require {n_columns} "
+                "columns")
+        return run
 
     already_sorted = src_manifest.get("sorted_by") == "source"
     runs_dir = destination / _RUNS_DIR
@@ -247,9 +285,9 @@ def compact_shards(
                 if not shard["n_edges"]:
                     continue  # zero-edge ranks leave empty shards; skip them
                 path = runs_dir / f"run-{index:06d}.npy"
-                np.save(path, _sort_edges(np.load(source / shard["file"])))
+                np.save(path, _sort_edges(_load_run(source / shard["file"])))
                 run_paths.append(path)
-        runs = [np.load(path, mmap_mode="r") for path in run_paths]
+        runs = [_load_run(path, mmap_mode="r") for path in run_paths]
         try:
             _merge_runs(runs, writer, int(merge_chunk_edges))
         finally:
@@ -280,10 +318,17 @@ def compact_shards(
         "n_vertices": int(src_manifest["n_vertices"]),
         "total_edges": writer.total_edges,
         "sorted_by": "source",
-        "payload_columns": ["src", "dst"],
+        "payload_columns": payload_columns,
         "shards": writer.shards,
         "metadata": meta,
     }
-    (destination / SHARD_MANIFEST).write_text(
-        json.dumps(manifest, indent=2, sort_keys=True) + "\n")
+    write_shard_manifest(destination, manifest)
+    # The manifest is the source of truth for directory-glob readers: any
+    # .npy it does not list (e.g. finer-grained shards from a previous
+    # compaction of this destination) is stale — discard it, mirroring the
+    # v1 sink's constructor-time cleanup.
+    listed = {shard["file"] for shard in writer.shards}
+    for stray in destination.glob("*.npy"):
+        if stray.name not in listed:
+            stray.unlink()
     return manifest

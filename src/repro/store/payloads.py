@@ -1,0 +1,130 @@
+"""Named per-edge ground-truth payload columns for edge shards.
+
+The paper's central asset is that every generated edge comes with exact
+closed-form ground truth; this module is the registry that maps *column
+names* to the factored evaluators that produce those values, so the whole
+spill→compact→query pipeline can carry them by name:
+
+* ``"triangles"`` — per-edge triangle participation ``Δ_C[p, q]``, evaluated
+  through one :class:`~repro.core.triangle_formulas.TriangleStatsGatherer`
+  (cached-key CSR gathers, PR 1/PR 2 conventions — no per-edge Python loop);
+* ``"trussness"`` — per-edge trussness under the Theorem 3 transfer,
+  evaluated through
+  :meth:`~repro.core.truss_formulas.KroneckerTrussDecomposition.edge_trussness_batch`
+  (requires the theorem's ``Δ_B ≤ 1`` hypothesis).
+
+:class:`PayloadEvaluator` bundles the evaluators for a chosen column tuple
+and widens ``(m, 2)`` edge blocks into the ``(m, 2 + k)`` rows the sinks
+spill (:class:`repro.graphs.io.NpyShardSink`) and
+:class:`repro.store.ShardStore` later serves.  Sinks and the compactor carry
+*any* named columns opaquely; only this evaluator layer needs to know how a
+column is computed.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.triangle_formulas import KroneckerTriangleStats, TriangleStatsGatherer
+from repro.core.truss_formulas import KroneckerTrussDecomposition, kron_truss_decomposition
+from repro.graphs.adjacency import Graph
+from repro.graphs.io import normalize_payload_columns
+
+__all__ = ["KNOWN_PAYLOAD_COLUMNS", "PayloadEvaluator"]
+
+#: Column names this module knows how to evaluate from Kronecker factors.
+KNOWN_PAYLOAD_COLUMNS = ("triangles", "trussness")
+
+
+class PayloadEvaluator:
+    """Evaluate a tuple of named ground-truth columns for product edges.
+
+    Build one per generation/spill pass and reuse it for every block — the
+    underlying gatherers amortize their ``O(nnz)`` key setup exactly like the
+    streaming rank pipeline's single
+    :class:`~repro.core.triangle_formulas.TriangleStatsGatherer` per pass.
+
+    Parameters
+    ----------
+    columns:
+        Extra column names, each from :data:`KNOWN_PAYLOAD_COLUMNS` (the
+        ``["src", "dst", ...]``-prefixed manifest spelling is accepted too).
+    gatherer:
+        Triangle-statistics gatherer; required when ``"triangles"`` is named.
+    truss:
+        Theorem 3 factored truss decomposition; required when
+        ``"trussness"`` is named.
+    """
+
+    __slots__ = ("columns", "_gatherer", "_truss")
+
+    def __init__(self, columns: Sequence[str], *,
+                 gatherer: Optional[TriangleStatsGatherer] = None,
+                 truss: Optional[KroneckerTrussDecomposition] = None):
+        self.columns: Tuple[str, ...] = normalize_payload_columns(columns)
+        unknown = [c for c in self.columns if c not in KNOWN_PAYLOAD_COLUMNS]
+        if unknown:
+            raise ValueError(
+                f"unknown payload columns {unknown}; evaluable columns are "
+                f"{list(KNOWN_PAYLOAD_COLUMNS)}")
+        if "triangles" in self.columns and gatherer is None:
+            raise ValueError("payload column 'triangles' needs a "
+                             "TriangleStatsGatherer (see from_factors)")
+        if "trussness" in self.columns and truss is None:
+            raise ValueError("payload column 'trussness' needs a "
+                             "KroneckerTrussDecomposition (see from_factors)")
+        self._gatherer = gatherer
+        self._truss = truss
+
+    @classmethod
+    def from_factors(
+        cls,
+        factor_a: Graph,
+        factor_b: Graph,
+        columns: Sequence[str],
+        *,
+        stats: Optional[KroneckerTriangleStats] = None,
+        truss: Optional[KroneckerTrussDecomposition] = None,
+    ) -> "PayloadEvaluator":
+        """Build the evaluators a column tuple needs from the two factors.
+
+        Pre-built *stats*/*truss* objects are reused when given (a driver
+        that already holds them — e.g. for validation — should pass them in
+        rather than paying the factorization twice).
+        """
+        columns = normalize_payload_columns(columns)
+        gatherer = None
+        if "triangles" in columns:
+            if stats is None:
+                stats = KroneckerTriangleStats.from_factors(factor_a, factor_b)
+            gatherer = stats.gatherer()
+        if "trussness" in columns and truss is None:
+            truss = kron_truss_decomposition(factor_a, factor_b)
+        return cls(columns, gatherer=gatherer, truss=truss)
+
+    def evaluate(self, ps: np.ndarray, qs: np.ndarray) -> np.ndarray:
+        """``(m, k)`` payload values for the edges ``(ps[t], qs[t])``."""
+        ps = np.asarray(ps, dtype=np.int64)
+        qs = np.asarray(qs, dtype=np.int64)
+        cols = []
+        for name in self.columns:
+            if name == "triangles":
+                cols.append(self._gatherer.edge_values(ps, qs))
+            else:
+                cols.append(self._truss.edge_trussness_batch(ps, qs))
+        if not cols:
+            return np.zeros((ps.shape[0], 0), dtype=np.int64)
+        return np.stack(cols, axis=1)
+
+    def attach(self, edges: np.ndarray) -> np.ndarray:
+        """Widen an ``(m, 2)`` edge block into ``(m, 2 + k)`` payload rows."""
+        edges = np.ascontiguousarray(edges, dtype=np.int64)
+        if not self.columns:
+            return edges
+        return np.concatenate([edges, self.evaluate(edges[:, 0], edges[:, 1])],
+                              axis=1)
+
+    def __repr__(self) -> str:
+        return f"PayloadEvaluator(columns={list(self.columns)})"

@@ -10,6 +10,14 @@ by source vertex and the manifest v2 records each shard's
 only the one or two shards that overlap the query, so serving a vertex query
 over a billion-edge spill touches kilobytes, not the whole directory.
 
+Stores whose manifest names extra ``payload_columns`` (``"triangles"``,
+``"trussness"``, …) serve the per-edge ground truth alongside the topology:
+``edges_for_sources`` / ``edges_in_range`` grow ``with_payload=True``
+variants returning the full ``(m, 2 + k)`` rows, ``egonet`` / ``subgraph``
+can return the induced payload rows, and :meth:`ShardStore.edge_payloads`
+answers point lookups.  The LRU caches the decoded payload block alongside
+the topology — one decode serves both kinds of query.
+
 Decoded shards are kept in a small LRU cache: repeated queries against the
 same region of the graph (the "heavy traffic" serving pattern) hit memory,
 not disk.  Following the PR 1 vectorization conventions, the hot entry points
@@ -82,36 +90,30 @@ class ShardStore:
     def __init__(self, directory: PathLike, *, cache_shards: int = 4):
         self.directory = Path(directory)
         manifest = read_shard_manifest(self.directory)
-        if manifest.get("sorted_by") != "source":
+        if manifest["format_version"] < 2 or manifest.get("sorted_by") != "source":
             raise ValueError(
                 f"{self.directory} is an uncompacted per-block spill "
                 "(no vertex ranges to search); run "
                 "repro.store.compact_shards on it first")
-        if manifest.get("payload_columns") != ["src", "dst"]:
-            raise ValueError(
-                f"{self.directory}: unsupported payload_columns "
-                f"{manifest.get('payload_columns')!r}; this store reads "
-                "['src', 'dst'] shards")
         if cache_shards < 1:
             raise ValueError(f"cache_shards must be >= 1, got {cache_shards}")
         self.manifest = manifest
         self.n_vertices = int(manifest["n_vertices"])
         self.total_edges = int(manifest["total_edges"])
+        #: Extra per-edge payload columns the shards carry beyond (src, dst);
+        #: empty for a topology-only store.
+        self.payload_columns = tuple(manifest["payload_columns"][2:])
+        self._width = 2 + len(self.payload_columns)
         self._files = [shard["file"] for shard in manifest["shards"]]
         self._src_min = np.asarray(
             [shard["src_min"] for shard in manifest["shards"]], dtype=np.int64)
         self._src_max = np.asarray(
             [shard["src_max"] for shard in manifest["shards"]], dtype=np.int64)
-        # The binary searches in _overlapping assume the ranges tile the
-        # store in order; fail loudly on a manifest that breaks that.
-        if (np.any(np.diff(self._src_min) < 0) or np.any(np.diff(self._src_max) < 0)
-                or np.any(self._src_min > self._src_max)):
-            raise ValueError(
-                f"{self.directory}: manifest shard vertex ranges are not "
-                "nondecreasing; the store is corrupt or was not written by "
-                "repro.store.compact_shards")
+        # Range ordering/sanity is validated by read_shard_manifest (the one
+        # reader every consumer shares), so a corrupt manifest fails there
+        # with a field-naming ValueError before this object exists.
         self.cache_shards = int(cache_shards)
-        # index -> [edges, encoded (src·n + dst) keys or None (built lazily)]
+        # index -> [rows, encoded (src·n + dst) keys or None (built lazily)]
         self._cache: "OrderedDict[int, list]" = OrderedDict()
         self.shard_reads = 0
         self.cache_hits = 0
@@ -130,16 +132,24 @@ class ShardStore:
             self.cache_hits += 1
             self._cache.move_to_end(index)
             return cached
-        edges = _load_shard_file(self.directory / self._files[index])
+        path = self.directory / self._files[index]
+        rows = _load_shard_file(path)
+        if rows.ndim != 2 or rows.shape[1] != self._width:
+            raise ValueError(
+                f"{path}: shard has shape {rows.shape} but the manifest "
+                f"payload_columns {self.manifest['payload_columns']!r} "
+                f"require {self._width} columns")
         self.shard_reads += 1
-        entry = [edges, None]
+        entry = [rows, None]
         self._cache[index] = entry
         if len(self._cache) > self.cache_shards:
             self._cache.popitem(last=False)
         return entry
 
     def _shard(self, index: int) -> np.ndarray:
-        """Decoded ``(m, 2)`` edge array of one shard, through the LRU cache."""
+        """Decoded ``(m, 2 + k)`` row array of one shard, through the LRU
+        cache — payload columns are cached alongside the topology, so one
+        decode serves both kinds of query."""
         return self._entry(index)[0]
 
     def _shard_keys(self, index: int) -> np.ndarray:
@@ -227,17 +237,39 @@ class ShardStore:
                                              with_self_loops=True)
         return counts - loops.astype(np.int64)
 
-    def edges_for_sources(self, vs: Sequence[int]) -> np.ndarray:
+    def _require_payload(self) -> None:
+        if not self.payload_columns:
+            raise ValueError(
+                f"{self.directory}: store carries no payload columns "
+                "(manifest payload_columns is ['src', 'dst']); re-stream the "
+                "spill with payload columns and recompact to serve per-edge "
+                "ground truth")
+
+    def _finish_rows(self, parts, with_payload: bool) -> np.ndarray:
+        """Assemble gathered full-width rows and slice off the payload unless
+        the caller asked for it."""
+        if with_payload:
+            self._require_payload()
+        width = self._width if with_payload else 2
+        if not parts:
+            return np.zeros((0, width), dtype=np.int64)
+        rows = parts[0] if len(parts) == 1 else np.concatenate(parts)
+        return rows if with_payload else rows[:, :2]
+
+    def edges_for_sources(self, vs: Sequence[int], *,
+                          with_payload: bool = False) -> np.ndarray:
         """All stored edges whose source is in *vs*, in ``(src, dst)`` order.
 
         The ragged batched gather underneath :meth:`neighbors` and
         :meth:`subgraph_adjacency`: one pair of ``searchsorted`` calls per
         overlapping shard, one vectorized slice-concatenation, no per-edge
-        loop.  Duplicate sources in *vs* are deduplicated.
+        loop.  Duplicate sources in *vs* are deduplicated.  With
+        ``with_payload=True`` the full ``(m, 2 + k)`` rows — topology plus
+        the manifest's named ground-truth columns — are returned.
         """
         vs = np.unique(self._check_vertices(vs))
         if vs.size == 0 or self.n_shards == 0:
-            return np.zeros((0, 2), dtype=np.int64)
+            return self._finish_rows([], with_payload)
         first, last = self._overlapping(int(vs.min()), int(vs.max()))
         parts = []
         for index in range(first, last):
@@ -251,17 +283,17 @@ class ShardStore:
             part = _ragged_take(shard, lefts, rights)
             if part.shape[0]:
                 parts.append(part)
-        if not parts:
-            return np.zeros((0, 2), dtype=np.int64)
-        return parts[0] if len(parts) == 1 else np.concatenate(parts)
+        return self._finish_rows(parts, with_payload)
 
-    def edges_in_range(self, lo: int, hi: int) -> np.ndarray:
+    def edges_in_range(self, lo: int, hi: int, *,
+                       with_payload: bool = False) -> np.ndarray:
         """All stored edges with source vertex in ``[lo, hi)``, sorted by
         ``(src, dst)``; only the shards whose manifest range overlaps the
-        query are decoded."""
+        query are decoded.  ``with_payload=True`` returns the full
+        ``(m, 2 + k)`` rows."""
         lo, hi = int(lo), int(hi)
         if lo >= hi or self.n_shards == 0:
-            return np.zeros((0, 2), dtype=np.int64)
+            return self._finish_rows([], with_payload)
         first, last = self._overlapping(lo, hi - 1)
         parts = []
         for index in range(first, last):
@@ -271,9 +303,76 @@ class ShardStore:
             right = np.searchsorted(srcs, hi - 1, side="right")
             if right > left:
                 parts.append(shard[left:right])
-        if not parts:
-            return np.zeros((0, 2), dtype=np.int64)
-        return parts[0] if len(parts) == 1 else np.concatenate(parts)
+        return self._finish_rows(parts, with_payload)
+
+    # ------------------------------------------------------------------
+    # Payload lookups
+    # ------------------------------------------------------------------
+    def payload_index(self, column: str) -> int:
+        """Position of *column* within the payload slice of a full row
+        (i.e. ``row[2 + payload_index(column)]`` is its value)."""
+        try:
+            return self.payload_columns.index(column)
+        except ValueError:
+            raise ValueError(
+                f"{self.directory}: no payload column {column!r}; this store "
+                f"carries {list(self.payload_columns)}") from None
+
+    def edge_payloads(self, ps: Sequence[int], qs: Sequence[int]) -> np.ndarray:
+        """Payload values of the stored edges ``(ps[t], qs[t])``.
+
+        Array-in / array-out: returns an ``(m, k)`` ``int64`` array whose
+        columns follow :attr:`payload_columns`.  Every queried pair must be a
+        stored edge — a missing pair raises a :class:`ValueError` naming it
+        (payloads of non-edges are not defined).  Lookups binary-search the
+        cached encoded ``src · n + dst`` keys of the overlapping shards, so
+        repeated probes against a warm region never re-scan a shard.
+        """
+        self._require_payload()
+        ps = self._check_vertices(np.atleast_1d(np.asarray(ps, dtype=np.int64)))
+        qs = self._check_vertices(np.atleast_1d(np.asarray(qs, dtype=np.int64)))
+        if ps.shape != qs.shape:
+            raise ValueError(f"ps and qs must have matching shapes, "
+                             f"got {ps.shape} and {qs.shape}")
+        out = np.zeros((ps.shape[0], len(self.payload_columns)), dtype=np.int64)
+        found = np.zeros(ps.shape[0], dtype=bool)
+        if ps.size == 0:
+            return out
+        if self.n_vertices > int(_MAX_ENCODABLE_VERTICES):
+            raise NotImplementedError(
+                "payload lookup needs src*n+dst to fit int64; "
+                f"n_vertices={self.n_vertices} is beyond that")
+        n = np.int64(self.n_vertices)
+        wanted = ps * n + qs
+        if self.n_shards:
+            first, last = self._overlapping(int(ps.min()), int(ps.max()))
+            for index in range(first, last):
+                todo = np.flatnonzero(~found
+                                      & (ps >= self._src_min[index])
+                                      & (ps <= self._src_max[index]))
+                if todo.size == 0:
+                    continue
+                keys = self._shard_keys(index)
+                pos = np.searchsorted(keys, wanted[todo])
+                in_range = pos < keys.shape[0]
+                safe = np.where(in_range, pos, 0)
+                hit = in_range & (keys[safe] == wanted[todo])
+                if hit.any():
+                    rows = self._shard(index)
+                    out[todo[hit]] = rows[pos[hit], 2:]
+                    found[todo[hit]] = True
+        if not found.all():
+            missing = int(np.flatnonzero(~found)[0])
+            raise ValueError(
+                f"edge ({int(ps[missing])}, {int(qs[missing])}) is not stored "
+                "in this shard store; payloads exist only for stored edges")
+        return out
+
+    def edge_payload(self, p: int, q: int) -> dict:
+        """Payload of one stored edge as a ``{column: value}`` dict."""
+        values = self.edge_payloads(np.asarray([p]), np.asarray([q]))[0]
+        return {name: int(value)
+                for name, value in zip(self.payload_columns, values)}
 
     # ------------------------------------------------------------------
     # Scalar views (thin wrappers over the batched kernels)
@@ -332,15 +431,36 @@ class ShardStore:
         data = np.ones(edges.shape[0], dtype=np.int64)
         return sp.csr_matrix((data, (local_src, local_dst)), shape=(k, k))
 
-    def subgraph(self, vertices: Sequence[int]) -> Graph:
+    def subgraph_edges(self, vertices: Sequence[int], *,
+                       with_payload: bool = False) -> np.ndarray:
+        """Stored rows with both endpoints in *vertices* (global ids,
+        ``(src, dst)``-sorted); the edge-list sibling of
+        :meth:`subgraph_adjacency`, and the carrier of the induced payload
+        rows when ``with_payload=True``."""
+        sel = np.unique(self._check_vertices(np.asarray(vertices, dtype=np.int64)))
+        rows = self.edges_for_sources(sel, with_payload=with_payload)
+        if sel.size == 0 or rows.shape[0] == 0:
+            return rows
+        pos = np.minimum(np.searchsorted(sel, rows[:, 1]), sel.size - 1)
+        return rows[sel[pos] == rows[:, 1]]
+
+    def subgraph(self, vertices: Sequence[int], *, with_payload: bool = False):
         """Induced subgraph as a :class:`repro.graphs.Graph` (undirected
         stores; the adjacency of an undirected product spill is symmetric by
-        construction)."""
-        return Graph(self.subgraph_adjacency(vertices),
-                     name=f"{self.manifest.get('name') or 'store'}[sub]",
-                     validate=False)
+        construction).
 
-    def egonet(self, v: int) -> Egonet:
+        With ``with_payload=True`` returns ``(graph, rows)`` where *rows* are
+        the induced ``(m, 2 + k)`` stored rows (global vertex ids) carrying
+        the manifest's payload columns.
+        """
+        graph = Graph(self.subgraph_adjacency(vertices),
+                      name=f"{self.manifest.get('name') or 'store'}[sub]",
+                      validate=False)
+        if not with_payload:
+            return graph
+        return graph, self.subgraph_edges(vertices, with_payload=True)
+
+    def egonet(self, v: int, *, with_payload: bool = False):
         """Egonet of *v* served entirely from the store.
 
         Delegates to :func:`repro.graphs.egonet.egonet` through the same
@@ -348,10 +468,19 @@ class ShardStore:
         implements, so the Figure 7 spot checks run unchanged against spilled
         edges — the product is never materialized, and only the shards
         covering the centre and its neighbours are decoded.
+
+        With ``with_payload=True`` returns ``(egonet, rows)`` where *rows*
+        are the stored ``(m, 2 + k)`` rows induced on the egonet's vertices —
+        the per-edge ground truth of the neighbourhood, served from the same
+        decoded shards.
         """
-        return _extract_egonet(self, int(v))
+        ego = _extract_egonet(self, int(v))
+        if not with_payload:
+            return ego
+        return ego, self.subgraph_edges(ego.vertices, with_payload=True)
 
     def __repr__(self) -> str:
         return (f"ShardStore({str(self.directory)!r}, n_vertices={self.n_vertices}, "
                 f"total_edges={self.total_edges}, n_shards={self.n_shards}, "
+                f"payload_columns={list(self.payload_columns)}, "
                 f"cache_shards={self.cache_shards})")

@@ -255,6 +255,117 @@ class TestCompactAndQuery:
                       "--ranks", "2", "--async-io", "--processes"])
 
 
+class TestPayloadCli:
+    @pytest.fixture
+    def payload_store_dir(self, bundle_path, tmp_path):
+        """stream --payload → compact, through the CLI only."""
+        spill = tmp_path / "pspill"
+        rc = cli.main(["stream", str(bundle_path), str(spill),
+                       "--ranks", "3", "--block", "16",
+                       "--payload", "triangles,trussness"])
+        assert rc == 0
+        store = tmp_path / "pstore"
+        rc = cli.main(["compact", str(spill), str(store),
+                       "--target-edges", "2000"])
+        assert rc == 0
+        return store
+
+    def test_stream_payload_records_columns(self, bundle_path, tmp_path, capsys):
+        from repro.graphs import load_edge_shards, read_shard_manifest
+
+        spill = tmp_path / "spill"
+        rc = cli.main(["stream", str(bundle_path), str(spill),
+                       "--ranks", "3", "--block", "16",
+                       "--payload", "triangles,trussness"])
+        assert rc == 0
+        assert "payload columns: triangles, trussness" in capsys.readouterr().out
+        manifest = read_shard_manifest(spill)
+        assert manifest["payload_columns"] == ["src", "dst",
+                                               "triangles", "trussness"]
+        assert load_edge_shards(spill).shape[1] == 4
+
+    def test_stream_payload_single_rank(self, bundle_path, tmp_path):
+        from repro.core import KroneckerTriangleStats
+        from repro.graphs import load_edge_shards
+
+        spill = tmp_path / "spill"
+        rc = cli.main(["stream", str(bundle_path), str(spill),
+                       "--block", "64", "--payload", "triangles"])
+        assert rc == 0
+        rows = load_edge_shards(spill)
+        factor_a, factor_b, _ = load_kronecker_bundle(bundle_path)
+        stats = KroneckerTriangleStats.from_factors(factor_a, factor_b)
+        assert np.array_equal(rows[:, 2],
+                              stats.edge_values(rows[:, 0], rows[:, 1]))
+
+    def test_stream_payload_rejects_tsv(self, bundle_path, tmp_path):
+        with pytest.raises(SystemExit, match="shard format"):
+            cli.main(["stream", str(bundle_path), str(tmp_path / "out.tsv"),
+                      "--payload", "triangles"])
+
+    def test_unknown_payload_name_preserves_existing_spill(self, bundle_path,
+                                                           tmp_path):
+        """A typo'd --payload must fail before the sink clears the output
+        directory — an earlier spill stays intact and readable."""
+        from repro.graphs import read_shard_manifest
+
+        spill = tmp_path / "spill"
+        rc = cli.main(["stream", str(bundle_path), str(spill),
+                       "--ranks", "2", "--payload", "triangles"])
+        assert rc == 0
+        before = read_shard_manifest(spill)
+        with pytest.raises(SystemExit, match="pagerank"):
+            cli.main(["stream", str(bundle_path), str(spill),
+                      "--ranks", "2", "--payload", "pagerank"])
+        assert read_shard_manifest(spill) == before
+        assert len(list(spill.glob("*.npy"))) == len(before["shards"])
+
+    def test_query_payload_neighbors_and_egonet(self, payload_store_dir, capsys):
+        rc = cli.main(["query", str(payload_store_dir), "--neighbors", "17",
+                       "--payload", "--limit", "4"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "triangles=" in out and "trussness=" in out
+        rc = cli.main(["query", str(payload_store_dir), "--egonet", "17",
+                       "--payload"])
+        assert rc == 0
+        assert "trussness total" in capsys.readouterr().out
+
+    def test_query_json_output_parses(self, payload_store_dir, bundle_path,
+                                      capsys):
+        import json
+
+        from repro.core import KroneckerGraph, KroneckerTriangleStats
+
+        rc = cli.main(["query", str(payload_store_dir), "--range", "0", "40",
+                       "--payload", "--json", "--limit", "5"])
+        assert rc == 0
+        result = json.loads(capsys.readouterr().out)
+        assert result["query"] == "edges_in_range"
+        assert result["columns"] == ["src", "dst", "triangles", "trussness"]
+        assert len(result["edges"]) == min(5, result["n_edges"])
+        factor_a, factor_b, _ = load_kronecker_bundle(bundle_path)
+        stats = KroneckerTriangleStats.from_factors(factor_a, factor_b)
+        for src, dst, triangles, _trussness in result["edges"]:
+            assert triangles == int(stats.edge_value(src, dst))
+        assert result["store"]["payload_columns"] == ["triangles", "trussness"]
+
+        product = KroneckerGraph(factor_a, factor_b)
+        rc = cli.main(["query", str(payload_store_dir), "--degree", "17",
+                       "--json"])
+        assert rc == 0
+        result = json.loads(capsys.readouterr().out)
+        assert result["degree"] == product.degree(17)
+
+    def test_query_payload_requires_payload_store(self, bundle_path, tmp_path):
+        spill = tmp_path / "spill"
+        cli.main(["stream", str(bundle_path), str(spill), "--ranks", "2"])
+        store = tmp_path / "store"
+        cli.main(["compact", str(spill), str(store)])
+        with pytest.raises(SystemExit, match="no payload columns"):
+            cli.main(["query", str(store), "--degree", "0", "--payload"])
+
+
 class TestParser:
     def test_requires_command(self):
         with pytest.raises(SystemExit):

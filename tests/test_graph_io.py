@@ -185,6 +185,41 @@ class TestEdgeShards:
         assert first == second
         assert first["total_edges"] == 2
 
+    def test_finalize_publishes_atomically(self, tmp_path):
+        """finalize leaves no temp file behind, and a crash before the
+        os.replace leaves no manifest at all (never a torn one)."""
+        sink = NpyShardSink(tmp_path / "shards")
+        sink.write(0, 0, np.asarray([[1, 2]], dtype=np.int64))
+        sink.finalize()
+        assert not (tmp_path / "shards" / "manifest.json.tmp").exists()
+        assert read_shard_manifest(tmp_path / "shards")["total_edges"] == 1
+
+    def test_truncated_manifest_wrapped_in_value_error(self, tmp_path):
+        import json
+
+        sink = NpyShardSink(tmp_path / "shards")
+        sink.write(0, 0, np.asarray([[1, 2]], dtype=np.int64))
+        sink.finalize()
+        manifest_path = tmp_path / "shards" / "manifest.json"
+        text = manifest_path.read_text()
+        manifest_path.write_text(text[: len(text) // 2])
+        with pytest.raises(ValueError, match="manifest.json.*not valid JSON"):
+            read_shard_manifest(tmp_path / "shards")
+        with pytest.raises(ValueError, match="truncated or interrupted"):
+            try:
+                read_shard_manifest(tmp_path / "shards")
+            except ValueError as exc:
+                assert isinstance(exc.__cause__, json.JSONDecodeError)
+                raise
+
+    def test_shard_width_must_match_manifest(self, tmp_path):
+        sink = NpyShardSink(tmp_path / "shards", payload_columns=("w",))
+        sink.write(0, 0, np.asarray([[1, 2, 9]], dtype=np.int64))
+        sink.finalize()
+        np.save(sink.shard_path(0, 0), np.asarray([[1, 2]], dtype=np.int64))
+        with pytest.raises(ValueError, match="require 3 columns"):
+            next(iter_edge_shards(tmp_path / "shards"))
+
     def test_manifest_missing_raises(self, tmp_path):
         (tmp_path / "not-shards").mkdir()
         with pytest.raises(FileNotFoundError):

@@ -209,10 +209,23 @@ class TestShardStoreQueries:
         with pytest.raises(ValueError, match="cache_shards"):
             ShardStore(store_dir, cache_shards=0)
 
-    def test_rejects_foreign_payload_columns(self, store_dir):
+    def test_payload_width_mismatch_detected_on_decode(self, store_dir):
+        """A manifest promising payload columns the shard files do not carry
+        fails with a file-naming error at first decode, not a silent
+        mis-slice."""
         manifest_path = store_dir / "manifest.json"
         manifest = json.loads(manifest_path.read_text())
         manifest["payload_columns"] = ["src", "dst", "triangles"]
+        manifest_path.write_text(json.dumps(manifest))
+        store = ShardStore(store_dir)
+        assert store.payload_columns == ("triangles",)
+        with pytest.raises(ValueError, match="payload_columns"):
+            store.degree(0)
+
+    def test_manifest_payload_columns_must_start_with_endpoints(self, store_dir):
+        manifest_path = store_dir / "manifest.json"
+        manifest = json.loads(manifest_path.read_text())
+        manifest["payload_columns"] = ["dst", "src"]
         manifest_path.write_text(json.dumps(manifest))
         with pytest.raises(ValueError, match="payload_columns"):
             ShardStore(store_dir)
