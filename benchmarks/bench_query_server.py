@@ -1,0 +1,258 @@
+"""Perf — the asyncio edge-query service over a compacted shard store.
+
+The serving acceptance bar (PR 5): stand a :class:`repro.serve`
+server on an ephemeral localhost port over ONE concurrent-safe
+:class:`~repro.store.ShardStore`, hammer it from many client threads, and
+assert that **every query type served over the socket returns results
+exactly equal — values and, for payloads, dtype — to the in-process store
+answer**: ``degree`` / ``degrees`` / ``neighbors`` (± payload) /
+``edges_in_range`` (± payload) / ``egonet`` (± payload) / ``subgraph``
+(± payload) / ``edge_payloads``.  After the run the shared store's
+``stats()`` must show ``cache_hits > 0`` — the LRU is one per worker, not
+one per connection.
+
+Runs in two modes:
+
+* **smoke** — swept into the tier-1 ``pytest`` run by
+  ``benchmarks/conftest.py``: small sizes, the full equality matrix under
+  8 concurrent clients on every CI run, requests/s reported;
+* **full** — ``pytest -m slow benchmarks/bench_query_server.py``: the
+  Section VI-scale pair with a client-concurrency throughput sweep
+  (1 → 16 threads) over the scalar-coalescing hot path and the
+  mixed-query workload.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro import generators
+from repro.core import KroneckerGraph
+from repro.graphs import NpyShardSink
+from repro.parallel import distributed_generate
+from repro.serve import QueryClient, ThreadedServer
+from repro.store import ShardStore, compact_shards
+from benchmarks._report import print_section
+
+N_RANKS = 6
+N_CLIENTS = 8
+PAYLOAD = ("triangles", "trussness")
+
+
+def _build_store(factor_a, factor_b, tmp_path, *, block, target):
+    product = KroneckerGraph(factor_a, factor_b)
+    sink = NpyShardSink(tmp_path / "spill", name=product.name,
+                        n_vertices=product.n_vertices,
+                        payload_columns=PAYLOAD)
+    distributed_generate(factor_a, factor_b, N_RANKS,
+                         streaming=True, a_edges_per_block=block, sink=sink,
+                         payload_columns=PAYLOAD)
+    compact_shards(tmp_path / "spill", tmp_path / "store",
+                   target_shard_edges=target)
+    return tmp_path / "store", product
+
+
+def _assert_every_query_type_equal(client: QueryClient,
+                                   reference: ShardStore,
+                                   vertices, selection) -> int:
+    """One client's pass over the full query surface; returns requests sent."""
+    requests = 0
+    n = reference.n_vertices
+    for v in map(int, vertices):
+        assert client.degree(v) == reference.degree(v)
+        served_neighbors = client.neighbors(v)
+        local_neighbors = reference.neighbors(v)
+        assert served_neighbors.dtype == local_neighbors.dtype == np.int64
+        assert np.array_equal(served_neighbors, local_neighbors)
+        requests += 2
+
+    batch = np.asarray(vertices, dtype=np.int64)
+    served_degrees = client.degrees(batch)
+    assert served_degrees.dtype == np.int64
+    assert np.array_equal(served_degrees, reference.degrees(batch))
+    requests += 1
+
+    for with_payload in (False, True):
+        served_rows = client.edges_in_range(n // 4, n // 2,
+                                            with_payload=with_payload)
+        local_rows = reference.edges_in_range(n // 4, n // 2,
+                                              with_payload=with_payload)
+        assert served_rows.dtype == local_rows.dtype == np.int64
+        assert np.array_equal(served_rows, local_rows)
+        requests += 1
+
+    centre = int(vertices[0])
+    served_ego, served_ego_rows = client.egonet(centre, with_payload=True)
+    local_ego, local_ego_rows = reference.egonet(centre, with_payload=True)
+    assert np.array_equal(served_ego.vertices, local_ego.vertices)
+    assert (served_ego.graph.adjacency != local_ego.graph.adjacency).nnz == 0
+    assert served_ego.triangles_at_center() == local_ego.triangles_at_center()
+    assert served_ego_rows.dtype == local_ego_rows.dtype == np.int64
+    assert np.array_equal(served_ego_rows, local_ego_rows)
+    requests += 1
+
+    served_sub, served_sub_rows = client.subgraph(selection, with_payload=True)
+    local_sub, local_sub_rows = reference.subgraph(selection, with_payload=True)
+    assert (served_sub.adjacency != local_sub.adjacency).nnz == 0
+    assert np.array_equal(served_sub_rows, local_sub_rows)
+    requests += 1
+
+    probe = local_rows[:: max(1, local_rows.shape[0] // 16)]
+    served_payloads = client.edge_payloads(probe[:, 0], probe[:, 1])
+    local_payloads = reference.edge_payloads(probe[:, 0], probe[:, 1])
+    assert served_payloads.dtype == local_payloads.dtype == np.int64
+    assert np.array_equal(served_payloads, local_payloads)
+    requests += 1
+    return requests
+
+
+def _concurrent_equivalence(server, reference, *, n_clients, rounds, seed):
+    """`n_clients` threads × `rounds` full-surface passes; returns
+    (total requests, wall seconds, failures)."""
+    rng = np.random.default_rng(seed)
+    n = reference.n_vertices
+    failures = []
+    counts = [0] * n_clients
+    barrier = threading.Barrier(n_clients + 1)
+    # Draw every worker's inputs here, single-threaded: numpy Generators are
+    # not thread-safe, and the run must be reproducible from the seed.
+    inputs = [(rng.choice(n, 6, replace=False),
+               [int(v) for v in rng.choice(n, 10, replace=False)])
+              for _ in range(n_clients)]
+
+    def worker(index):
+        vertices, selection = inputs[index]
+        try:
+            with QueryClient(server.host, server.port) as client:
+                barrier.wait(timeout=60)
+                for _ in range(rounds):
+                    counts[index] += _assert_every_query_type_equal(
+                        client, reference, vertices, selection)
+        except Exception as exc:
+            failures.append((index, exc))
+
+    threads = [threading.Thread(target=worker, args=(i,))
+               for i in range(n_clients)]
+    for thread in threads:
+        thread.start()
+    # Workers block on the barrier until everyone's connection is up, so the
+    # timed window measures concurrent serving, not connection setup.
+    barrier.wait(timeout=60)
+    start = time.perf_counter()
+    for thread in threads:
+        thread.join(timeout=300)
+    elapsed = time.perf_counter() - start
+    return sum(counts), elapsed, failures
+
+
+def test_query_server_smoke(tmp_path, quick_mode):
+    """Tier-1: every query type byte-equal over the socket, ≥ 8 concurrent
+    clients, one shared store LRU (cache hits > 0)."""
+    factor_a = generators.webgraph_like(60 if quick_mode else 320,
+                                        edges_per_vertex=3,
+                                        triad_probability=0.6, seed=3)
+    factor_b = generators.triangle_constrained_pa(20 if quick_mode else 90,
+                                                  seed=13)
+    store_dir, product = _build_store(factor_a, factor_b, tmp_path,
+                                      block=8 if quick_mode else 32,
+                                      target=1500 if quick_mode else 65_536)
+    reference = ShardStore(store_dir, cache_shards=8)
+
+    with ThreadedServer(store_dir, cache_shards=8) as server:
+        served_store = server.server.store
+        requests, elapsed, failures = _concurrent_equivalence(
+            server, reference, n_clients=N_CLIENTS,
+            rounds=1 if quick_mode else 3, seed=7)
+        assert not failures, failures[:3]
+
+        # The acceptance criterion: one ShardStore served every connection
+        # and its LRU was shared across them.
+        stats = served_store.stats()
+        assert stats["cache_hits"] > 0
+        assert stats["cached_shards"] <= 8
+
+        server_stats = server.server.stats()["server"]
+        assert server_stats["errors"] == 0
+        assert server_stats["connections_total"] >= N_CLIENTS
+        assert sum(server_stats["requests"].values()) >= requests
+
+    print_section("Perf — asyncio query server "
+                  f"({'smoke' if quick_mode else 'full'})")
+    print(f"  product: {product.nnz:,} directed edges; "
+          f"{reference.n_shards} shards served to {N_CLIENTS} "
+          "concurrent clients")
+    print(f"  equivalence: {requests:,} mixed requests, every answer "
+          f"byte-equal to the in-process store "
+          f"({requests / elapsed:,.0f} requests/s)")
+    print(f"  shared LRU: {stats['shard_reads']} shard reads, "
+          f"{stats['cache_hits']} cache hits across all connections")
+    print(f"  coalescing: degree {server_stats['coalesced']['degree']}, "
+          f"neighbors {server_stats['coalesced']['neighbors']}")
+
+
+@pytest.mark.slow
+def test_query_server_throughput_full(tmp_path):
+    """Full sizes: client-concurrency sweep over the scalar hot path."""
+    factor_a = generators.webgraph_like(320, edges_per_vertex=3,
+                                        triad_probability=0.6, seed=3)
+    factor_b = generators.triangle_constrained_pa(90, seed=13)
+    store_dir, product = _build_store(factor_a, factor_b, tmp_path,
+                                      block=32, target=65_536)
+    reference = ShardStore(store_dir, cache_shards=16)
+    n = reference.n_vertices
+    rng = np.random.default_rng(11)
+    hot_vertices = rng.choice(n // 4, 2048)
+    expected_degrees = reference.degrees(hot_vertices)
+
+    print_section("Perf — asyncio query server (concurrency sweep)")
+    print(f"  product: {product.nnz:,} directed edges, "
+          f"{reference.n_shards} shards")
+    with ThreadedServer(store_dir, cache_shards=16,
+                        decode_threads=8) as server:
+        for n_clients in (1, 2, 4, 8, 16):
+            per_client = 2048 // n_clients
+            failures = []
+            barrier = threading.Barrier(n_clients + 1)
+
+            def worker(index):
+                lo = index * per_client
+                chunk = hot_vertices[lo:lo + per_client]
+                expected = expected_degrees[lo:lo + per_client]
+                try:
+                    with QueryClient(server.host, server.port) as client:
+                        barrier.wait(timeout=60)
+                        for v, d in zip(chunk, expected):
+                            assert client.degree(int(v)) == int(d)
+                except Exception as exc:
+                    failures.append((index, exc))
+
+            threads = [threading.Thread(target=worker, args=(i,))
+                       for i in range(n_clients)]
+            for thread in threads:
+                thread.start()
+            barrier.wait(timeout=60)
+            start = time.perf_counter()
+            for thread in threads:
+                thread.join(timeout=300)
+            elapsed = time.perf_counter() - start
+            assert not failures, failures[:3]
+            total = per_client * n_clients
+            print(f"  {n_clients:>3} clients: {total / elapsed:>8,.0f} "
+                  f"scalar degree requests/s ({total:,} in "
+                  f"{elapsed * 1e3:.0f} ms)")
+        coalesced = server.server.stats()["server"]["coalesced"]["degree"]
+        print(f"  coalescing over the sweep: {coalesced['requests']:,} "
+              f"requests in {coalesced['batches']:,} batches "
+              f"(max batch {coalesced['max_batch']})")
+
+        # Mixed workload at 8 clients for the headline number.
+        requests, elapsed, failures = _concurrent_equivalence(
+            server, reference, n_clients=8, rounds=2, seed=29)
+        assert not failures, failures[:3]
+        print(f"  mixed workload: {requests / elapsed:,.0f} requests/s "
+              f"over 8 clients, every answer byte-equal")
+        assert server.server.stats()["store"]["cache_hits"] > 0

@@ -21,7 +21,8 @@ from repro import generators
 #: in ``pytest.ini`` (run them with ``pytest -m slow benchmarks/<file>``)
 #: or, for ``bench_perf_kernels.py``, by naming the file directly.
 _SMOKE_BENCHES = ("bench_perf_kernels.py", "bench_streaming.py",
-                  "bench_shard_store.py", "bench_payload_store.py")
+                  "bench_shard_store.py", "bench_payload_store.py",
+                  "bench_query_server.py")
 
 
 def pytest_collect_file(file_path, parent):

@@ -1,5 +1,5 @@
 #!/usr/bin/env python
-"""Out-of-core egonet queries: generate → stream to disk → compact → serve.
+"""Out-of-core egonet queries: generate → stream → compact → query → serve.
 
 The end-to-end never-materialize-``C`` workflow the shard store enables.  A
 Kronecker product far larger than memory is streamed to a per-block ``.npy``
@@ -19,9 +19,16 @@ The spill carries **payload columns**: each shard row is
 ``(src, dst, triangles, trussness)``, the per-edge ground truth evaluated
 per block during generation, so the disk store serves not just the topology
 but the paper's central asset — exact closed-form edge statistics — and the
-final section checks the served payloads against
+payload check compares the served payloads against
 ``KroneckerTriangleStats.edge_values`` / ``edge_trussness_batch`` recomputed
 from the factors.
+
+The final section exercises the **served mode** (PR 5): the same store goes
+behind the :mod:`repro.serve` asyncio server on an ephemeral localhost port,
+and a wire-level :class:`~repro.serve.QueryClient` re-runs the egonet and
+payload checks over the socket — every remote answer must equal the
+in-process one, and the server's ``stats`` request shows the shared decode
+LRU and request coalescing doing their jobs.
 
 Run with ``python examples/out_of_core_queries.py [--ranks 8]``.
 """
@@ -30,6 +37,7 @@ from __future__ import annotations
 
 import argparse
 import tempfile
+import threading
 import time
 from pathlib import Path
 
@@ -38,6 +46,7 @@ import numpy as np
 from repro import core, generators
 from repro.core import ValidationAccumulator
 from repro.parallel import distributed_generate
+from repro.serve import QueryClient, ThreadedServer
 from repro.store import AsyncShardSink, ShardStore, compact_shards
 
 
@@ -146,6 +155,76 @@ def main() -> None:
         print(f"point lookup edge ({p}, {q}): {store.edge_payload(p, q)} "
               f"(formula: triangles={int(stats.edge_value(p, q))}, "
               f"trussness={int(truss.edge_trussness(p, q))})")
+
+        # --------------------------------------------------------------
+        # 5. Served mode: the same store behind the asyncio query server,
+        #    exercised through the wire-level client.  One concurrent-safe
+        #    ShardStore answers every connection; scalar degree/neighbors
+        #    requests coalesce into batch calls; answers are byte-equal to
+        #    the in-process ones.
+        # --------------------------------------------------------------
+        with ThreadedServer(store_dir, cache_shards=8) as server:
+            print(f"\nserving the store on {server.address} "
+                  "(asyncio, length-prefixed JSON frames)")
+            with QueryClient(server.host, server.port) as client:
+                served_centres = centres[:10]
+                n_served = len(served_centres)
+                served_mismatches = 0
+                start = time.perf_counter()
+                for v in map(int, served_centres):
+                    ego = client.egonet(v)
+                    if ego.triangles_at_center() != int(t_c[v]):
+                        served_mismatches += 1
+                served_time = time.perf_counter() - start
+                print(f"{n_served} egonets served over the socket in "
+                      f"{served_time:.2f}s: "
+                      f"{n_served - served_mismatches}/{n_served} match "
+                      f"t_C[p] "
+                      f"({'PASS' if served_mismatches == 0 else 'FAIL'})")
+
+                # Payloads over the wire: identical rows, identical dtype.
+                served_rows = client.edges_in_range(
+                    0, product.n_vertices // 4, with_payload=True)
+                wire_ok = bool(np.array_equal(served_rows, rows)) \
+                    and served_rows.dtype == rows.dtype
+                print(f"served payload rows equal the local store: "
+                      f"{'PASS' if wire_ok else 'FAIL'} "
+                      f"({served_rows.shape[0]:,} rows)")
+                print(f"served point lookup edge ({p}, {q}): "
+                      f"{client.edge_payload(p, q)}")
+
+                # A burst of concurrent scalar degree requests from several
+                # client threads: the server folds simultaneous scalars into
+                # batched store calls (visible in the coalescing stats).
+                burst = rng.choice(product.n_vertices, 64, replace=False)
+                expected = {int(v): store.degree(int(v)) for v in burst}
+                burst_failures = []
+
+                def hammer(offset: int) -> None:
+                    try:
+                        with QueryClient(server.host, server.port) as cc:
+                            for v in map(int, burst[offset::4]):
+                                assert cc.degree(v) == expected[v]
+                    except Exception as exc:
+                        burst_failures.append(exc)
+
+                workers = [threading.Thread(target=hammer, args=(i,))
+                           for i in range(4)]
+                for w in workers:
+                    w.start()
+                for w in workers:
+                    w.join()
+                print(f"concurrent degree burst: {len(burst)} scalar "
+                      f"requests from 4 clients "
+                      f"({'PASS' if not burst_failures else 'FAIL'})")
+
+                report = client.stats()
+                server_side = report["server"]
+                print(f"server stats: "
+                      f"{sum(server_side['requests'].values())} requests, "
+                      f"{report['store']['shard_reads']} shard reads, "
+                      f"{report['store']['cache_hits']} cache hits, "
+                      f"degree coalescing {server_side['coalesced']['degree']}")
 
 
 if __name__ == "__main__":

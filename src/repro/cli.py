@@ -41,7 +41,17 @@ published artefacts of the paper:
     store, decoding only the shards whose manifest range overlaps the query
     — the product is never materialized.  ``--payload`` adds the stored
     per-edge ground truth to the answer and ``--json`` emits a single JSON
-    object for scripts.
+    object for scripts.  With ``--connect HOST:PORT`` the same queries run
+    against a remote ``repro-kron serve`` instance instead of a local
+    directory — identical output, because both surfaces share the
+    :mod:`repro.serve.shaping` answer shapes.
+
+``repro-kron serve``
+    Put a compacted store behind a socket: the :mod:`repro.serve` asyncio
+    front-end (one concurrent-safe :class:`~repro.store.ShardStore`, shard
+    decodes on a bounded thread pool, concurrent scalar queries coalesced
+    into batch calls).  Stops gracefully on Ctrl-C or a client ``shutdown``
+    request, then prints the request/cache statistics.
 
 Each sub-command is also usable programmatically through :func:`main`, which
 accepts an ``argv`` list and returns the process exit code (the test-suite
@@ -51,6 +61,7 @@ drives it this way).
 from __future__ import annotations
 
 import argparse
+import asyncio
 import json
 import sys
 from pathlib import Path
@@ -73,6 +84,13 @@ from repro.graphs import (
     write_edge_shards,
 )
 from repro.parallel import distributed_generate, stream_edges_to_file
+from repro.serve import QueryClient, ShardStoreServer
+from repro.serve.shaping import (
+    shape_degree,
+    shape_egonet,
+    shape_neighbors,
+    shape_range,
+)
 from repro.store import (
     KNOWN_PAYLOAD_COLUMNS,
     AsyncShardSink,
@@ -185,7 +203,11 @@ def build_parser() -> argparse.ArgumentParser:
         "query",
         help="answer vertex/range queries from a compacted shard store "
              "without materializing the product")
-    query.add_argument("store", type=Path, help="compacted store directory")
+    query.add_argument("store", type=Path, nargs="?", default=None,
+                       help="compacted store directory (omit with --connect)")
+    query.add_argument("--connect", type=str, default=None, metavar="HOST:PORT",
+                       help="query a running `repro-kron serve` instance "
+                            "instead of a local store directory")
     what = query.add_mutually_exclusive_group(required=True)
     what.add_argument("--degree", type=int, metavar="V",
                       help="degree of product vertex V")
@@ -207,6 +229,22 @@ def build_parser() -> argparse.ArgumentParser:
     query.add_argument("--json", action="store_true", dest="as_json",
                        help="emit the query result as one JSON object on "
                             "stdout (for scripts)")
+
+    serve = sub.add_parser(
+        "serve",
+        help="serve shard-store queries over a socket (asyncio front-end, "
+             "one concurrent-safe store, length-prefixed JSON frames)")
+    serve.add_argument("store", type=Path, help="compacted store directory")
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="bind address (default 127.0.0.1)")
+    serve.add_argument("--port", type=int, default=0,
+                       help="bind port; 0 picks an ephemeral port and "
+                            "prints it (default 0)")
+    serve.add_argument("--cache", type=int, default=8,
+                       help="decoded shards kept in the store's LRU "
+                            "(default 8; shared by every connection)")
+    serve.add_argument("--threads", type=int, default=4,
+                       help="bounded pool shard decodes run on (default 4)")
 
     return parser
 
@@ -363,64 +401,24 @@ def _cmd_compact(args: argparse.Namespace) -> int:
     return 0
 
 
-def _query_degree(store: ShardStore, args: argparse.Namespace) -> dict:
-    v = args.degree
-    return {"query": "degree", "vertex": v, "degree": store.degree(v)}
+def _wire_request(args: argparse.Namespace) -> Tuple[str, dict]:
+    """Map the parsed ``query`` flags to a wire (op, args) pair.
 
-
-def _query_neighbors(store: ShardStore, args: argparse.Namespace) -> dict:
-    v = args.neighbors
-    result = {"query": "neighbors", "vertex": v}
-    if args.payload:
-        rows = store.edges_for_sources([v], with_payload=True)
-        rows = rows[rows[:, 1] != v]  # store convention: self loop excluded
-        result["neighbors"] = [int(q) for q in rows[:, 1]]
-        result["payload"] = {
-            name: [int(x) for x in rows[:, 2 + offset]]
-            for offset, name in enumerate(store.payload_columns)
-        }
-    else:
-        result["neighbors"] = [int(q) for q in store.neighbors(v)]
-    result["count"] = len(result["neighbors"])
-    return result
-
-
-def _query_egonet(store: ShardStore, args: argparse.Namespace) -> dict:
-    v = args.egonet
-    if args.payload:
-        ego, rows = store.egonet(v, with_payload=True)
-    else:
-        ego, rows = store.egonet(v), None
-    result = {
-        "query": "egonet",
-        "vertex": v,
-        "n_vertices": int(ego.n_vertices),
-        "centre_degree": int(ego.degree_of_center()),
-        "triangles_at_centre": int(ego.triangles_at_center()),
-    }
-    if rows is not None:
-        result["n_induced_edges"] = int(rows.shape[0])
-        result["payload_totals"] = {
-            name: int(rows[:, 2 + offset].sum())
-            for offset, name in enumerate(store.payload_columns)
-        }
-    return result
-
-
-def _query_range(store: ShardStore, args: argparse.Namespace) -> dict:
+    The shapes come back identical to the local path because the server
+    answers through the same :mod:`repro.serve.shaping` helpers the local
+    branch calls directly.
+    """
+    if args.degree is not None:
+        return "degree", {"vertex": args.degree}
+    if args.neighbors is not None:
+        return "neighbors", {"vertex": args.neighbors,
+                             "with_payload": args.payload}
+    if args.egonet is not None:
+        return "egonet", {"vertex": args.egonet, "with_payload": args.payload}
     lo, hi = args.range
-    rows = store.edges_in_range(lo, hi, with_payload=args.payload)
-    columns = ["src", "dst"]
-    if args.payload:
-        columns += list(store.payload_columns)
-    return {
-        "query": "edges_in_range",
-        "lo": lo,
-        "hi": hi,
-        "n_edges": int(rows.shape[0]),
-        "columns": columns,
-        "edges": [[int(x) for x in row] for row in rows[: args.limit]],
-    }
+    return "edges_in_range", {"lo": lo, "hi": hi,
+                              "with_payload": args.payload,
+                              "limit": args.limit}
 
 
 def _print_query_text(result: dict, limit: int) -> None:
@@ -464,33 +462,109 @@ def _print_query_text(result: dict, limit: int) -> None:
             print(f"  ... ({result['n_edges'] - len(result['edges']):,} more)")
 
 
-def _cmd_query(args: argparse.Namespace) -> int:
+def _no_payload_exit(source) -> SystemExit:
+    return SystemExit(
+        f"{source} carries no payload columns; re-run the spill with "
+        "`stream --payload ...` and recompact to serve per-edge ground "
+        "truth")
+
+
+def _query_local(args: argparse.Namespace) -> dict:
     store = ShardStore(args.store, cache_shards=args.cache)
     if args.payload and not store.payload_columns:
-        raise SystemExit(
-            f"{args.store} carries no payload columns; re-run the spill with "
-            "`stream --payload ...` and recompact to serve per-edge ground "
-            "truth")
+        raise _no_payload_exit(args.store)
     if args.degree is not None:
-        result = _query_degree(store, args)
+        result = shape_degree(store, args.degree)
     elif args.neighbors is not None:
-        result = _query_neighbors(store, args)
+        result = shape_neighbors(store, args.neighbors,
+                                 with_payload=args.payload)
     elif args.egonet is not None:
-        result = _query_egonet(store, args)
+        result = shape_egonet(store, args.egonet, with_payload=args.payload)
     else:
-        result = _query_range(store, args)
+        lo, hi = args.range
+        result = shape_range(store, lo, hi, with_payload=args.payload,
+                             limit=args.limit)
     result["store"] = {
         "n_shards": store.n_shards,
+        # Counters of a store opened for this one query: its decode cost.
+        "scope": "query",
         "shard_reads": store.shard_reads,
         "cache_hits": store.cache_hits,
         "payload_columns": list(store.payload_columns),
     }
+    return result
+
+
+def _query_remote(args: argparse.Namespace) -> dict:
+    with QueryClient.from_address(args.connect) as client:
+        info = client.hello()["store"]
+        if args.payload and not info["payload_columns"]:
+            raise _no_payload_exit(args.connect)
+        op, wire_args = _wire_request(args)
+        result = client.request(op, wire_args)
+        counters = client.stats()["store"]
+    result["store"] = {
+        "n_shards": counters["n_shards"],
+        # Cumulative totals across every client since the server started —
+        # NOT this query's decode cost (scripts must check "scope").
+        "scope": "server-lifetime",
+        "shard_reads": counters["shard_reads"],
+        "cache_hits": counters["cache_hits"],
+        "payload_columns": list(info["payload_columns"]),
+    }
+    return result
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    if (args.store is None) == (args.connect is None):
+        raise SystemExit(
+            "query needs exactly one of a store directory or --connect "
+            "HOST:PORT")
+    result = _query_remote(args) if args.connect else _query_local(args)
     if args.as_json:
         print(json.dumps(result, indent=2, sort_keys=True))
     else:
         _print_query_text(result, args.limit)
-        print(f"decoded {store.shard_reads} of {store.n_shards} shards "
-              f"({store.cache_hits} cache hits)")
+        counters = result["store"]
+        if args.connect:
+            # Remote counters are server-lifetime totals across every
+            # client, not this query's decode cost.
+            print(f"server totals: {counters['shard_reads']} shard reads, "
+                  f"{counters['cache_hits']} cache hits over "
+                  f"{counters['n_shards']} shards")
+        else:
+            print(f"decoded {counters['shard_reads']} of "
+                  f"{counters['n_shards']} shards "
+                  f"({counters['cache_hits']} cache hits)")
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    store = ShardStore(args.store, cache_shards=args.cache)
+    server = ShardStoreServer(store, host=args.host, port=args.port,
+                              decode_threads=args.threads)
+
+    async def _run() -> None:
+        await server.start()
+        print(f"serving {args.store} on {server.host}:{server.port} "
+              f"({store.n_shards} shards, {store.total_edges:,} edges, "
+              f"cache {args.cache}, {args.threads} decode threads)",
+              flush=True)
+        # serve_until_stopped tears down gracefully even when Ctrl-C
+        # cancels it, so the stats below are final either way.
+        await server.serve_until_stopped()
+
+    try:
+        asyncio.run(_run())
+    except KeyboardInterrupt:
+        print("\ninterrupted; server stopped")
+    stats = server.stats()
+    served = sum(stats["server"]["requests"].values())
+    counters = stats["store"]
+    print(f"served {served:,} requests over "
+          f"{stats['server']['connections_total']} connections; "
+          f"{counters['shard_reads']} shard reads, "
+          f"{counters['cache_hits']} cache hits")
     return 0
 
 
@@ -501,6 +575,7 @@ _COMMANDS = {
     "stream": _cmd_stream,
     "compact": _cmd_compact,
     "query": _cmd_query,
+    "serve": _cmd_serve,
 }
 
 

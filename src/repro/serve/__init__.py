@@ -1,0 +1,47 @@
+"""Network query service over compacted shard stores.
+
+The serving layer of the "millions of users" story: PRs 2–4 built the
+out-of-core side (streaming spill → compaction → :class:`~repro.store.ShardStore`
+range queries with exact per-edge ground truth); this package puts that
+store behind a socket so consumers no longer run in-process:
+
+* :mod:`repro.serve.protocol` — length-prefixed JSON frames, one response
+  per request, error frames carrying the store's exception messages
+  verbatim, and the version rules recorded in the ROADMAP;
+* :mod:`repro.serve.shaping` — the single definition of every query's JSON
+  answer shape, shared with the CLI's ``query --json`` so the two surfaces
+  cannot drift;
+* :class:`ShardStoreServer` — the asyncio front-end: one concurrent-safe
+  store per worker, store work on a bounded thread pool, concurrent scalar
+  ``degree`` / ``neighbors`` requests coalesced into the store's batch-first
+  entry points, ``stats`` / graceful-shutdown operational surface
+  (:class:`ThreadedServer` runs it on a background thread for synchronous
+  callers);
+* :class:`QueryClient` — the blocking wire client: reused connection, batch
+  helpers, and answers reconstructed to byte-equality with the in-process
+  store (``int64`` rows, rebuilt :class:`~repro.graphs.egonet.Egonet` /
+  :class:`~repro.graphs.Graph` objects).
+
+CLI: ``repro-kron serve STORE`` stands a server up;
+``repro-kron query --connect HOST:PORT ...`` runs the same query surface
+remotely.
+"""
+
+from repro.serve.client import QueryClient
+from repro.serve.protocol import (
+    MAX_FRAME_BYTES,
+    PROTOCOL_VERSION,
+    ProtocolError,
+    ServerError,
+)
+from repro.serve.server import ShardStoreServer, ThreadedServer
+
+__all__ = [
+    "MAX_FRAME_BYTES",
+    "PROTOCOL_VERSION",
+    "ProtocolError",
+    "QueryClient",
+    "ServerError",
+    "ShardStoreServer",
+    "ThreadedServer",
+]

@@ -1,0 +1,267 @@
+"""Blocking wire-level client for the shard-store query service.
+
+:class:`QueryClient` speaks the :mod:`repro.serve.protocol` framing over one
+reused TCP connection and turns the JSON answer shapes back into the exact
+objects the in-process :class:`~repro.store.ShardStore` returns — ``int64``
+numpy arrays for edge rows and payload values, reconstructed
+:class:`~repro.graphs.Graph` / :class:`~repro.graphs.egonet.Egonet` objects
+for ``subgraph`` / ``egonet`` — so a consumer can swap a local store for a
+served one without changing a line downstream, and the equivalence tests can
+assert byte-level equality against the local answers.
+
+Error frames re-raise the matching Python exception with the server's
+message verbatim (a served ``edge_payloads`` miss raises the same
+:class:`ValueError` a local call would).  The connection is opened lazily,
+reused across requests, and re-opened once per request if the server closed
+it in between; batch helpers (:meth:`degrees`, :meth:`edge_payloads`) follow
+the repo's array-in / array-out conventions.
+"""
+
+from __future__ import annotations
+
+import socket
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.graphs.adjacency import Graph
+from repro.graphs.egonet import Egonet
+from repro.serve import protocol
+from repro.serve.shaping import induced_adjacency
+
+__all__ = ["QueryClient"]
+
+
+def _rows_array(rows, width: int) -> np.ndarray:
+    """JSON row lists back to the store's ``(m, width)`` ``int64`` layout."""
+    out = np.asarray(rows, dtype=np.int64)
+    if out.size == 0:
+        return np.zeros((0, width), dtype=np.int64)
+    return out.reshape(-1, width)
+
+
+class QueryClient:
+    """Synchronous client for one :class:`~repro.serve.ShardStoreServer`.
+
+    Parameters
+    ----------
+    host, port:
+        Server address (``QueryClient.from_address("host:port")`` parses the
+        CLI's ``--connect`` form).
+    timeout:
+        Per-operation socket timeout in seconds (``None`` blocks forever).
+    """
+
+    def __init__(self, host: str, port: int, *,
+                 timeout: Optional[float] = 30.0):
+        self.host = host
+        self.port = int(port)
+        self.timeout = timeout
+        self._sock: Optional[socket.socket] = None
+        self._store_info: Optional[dict] = None
+
+    @classmethod
+    def from_address(cls, address: str, **kwargs) -> "QueryClient":
+        """Build a client from a ``HOST:PORT`` string."""
+        host, sep, port = address.rpartition(":")
+        if not sep or not port.isdigit():
+            raise ValueError(
+                f"expected HOST:PORT, got {address!r}")
+        return cls(host or "127.0.0.1", int(port), **kwargs)
+
+    # ------------------------------------------------------------------
+    # Connection management
+    # ------------------------------------------------------------------
+    def _connect(self) -> socket.socket:
+        if self._sock is None:
+            sock = socket.create_connection((self.host, self.port),
+                                            timeout=self.timeout)
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            self._sock = sock
+        return self._sock
+
+    def close(self) -> None:
+        """Close the reused connection (it reopens on the next request)."""
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            finally:
+                self._sock = None
+
+    def __enter__(self) -> "QueryClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Request plumbing
+    # ------------------------------------------------------------------
+    def request(self, op: str, args: Optional[dict] = None) -> dict:
+        """Send one request and return the raw ``result`` shape.
+
+        The reused connection is re-opened once if the server closed it
+        between requests (idle-timeout, restart); a failure on the fresh
+        connection propagates.
+        """
+        frame = protocol.request_frame(op, args)
+        reused = self._sock is not None
+        try:
+            return self._roundtrip(frame)
+        except (BrokenPipeError, ConnectionResetError, ConnectionAbortedError):
+            # Retry once, and only when a *reused* connection died (the
+            # server dropped it between requests).  A server-*reported*
+            # error frame (re-raised by raise_error) is never retried — the
+            # server already executed and refused that request.
+            if not reused:
+                raise
+        return self._roundtrip(frame)
+
+    def _roundtrip(self, frame: dict) -> dict:
+        sock = self._connect()
+        try:
+            protocol.write_frame(sock, frame)
+            response = protocol.read_frame(sock)
+        except Exception:
+            # Any transport-level failure — timeout mid-response included —
+            # leaves the byte stream desynchronized: a later request could
+            # otherwise read THIS request's late response as its answer.
+            # Never reuse the socket.
+            self.close()
+            raise
+        if response is None:
+            self.close()
+            raise ConnectionResetError(
+                f"server at {self.host}:{self.port} closed the connection "
+                "without answering")
+        if not response.get("ok"):
+            # One frame per request even on failure: the stream stays in
+            # sync, so the connection remains reusable.
+            protocol.raise_error(response.get("error", {}))
+        return response.get("result", {})
+
+    # ------------------------------------------------------------------
+    # Store metadata
+    # ------------------------------------------------------------------
+    def hello(self) -> dict:
+        """Server/store handshake info (cached after the first call)."""
+        if self._store_info is None:
+            self._store_info = self.request("hello")
+        return self._store_info
+
+    @property
+    def payload_columns(self) -> Tuple[str, ...]:
+        """The served store's payload column names (from ``hello``)."""
+        return tuple(self.hello()["store"]["payload_columns"])
+
+    @property
+    def n_vertices(self) -> int:
+        return int(self.hello()["store"]["n_vertices"])
+
+    # ------------------------------------------------------------------
+    # Queries (mirror the ShardStore surface)
+    # ------------------------------------------------------------------
+    def degree(self, v: int) -> int:
+        """Degree of one vertex, self loop excluded."""
+        return int(self.request("degree", {"vertex": int(v)})["degree"])
+
+    def degrees(self, vs: Sequence[int]) -> np.ndarray:
+        """Batch degrees (array-in / array-out, one request)."""
+        result = self.request(
+            "degrees", {"vertices": [int(v) for v in np.asarray(vs)]})
+        return np.asarray(result["degrees"], dtype=np.int64)
+
+    def neighbors(self, v: int) -> np.ndarray:
+        """Sorted neighbour ids of *v*, self loop excluded."""
+        result = self.request("neighbors", {"vertex": int(v)})
+        return np.asarray(result["neighbors"], dtype=np.int64)
+
+    def neighbors_with_payload(self, v: int) -> Tuple[np.ndarray, dict]:
+        """Neighbour ids plus ``{column: int64 array}`` ground truth."""
+        result = self.request("neighbors",
+                              {"vertex": int(v), "with_payload": True})
+        payload = {name: np.asarray(values, dtype=np.int64)
+                   for name, values in result["payload"].items()}
+        return np.asarray(result["neighbors"], dtype=np.int64), payload
+
+    def edges_in_range(self, lo: int, hi: int, *,
+                       with_payload: bool = False) -> np.ndarray:
+        """All stored rows with source in ``[lo, hi)`` — the full answer;
+        the wire shape's ``limit`` is left unset."""
+        result = self.request("edges_in_range",
+                              {"lo": int(lo), "hi": int(hi),
+                               "with_payload": with_payload})
+        return _rows_array(result["edges"], len(result["columns"]))
+
+    def egonet(self, v: int, *, with_payload: bool = False):
+        """Egonet of *v*, reconstructed to match the in-process
+        :meth:`ShardStore.egonet` answer exactly (vertex order, adjacency,
+        and — with ``with_payload=True`` — the induced payload rows)."""
+        result = self.request("egonet", {"vertex": int(v),
+                                         "with_payload": with_payload,
+                                         "include_members": True})
+        vertices = np.asarray(result["vertices"], dtype=np.int64)
+        if with_payload:
+            # The payload rows carry the topology in their first two columns
+            # (the wire does not ship it twice).
+            rows = _rows_array(result["rows"], len(result["columns"]))
+            edges = rows[:, :2]
+        else:
+            edges = _rows_array(result["edges"], 2)
+        name = f"{self.hello()['store'].get('name') or 'store'}[sub]"
+        graph = Graph(induced_adjacency(vertices, edges), name=name,
+                      validate=False)
+        ego = Egonet(center=int(v), vertices=vertices, graph=graph)
+        if not with_payload:
+            return ego
+        return ego, rows
+
+    def subgraph(self, vertices: Sequence[int], *,
+                 with_payload: bool = False):
+        """Induced subgraph on *vertices* (caller order preserved), equal to
+        the in-process :meth:`ShardStore.subgraph` answer."""
+        vs = [int(v) for v in np.asarray(vertices)]
+        result = self.request("subgraph", {"vertices": vs,
+                                           "with_payload": with_payload})
+        order = np.asarray(result["vertices"], dtype=np.int64)
+        if with_payload:
+            rows = _rows_array(result["rows"], len(result["columns"]))
+            edges = rows[:, :2]
+        else:
+            edges = _rows_array(result["edges"], 2)
+        graph = Graph(induced_adjacency(order, edges),
+                      name=result["name"], validate=False)
+        if not with_payload:
+            return graph
+        return graph, rows
+
+    def edge_payloads(self, ps: Sequence[int], qs: Sequence[int]) -> np.ndarray:
+        """Batched payload point lookups — ``(m, k)`` ``int64`` rows in the
+        store's :attr:`payload_columns` order."""
+        result = self.request("edge_payloads", {
+            "ps": [int(p) for p in np.atleast_1d(np.asarray(ps))],
+            "qs": [int(q) for q in np.atleast_1d(np.asarray(qs))],
+        })
+        return _rows_array(result["payloads"], len(result["columns"]))
+
+    def edge_payload(self, p: int, q: int) -> dict:
+        """Payload of one stored edge as ``{column: value}``."""
+        result = self.request("edge_payloads",
+                              {"ps": [int(p)], "qs": [int(q)]})
+        return {name: int(value)
+                for name, value in zip(result["columns"],
+                                       result["payloads"][0])}
+
+    # ------------------------------------------------------------------
+    # Operational surface
+    # ------------------------------------------------------------------
+    def stats(self) -> dict:
+        """The server's ``stats`` answer (request counts, latency
+        histograms, coalescing, and store cache counters)."""
+        return self.request("stats")
+
+    def shutdown_server(self) -> dict:
+        """Ask the server to stop gracefully."""
+        result = self.request("shutdown")
+        self.close()
+        return result

@@ -1,0 +1,224 @@
+"""Length-prefixed JSON wire protocol for the shard-store query service.
+
+One frame = a 4-byte big-endian unsigned length followed by that many bytes
+of UTF-8 JSON encoding a single object.  Requests are::
+
+    {"v": 1, "op": "degree", "args": {"vertex": 12345}}
+
+and every request gets exactly one response frame::
+
+    {"ok": true,  "result": {...}}                      # success
+    {"ok": false, "error": {"kind": "ValueError",       # failure
+                            "message": "..."}}
+
+The ``result`` shapes are produced by :mod:`repro.serve.shaping` — the same
+helpers behind the CLI's ``query --json`` output, so the wire and the CLI
+cannot drift.  Error frames carry the *store's* exception text verbatim
+(``kind`` names the exception class), and :func:`raise_error` re-raises the
+matching Python exception on the client side: a served
+``store.edge_payloads`` miss raises the same :class:`ValueError` message a
+local call would.
+
+Framing rules (recorded in the ROADMAP's serving conventions):
+
+* ``v`` is :data:`PROTOCOL_VERSION`; a server rejects any other value with a
+  ``ProtocolError`` frame but keeps the connection (the framing is intact).
+* Unknown ``op`` / bad ``args`` → error frame, connection stays open.
+* A frame that cannot be trusted — oversized length prefix, non-JSON body,
+  non-object body — gets one ``ProtocolError`` frame and the connection is
+  closed (the byte stream may be desynchronized).
+* Adding optional response keys or new ops does **not** bump the version;
+  changing an existing shape or the framing does.
+
+The sync helpers (:func:`write_frame` / :func:`read_frame`) serve the
+blocking client; the server uses :func:`read_frame_async` over an
+:class:`asyncio.StreamReader`.  Both directions enforce a frame-size cap so
+a corrupt or hostile length prefix cannot trigger an unbounded allocation.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import socket
+import struct
+from typing import Any, Optional
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "MAX_FRAME_BYTES",
+    "DEFAULT_MAX_REQUEST_BYTES",
+    "ProtocolError",
+    "ServerError",
+    "encode_frame",
+    "decode_body",
+    "request_frame",
+    "result_frame",
+    "error_frame",
+    "raise_error",
+    "write_frame",
+    "read_frame",
+    "read_frame_async",
+]
+
+#: Version stamped into every request; bumped only for incompatible shape or
+#: framing changes (additive keys and new ops ride on the same version).
+PROTOCOL_VERSION = 1
+
+_HEADER = struct.Struct(">I")
+
+#: Hard ceiling on any frame in either direction — a length prefix beyond
+#: this is treated as stream corruption, not a large result.
+MAX_FRAME_BYTES = 1 << 30
+
+#: Default server-side cap on *request* frames.  Requests are small (op name
+#: plus index arrays); responses may be large, so the caps are asymmetric.
+DEFAULT_MAX_REQUEST_BYTES = 16 << 20
+
+
+class ProtocolError(ValueError):
+    """A frame violated the wire protocol (size, encoding, or shape)."""
+
+
+class ServerError(RuntimeError):
+    """Server-side failure of a kind the client cannot map to a local
+    exception class (the error frame's ``kind`` is in the message)."""
+
+
+# ----------------------------------------------------------------------
+# Frame encode / decode
+# ----------------------------------------------------------------------
+def encode_frame(obj: Any, *, max_bytes: int = MAX_FRAME_BYTES) -> bytes:
+    """Serialize one JSON object into a length-prefixed frame."""
+    body = json.dumps(obj, separators=(",", ":"), sort_keys=True).encode("utf-8")
+    if len(body) > max_bytes:
+        raise ProtocolError(
+            f"frame of {len(body)} bytes exceeds the {max_bytes}-byte cap")
+    return _HEADER.pack(len(body)) + body
+
+
+def decode_body(body: bytes) -> dict:
+    """Parse a frame body, mapping every failure to :class:`ProtocolError`."""
+    try:
+        obj = json.loads(body.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolError(f"frame body is not valid JSON: {exc}") from None
+    if not isinstance(obj, dict):
+        raise ProtocolError(
+            f"frame body must be a JSON object, got {type(obj).__name__}")
+    return obj
+
+
+# ----------------------------------------------------------------------
+# Canonical frame shapes
+# ----------------------------------------------------------------------
+def request_frame(op: str, args: Optional[dict] = None) -> dict:
+    """The request object for one operation (version stamped in)."""
+    return {"v": PROTOCOL_VERSION, "op": op, "args": args or {}}
+
+
+def result_frame(result: Any) -> dict:
+    """A success response wrapping a :mod:`repro.serve.shaping` shape."""
+    return {"ok": True, "result": result}
+
+
+#: Exception classes an error frame round-trips exactly; anything else
+#: surfaces as :class:`ServerError` on the client.
+_ERROR_KINDS = {
+    "ValueError": ValueError,
+    "IndexError": IndexError,
+    "KeyError": KeyError,
+    "TypeError": TypeError,
+    "NotImplementedError": NotImplementedError,
+    "ProtocolError": ProtocolError,
+}
+
+
+def error_frame(exc: BaseException) -> dict:
+    """An error response carrying the exception's class name and message."""
+    kind = type(exc).__name__
+    if kind not in _ERROR_KINDS:
+        kind = "InternalError"
+    return {"ok": False, "error": {"kind": kind, "message": str(exc)}}
+
+
+def raise_error(error: dict) -> None:
+    """Re-raise the exception an error frame describes (client side)."""
+    kind = error.get("kind", "InternalError")
+    message = error.get("message", "")
+    cls = _ERROR_KINDS.get(kind)
+    if cls is None:
+        raise ServerError(f"{kind}: {message}")
+    raise cls(message)
+
+
+# ----------------------------------------------------------------------
+# Blocking socket I/O (the synchronous client)
+# ----------------------------------------------------------------------
+def _recv_exactly(sock: socket.socket, n: int) -> Optional[bytes]:
+    """Read exactly *n* bytes; ``None`` on a clean EOF at a frame boundary,
+    :class:`ProtocolError` on EOF mid-frame."""
+    chunks = []
+    remaining = n
+    while remaining:
+        chunk = sock.recv(min(remaining, 1 << 20))
+        if not chunk:
+            if remaining == n:
+                return None
+            raise ProtocolError(
+                f"connection closed mid-frame ({n - remaining} of {n} bytes)")
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def write_frame(sock: socket.socket, obj: Any, *,
+                max_bytes: int = MAX_FRAME_BYTES) -> None:
+    """Send one frame over a blocking socket."""
+    sock.sendall(encode_frame(obj, max_bytes=max_bytes))
+
+
+def read_frame(sock: socket.socket, *,
+               max_bytes: int = MAX_FRAME_BYTES) -> Optional[dict]:
+    """Read one frame from a blocking socket; ``None`` on clean EOF."""
+    header = _recv_exactly(sock, _HEADER.size)
+    if header is None:
+        return None
+    (length,) = _HEADER.unpack(header)
+    if length > max_bytes:
+        raise ProtocolError(
+            f"incoming frame of {length} bytes exceeds the {max_bytes}-byte cap")
+    body = _recv_exactly(sock, length) if length else b""
+    if body is None:
+        raise ProtocolError("connection closed between header and body")
+    return decode_body(body)
+
+
+# ----------------------------------------------------------------------
+# Asyncio stream I/O (the server)
+# ----------------------------------------------------------------------
+async def read_frame_async(reader: asyncio.StreamReader, *,
+                           max_bytes: int = MAX_FRAME_BYTES) -> Optional[dict]:
+    """Read one frame from an asyncio stream; ``None`` on clean EOF.
+
+    EOF in the middle of a frame — the mid-request-disconnect case — raises
+    :class:`ProtocolError` so the connection handler can drop the peer
+    without tearing down the server.
+    """
+    try:
+        header = await reader.readexactly(_HEADER.size)
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None
+        raise ProtocolError("connection closed mid-header") from None
+    (length,) = _HEADER.unpack(header)
+    if length > max_bytes:
+        raise ProtocolError(
+            f"incoming frame of {length} bytes exceeds the {max_bytes}-byte cap")
+    try:
+        body = await reader.readexactly(length) if length else b""
+    except asyncio.IncompleteReadError as exc:
+        raise ProtocolError(
+            f"connection closed mid-frame "
+            f"({len(exc.partial)} of {length} bytes)") from None
+    return decode_body(body)

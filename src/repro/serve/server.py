@@ -1,0 +1,632 @@
+"""Asyncio query server: one :class:`~repro.store.ShardStore` per worker.
+
+The serving half of the out-of-core story: a compacted shard store is owned
+by one :class:`ShardStoreServer`, which accepts length-prefixed JSON frames
+(:mod:`repro.serve.protocol`), dispatches ``degree`` / ``degrees`` /
+``neighbors`` / ``edges_in_range`` / ``egonet`` / ``subgraph`` /
+``edge_payloads`` requests (with their ``with_payload`` variants), and
+answers with the :mod:`repro.serve.shaping` shapes the CLI's
+``query --json`` also emits.
+
+Design rules:
+
+* **One store, many connections.**  Every connection shares the server's
+  single :class:`ShardStore`; its decoded-shard LRU is concurrent-safe
+  (a lock guards cache mutation), so hot shards are decoded once no matter
+  which connection asked first.
+* **The event loop never touches a shard.**  All store work runs on a
+  bounded :class:`~concurrent.futures.ThreadPoolExecutor`
+  (``decode_threads``); the loop only frames bytes and schedules work, so a
+  cold multi-megabyte decode cannot stall unrelated connections.
+* **Scalar requests coalesce into batch calls.**  Concurrent ``degree`` /
+  ``neighbors`` requests that land in the same event-loop tick are folded
+  into one ``store.degrees`` / ``store.edges_for_sources`` call (the PR 1
+  batch-first entry points) and the answers are fanned back out — under
+  many clients the store sees a few array calls, not a scalar call storm.
+* **Errors are frames, not disconnects.**  A store ``ValueError`` /
+  ``IndexError`` travels back as an error frame carrying the exact message;
+  only an untrustworthy frame (oversized length prefix, non-JSON body,
+  disconnect mid-frame) closes the connection, and then only that one.
+* **Operational surface built in.**  A ``stats`` request reports request
+  counts, per-op latency histograms, coalescing effectiveness, and the
+  store's ``shard_reads`` / ``cache_hits``; ``shutdown`` requests a graceful
+  stop (in-flight requests finish, then the listener closes).
+
+:class:`ThreadedServer` runs the whole thing on a background thread for
+synchronous callers — the test suite, benchmarks, and examples stand a
+server up with ``with ThreadedServer(store) as handle: ...``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+import time
+from bisect import bisect_left
+from collections import Counter
+from concurrent.futures import ThreadPoolExecutor
+from typing import Callable, List, Optional
+
+import numpy as np
+
+from repro.serve import protocol, shaping
+from repro.serve.protocol import (
+    DEFAULT_MAX_REQUEST_BYTES,
+    PROTOCOL_VERSION,
+    ProtocolError,
+)
+from repro.store.query import ShardStore
+
+__all__ = ["ShardStoreServer", "ThreadedServer"]
+
+#: Upper bucket bounds (µs) of the per-op latency histograms.
+_LATENCY_BOUNDS_US = (100, 250, 500, 1_000, 2_500, 5_000,
+                      10_000, 25_000, 50_000, 100_000, 500_000)
+
+
+class _LatencyHistogram:
+    """Fixed-bucket latency histogram (µs), cheap enough for every request."""
+
+    __slots__ = ("counts", "count", "total_us", "max_us")
+
+    def __init__(self):
+        self.counts = [0] * (len(_LATENCY_BOUNDS_US) + 1)
+        self.count = 0
+        self.total_us = 0
+        self.max_us = 0
+
+    def record(self, us: int) -> None:
+        self.counts[bisect_left(_LATENCY_BOUNDS_US, us)] += 1
+        self.count += 1
+        self.total_us += us
+        self.max_us = max(self.max_us, us)
+
+    def snapshot(self) -> dict:
+        buckets = {f"<={bound}us": count
+                   for bound, count in zip(_LATENCY_BOUNDS_US, self.counts)}
+        buckets[f">{_LATENCY_BOUNDS_US[-1]}us"] = self.counts[-1]
+        mean = self.total_us / self.count if self.count else 0.0
+        return {"count": self.count, "mean_us": round(mean, 1),
+                "max_us": self.max_us, "buckets": buckets}
+
+
+class _Coalescer:
+    """Folds concurrent scalar submissions into one batched store call.
+
+    ``submit(value)`` returns a future; all values submitted before the next
+    event-loop tick (or up to ``max_batch``) are handed to *flush_fn* as one
+    list on the executor, and the returned per-value results resolve the
+    futures in order.  Per-value validation must happen **before** submit —
+    a failure inside *flush_fn* fails the whole batch.
+    """
+
+    def __init__(self, loop: asyncio.AbstractEventLoop,
+                 executor: ThreadPoolExecutor,
+                 flush_fn: Callable[[List], List], *, max_batch: int = 1024):
+        self._loop = loop
+        self._executor = executor
+        self._flush_fn = flush_fn
+        self._max_batch = max_batch
+        self._pending: List = []  # (value, future) pairs
+        self._flush_scheduled = False
+        self.batches = 0
+        self.requests = 0
+        self.max_batch_seen = 0
+
+    def submit(self, value) -> "asyncio.Future":
+        future = self._loop.create_future()
+        self._pending.append((value, future))
+        if len(self._pending) >= self._max_batch:
+            self._flush()
+        elif not self._flush_scheduled:
+            self._flush_scheduled = True
+            self._loop.call_soon(self._flush)
+        return future
+
+    def _flush(self) -> None:
+        self._flush_scheduled = False
+        if not self._pending:
+            return
+        batch, self._pending = self._pending, []
+        self.batches += 1
+        self.requests += len(batch)
+        self.max_batch_seen = max(self.max_batch_seen, len(batch))
+        values = [value for value, _ in batch]
+        task = self._loop.run_in_executor(
+            self._executor, self._flush_fn, values)
+
+        def _distribute(done: "asyncio.Future") -> None:
+            exc = done.exception()
+            for index, (_, future) in enumerate(batch):
+                if future.cancelled():
+                    continue
+                if exc is not None:
+                    future.set_exception(exc)
+                else:
+                    future.set_result(done.result()[index])
+
+        task.add_done_callback(_distribute)
+
+    def stats(self) -> dict:
+        return {"requests": self.requests, "batches": self.batches,
+                "max_batch": self.max_batch_seen}
+
+
+def _arg(args: dict, name: str):
+    if name not in args:
+        raise ValueError(f"request args missing {name!r}")
+    return args[name]
+
+
+def _arg_int(args: dict, name: str) -> int:
+    value = _arg(args, name)
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise ValueError(f"request arg {name!r} must be an integer, "
+                         f"got {type(value).__name__}")
+    return value
+
+
+def _arg_int_list(args: dict, name: str) -> List[int]:
+    value = _arg(args, name)
+    if not isinstance(value, list) or any(
+            isinstance(x, bool) or not isinstance(x, int) for x in value):
+        raise ValueError(f"request arg {name!r} must be a list of integers")
+    return value
+
+
+def _arg_bool(args: dict, name: str, default: bool = False) -> bool:
+    value = args.get(name, default)
+    if not isinstance(value, bool):
+        raise ValueError(f"request arg {name!r} must be a boolean")
+    return value
+
+
+class ShardStoreServer:
+    """Asyncio front-end serving one :class:`~repro.store.ShardStore`.
+
+    Parameters
+    ----------
+    store:
+        A :class:`ShardStore` instance, or a compacted store directory (a
+        store is then opened with *cache_shards*).
+    host, port:
+        Bind address; ``port=0`` picks an ephemeral port, published as
+        :attr:`port` after :meth:`start`.
+    decode_threads:
+        Size of the thread pool all store work runs on — the bound on
+        concurrent shard decodes.
+    max_request_bytes:
+        Cap on incoming request frames; an oversized length prefix gets one
+        error frame and the connection is closed.
+    cache_shards:
+        LRU size used only when *store* is a directory path.
+    """
+
+    def __init__(self, store, *, host: str = "127.0.0.1", port: int = 0,
+                 decode_threads: int = 4,
+                 max_request_bytes: int = DEFAULT_MAX_REQUEST_BYTES,
+                 max_coalesce_batch: int = 1024,
+                 cache_shards: int = 8):
+        if not isinstance(store, ShardStore):
+            store = ShardStore(store, cache_shards=cache_shards)
+        self.store = store
+        self.host = host
+        self.port = int(port)
+        self.decode_threads = int(decode_threads)
+        self.max_request_bytes = int(max_request_bytes)
+        self.max_coalesce_batch = int(max_coalesce_batch)
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._executor: Optional[ThreadPoolExecutor] = None
+        self._stop_event: Optional[asyncio.Event] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._writers: set = set()
+        self._tasks: set = set()
+        self._degree_coalescer: Optional[_Coalescer] = None
+        self._neighbors_coalescers: dict = {}
+        self._error_count = 0
+        self._protocol_errors = 0
+        self._connections_total = 0
+        self._started_at: Optional[float] = None
+        self._ops = {
+            "hello": self._op_hello,
+            "degree": self._op_degree,
+            "degrees": self._op_degrees,
+            "neighbors": self._op_neighbors,
+            "edges_in_range": self._op_edges_in_range,
+            "egonet": self._op_egonet,
+            "subgraph": self._op_subgraph,
+            "edge_payloads": self._op_edge_payloads,
+            "stats": self._op_stats,
+            "shutdown": self._op_shutdown,
+        }
+        # Pre-size both maps with every possible key so they never change
+        # size while serving: stats() may be called from another thread
+        # (ThreadedServer monitoring) and must not race a dict resize.
+        op_keys = [*self._ops, "_invalid"]
+        self._request_counts: Counter = Counter({op: 0 for op in op_keys})
+        self._latency = {op: _LatencyHistogram() for op in op_keys}
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> None:
+        """Bind the listener and arm the worker pool."""
+        self._loop = asyncio.get_running_loop()
+        self._stop_event = asyncio.Event()
+        self._executor = ThreadPoolExecutor(
+            max_workers=self.decode_threads, thread_name_prefix="shard-decode")
+        self._degree_coalescer = _Coalescer(
+            self._loop, self._executor, self._degrees_batch,
+            max_batch=self.max_coalesce_batch)
+        self._neighbors_coalescers = {
+            with_payload: _Coalescer(
+                self._loop, self._executor,
+                lambda vs, wp=with_payload: self._neighbors_batch(vs, wp),
+                max_batch=self.max_coalesce_batch)
+            for with_payload in (False, True)
+        }
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port)
+        self.port = self._server.sockets[0].getsockname()[1]
+        self._started_at = time.monotonic()
+
+    async def stop(self, *, grace_s: float = 5.0) -> None:
+        """Graceful stop: close the listener, let every in-flight request
+        finish and flush its response (handlers watch the stop event and
+        exit after the current frame), then — after *grace_s* — abort any
+        connection a stalled client is keeping open, and drop the pool."""
+        if self._stop_event is not None:
+            self._stop_event.set()  # idle handlers wake from their read
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        if self._tasks:
+            _, pending = await asyncio.wait(list(self._tasks),
+                                            timeout=grace_s)
+            if pending:
+                # A peer that stopped reading can block drain() forever;
+                # abort the transport (close() would wait for the buffer).
+                for writer in list(self._writers):
+                    writer.transport.abort()
+                for task in pending:
+                    task.cancel()
+                await asyncio.gather(*pending, return_exceptions=True)
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None
+
+    def request_stop(self) -> None:
+        """Ask the serve loop to exit (safe from any thread; a no-op when
+        the server already stopped, e.g. via a client ``shutdown``)."""
+        if (self._loop is None or self._stop_event is None
+                or self._loop.is_closed()):
+            return
+        try:
+            self._loop.call_soon_threadsafe(self._stop_event.set)
+        except RuntimeError:
+            pass  # loop closed between the check and the call
+
+    async def serve_until_stopped(self) -> None:
+        """Serve until :meth:`request_stop` (or a ``shutdown`` request).
+
+        Stops the server on the way out even when cancelled — Ctrl-C under
+        :func:`asyncio.run` cancels this coroutine, and the ``finally``
+        still runs the graceful teardown."""
+        try:
+            await self._stop_event.wait()
+        finally:
+            await self.stop()
+
+    async def __aenter__(self) -> "ShardStoreServer":
+        await self.start()
+        return self
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.stop()
+
+    # ------------------------------------------------------------------
+    # Connection handling
+    # ------------------------------------------------------------------
+    async def _handle_connection(self, reader: asyncio.StreamReader,
+                                 writer: asyncio.StreamWriter) -> None:
+        self._connections_total += 1
+        self._writers.add(writer)
+        task = asyncio.current_task()
+        self._tasks.add(task)
+        stop_wait = asyncio.ensure_future(self._stop_event.wait())
+        try:
+            while True:
+                # Race the next frame against the stop event: a request that
+                # is already in flight always finishes (dispatch and the
+                # response write happen below, before this point is reached
+                # again), while an *idle* connection closes promptly on stop.
+                read_task = asyncio.ensure_future(protocol.read_frame_async(
+                    reader, max_bytes=self.max_request_bytes))
+                await asyncio.wait({read_task, stop_wait},
+                                   return_when=asyncio.FIRST_COMPLETED)
+                if not read_task.done():
+                    read_task.cancel()
+                    try:
+                        await read_task
+                    except (asyncio.CancelledError, ProtocolError,
+                            ConnectionResetError, BrokenPipeError):
+                        pass
+                    break
+                try:
+                    frame = read_task.result()
+                except ProtocolError as exc:
+                    # The byte stream can no longer be trusted: answer once,
+                    # then drop this connection (and only this one).
+                    self._protocol_errors += 1
+                    await self._try_send(writer, protocol.error_frame(exc))
+                    break
+                if frame is None:  # clean EOF at a frame boundary
+                    break
+                response = await self._dispatch(frame)
+                try:
+                    payload = protocol.encode_frame(response)
+                except ProtocolError as exc:  # response exceeded the cap
+                    payload = protocol.encode_frame(protocol.error_frame(exc))
+                writer.write(payload)
+                await writer.drain()
+                if self._stop_event.is_set():
+                    break  # stop requested while we served this frame
+        except (ConnectionResetError, BrokenPipeError):
+            pass  # peer vanished mid-write; nothing to answer
+        finally:
+            stop_wait.cancel()
+            self._tasks.discard(task)
+            self._writers.discard(writer)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+
+    async def _try_send(self, writer: asyncio.StreamWriter, obj: dict) -> None:
+        try:
+            writer.write(protocol.encode_frame(obj))
+            await writer.drain()
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+
+    async def _dispatch(self, frame: dict) -> dict:
+        op = frame.get("op")
+        op_key = op if isinstance(op, str) and op in self._ops else "_invalid"
+        start_ns = time.perf_counter_ns()
+        try:
+            version = frame.get("v")
+            if version != PROTOCOL_VERSION:
+                raise ProtocolError(
+                    f"unsupported protocol version {version!r}; this server "
+                    f"speaks version {PROTOCOL_VERSION}")
+            if op_key == "_invalid":
+                raise ProtocolError(
+                    f"unknown op {op!r}; available: "
+                    f"{', '.join(sorted(self._ops))}")
+            args = frame.get("args", {})
+            if not isinstance(args, dict):
+                raise ValueError("request args must be a JSON object")
+            result = await self._ops[op_key](args)
+            response = protocol.result_frame(result)
+        except Exception as exc:  # every failure becomes an error frame
+            self._error_count += 1
+            response = protocol.error_frame(exc)
+        finally:
+            self._request_counts[op_key] += 1
+            elapsed_us = (time.perf_counter_ns() - start_ns) // 1000
+            self._latency[op_key].record(int(elapsed_us))
+        return response
+
+    async def _run_store(self, fn, *args):
+        """Run one store call on the bounded decode pool."""
+        return await self._loop.run_in_executor(self._executor, fn, *args)
+
+    # ------------------------------------------------------------------
+    # Coalesced batch kernels (run on the executor)
+    # ------------------------------------------------------------------
+    def _degrees_batch(self, vertices: List[int]) -> List[int]:
+        values = self.store.degrees(np.asarray(vertices, dtype=np.int64))
+        return [int(d) for d in values]
+
+    def _neighbors_batch(self, vertices: List[int],
+                         with_payload: bool) -> List[np.ndarray]:
+        """One ``edges_for_sources`` gather for a whole batch, sliced back
+        per requested vertex (`rows` is ``(src, dst)``-sorted)."""
+        rows = self.store.edges_for_sources(
+            np.asarray(vertices, dtype=np.int64), with_payload=with_payload)
+        srcs = rows[:, 0]
+        lefts = np.searchsorted(srcs, np.asarray(vertices, dtype=np.int64),
+                                side="left")
+        rights = np.searchsorted(srcs, np.asarray(vertices, dtype=np.int64),
+                                 side="right")
+        return [rows[lo:hi] for lo, hi in zip(lefts, rights)]
+
+    def _check_vertex(self, vertex: int) -> int:
+        """Range-check *before* coalescing so one bad vertex cannot fail an
+        entire batch of innocent requests (the store's message, verbatim)."""
+        if not 0 <= vertex < self.store.n_vertices:
+            raise IndexError("product vertex id out of range")
+        return vertex
+
+    # ------------------------------------------------------------------
+    # Operations
+    # ------------------------------------------------------------------
+    async def _op_hello(self, args: dict) -> dict:
+        return {
+            "query": "hello",
+            "protocol": PROTOCOL_VERSION,
+            "ops": sorted(self._ops),
+            "store": shaping.shape_store_info(self.store),
+        }
+
+    async def _op_degree(self, args: dict) -> dict:
+        vertex = self._check_vertex(_arg_int(args, "vertex"))
+        degree = await self._degree_coalescer.submit(vertex)
+        return shaping.degree_shape(vertex, degree)
+
+    async def _op_degrees(self, args: dict) -> dict:
+        vertices = _arg_int_list(args, "vertices")
+        return await self._run_store(
+            lambda: shaping.shape_degrees(self.store, vertices))
+
+    async def _op_neighbors(self, args: dict) -> dict:
+        vertex = self._check_vertex(_arg_int(args, "vertex"))
+        with_payload = _arg_bool(args, "with_payload")
+        rows = await self._neighbors_coalescers[with_payload].submit(vertex)
+        return shaping.neighbors_shape(vertex, rows,
+                                       self.store.payload_columns,
+                                       with_payload=with_payload)
+
+    async def _op_edges_in_range(self, args: dict) -> dict:
+        lo = _arg_int(args, "lo")
+        hi = _arg_int(args, "hi")
+        with_payload = _arg_bool(args, "with_payload")
+        limit = args.get("limit")
+        if limit is not None and (isinstance(limit, bool)
+                                  or not isinstance(limit, int)):
+            raise ValueError("request arg 'limit' must be an integer or null")
+        return await self._run_store(
+            lambda: shaping.shape_range(self.store, lo, hi,
+                                        with_payload=with_payload,
+                                        limit=limit))
+
+    async def _op_egonet(self, args: dict) -> dict:
+        vertex = self._check_vertex(_arg_int(args, "vertex"))
+        with_payload = _arg_bool(args, "with_payload")
+        include_members = _arg_bool(args, "include_members")
+        return await self._run_store(
+            lambda: shaping.shape_egonet(self.store, vertex,
+                                         with_payload=with_payload,
+                                         include_members=include_members))
+
+    async def _op_subgraph(self, args: dict) -> dict:
+        vertices = _arg_int_list(args, "vertices")
+        with_payload = _arg_bool(args, "with_payload")
+        return await self._run_store(
+            lambda: shaping.shape_subgraph(self.store, vertices,
+                                           with_payload=with_payload))
+
+    async def _op_edge_payloads(self, args: dict) -> dict:
+        ps = _arg_int_list(args, "ps")
+        qs = _arg_int_list(args, "qs")
+        if len(ps) != len(qs):
+            raise ValueError(f"ps and qs must have matching shapes, "
+                             f"got ({len(ps)},) and ({len(qs)},)")
+        return await self._run_store(
+            lambda: shaping.shape_edge_payloads(self.store, ps, qs))
+
+    async def _op_stats(self, args: dict) -> dict:
+        return {"query": "stats", **self.stats()}
+
+    async def _op_shutdown(self, args: dict) -> dict:
+        # Reply first; the loop notices the event after this response flushes.
+        self._loop.call_soon(self._stop_event.set)
+        return {"query": "shutdown", "stopping": True}
+
+    # ------------------------------------------------------------------
+    # Operational surface
+    # ------------------------------------------------------------------
+    def stats(self) -> dict:
+        """Request counts, per-op latency, coalescing effectiveness, and the
+        store's cache counters — the ``stats`` request returns this."""
+        neighbors = list(self._neighbors_coalescers.values())
+        degree = self._degree_coalescer
+        return {
+            "server": {
+                "uptime_s": round(time.monotonic() - self._started_at, 3)
+                if self._started_at is not None else 0.0,
+                "requests": {op: count
+                             for op, count in self._request_counts.items()
+                             if count},
+                "errors": self._error_count,
+                "protocol_errors": self._protocol_errors,
+                "connections_open": len(self._writers),
+                "connections_total": self._connections_total,
+                "decode_threads": self.decode_threads,
+                "coalesced": {
+                    "degree": degree.stats() if degree is not None
+                    else {"requests": 0, "batches": 0, "max_batch": 0},
+                    "neighbors": {
+                        "requests": sum(c.requests for c in neighbors),
+                        "batches": sum(c.batches for c in neighbors),
+                        "max_batch": max((c.max_batch_seen for c in neighbors),
+                                         default=0),
+                    },
+                },
+                "latency_us": {op: hist.snapshot()
+                               for op, hist in sorted(self._latency.items())
+                               if hist.count},
+            },
+            "store": self.store.stats(),
+        }
+
+
+class ThreadedServer:
+    """A :class:`ShardStoreServer` on a background thread, for synchronous
+    callers (tests, benchmarks, examples, and the blocking client).
+
+    ``with ThreadedServer(store_dir) as server:`` starts the event loop on a
+    daemon thread, binds an ephemeral port (``server.host`` /
+    ``server.port``), and tears everything down — gracefully — on exit.
+    """
+
+    def __init__(self, store, **kwargs):
+        self._store = store
+        self._kwargs = kwargs
+        self._thread: Optional[threading.Thread] = None
+        self._ready = threading.Event()
+        self._startup_error: Optional[BaseException] = None
+        self.server: Optional[ShardStoreServer] = None
+        self.host: Optional[str] = None
+        self.port: Optional[int] = None
+
+    def start(self) -> "ThreadedServer":
+        if self._thread is not None:
+            raise RuntimeError("server thread already started")
+        self._thread = threading.Thread(
+            target=self._run, name="shard-serve", daemon=True)
+        self._thread.start()
+        self._ready.wait()
+        if self._startup_error is not None:
+            self._thread.join()
+            raise self._startup_error
+        return self
+
+    def _run(self) -> None:
+        asyncio.run(self._main())
+
+    async def _main(self) -> None:
+        try:
+            # Construction opens the store (manifest read, validation) and
+            # can fail just like bind — both must surface to start(), never
+            # leave it blocked on the ready event.
+            server = ShardStoreServer(self._store, **self._kwargs)
+            await server.start()
+        except BaseException as exc:  # surface open/bind errors to start()
+            self._startup_error = exc
+            self._ready.set()
+            return
+        self.server = server
+        self.host, self.port = server.host, server.port
+        self._ready.set()
+        await server.serve_until_stopped()
+
+    def stop(self) -> None:
+        if self._thread is None:
+            return
+        if self.server is not None:
+            self.server.request_stop()
+        self._thread.join()
+        self._thread = None
+
+    @property
+    def address(self) -> str:
+        return f"{self.host}:{self.port}"
+
+    def __enter__(self) -> "ThreadedServer":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()

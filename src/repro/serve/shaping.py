@@ -1,0 +1,239 @@
+"""One JSON shape per query, shared by the CLI and the wire protocol.
+
+``repro-kron query --json`` and the :mod:`repro.serve` server answer the
+same questions from the same :class:`~repro.store.ShardStore`; this module
+is the single place their answer *shapes* are defined, so the two surfaces
+cannot drift.  Every function takes the store plus plain-Python arguments
+and returns a JSON-serializable dict whose scalars are built-in ``int`` /
+``str`` — never numpy types, which :mod:`json` rejects.
+
+The CLI uses :func:`shape_degree` / :func:`shape_neighbors` /
+:func:`shape_egonet` / :func:`shape_range` directly.  The server adds the
+batch and reconstruction-oriented shapes (:func:`shape_degrees`,
+:func:`shape_subgraph`, :func:`shape_edge_payloads`) and passes
+``include_members=True`` to :func:`shape_egonet` so a remote client can
+rebuild the full :class:`~repro.graphs.egonet.Egonet`;
+:func:`induced_adjacency` is the client-side inverse (identical relabelling
+to :meth:`ShardStore.subgraph_adjacency`, so the reconstructed adjacency is
+exactly the in-process answer).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+import scipy.sparse as sp
+
+__all__ = [
+    "degree_shape",
+    "neighbors_shape",
+    "shape_degree",
+    "shape_degrees",
+    "shape_neighbors",
+    "shape_egonet",
+    "shape_range",
+    "shape_subgraph",
+    "shape_edge_payloads",
+    "shape_store_info",
+    "induced_adjacency",
+]
+
+
+def _int_list(values) -> list:
+    return [int(x) for x in values]
+
+
+def _rows_list(rows: np.ndarray) -> list:
+    return [[int(x) for x in row] for row in rows]
+
+
+def _induced_edges_from_graph(vertices: np.ndarray, adjacency) -> np.ndarray:
+    """Global-id ``(src, dst)``-sorted edge list of an induced subgraph whose
+    adjacency was already gathered — avoids a second shard pass when serving
+    an egonet (the stored rows and the adjacency carry the same entries)."""
+    counts = np.diff(adjacency.indptr)
+    local_src = np.repeat(np.arange(vertices.shape[0]), counts)
+    edges = np.column_stack([vertices[local_src],
+                             vertices[adjacency.indices]]).astype(np.int64)
+    return edges[np.lexsort((edges[:, 1], edges[:, 0]))]
+
+
+def degree_shape(vertex: int, degree: int) -> dict:
+    """Assemble a ``degree`` answer from an already-computed value — the
+    entry point the server's request coalescer shares with
+    :func:`shape_degree`, so batched and direct answers cannot differ."""
+    return {"query": "degree", "vertex": int(vertex), "degree": int(degree)}
+
+
+def shape_degree(store, vertex: int) -> dict:
+    """``degree`` answer: self loop excluded, the
+    :meth:`repro.core.KroneckerGraph.degree` convention."""
+    vertex = int(vertex)
+    return degree_shape(vertex, store.degree(vertex))
+
+
+def shape_degrees(store, vertices: Sequence[int]) -> dict:
+    """Batch ``degrees`` answer (array-in / array-out, PR 1 conventions)."""
+    vs = np.asarray(vertices, dtype=np.int64)
+    return {"query": "degrees",
+            "vertices": _int_list(vs),
+            "degrees": _int_list(store.degrees(vs))}
+
+
+def neighbors_shape(vertex: int, rows: np.ndarray,
+                    payload_columns: Sequence[str], *,
+                    with_payload: bool) -> dict:
+    """Assemble a ``neighbors`` answer from the stored rows of one source
+    vertex — shared by :func:`shape_neighbors` and the server's coalesced
+    batch path (which slices one ``edges_for_sources`` gather per batch)."""
+    vertex = int(vertex)
+    rows = rows[rows[:, 1] != vertex]  # store convention: self loop excluded
+    result = {"query": "neighbors", "vertex": vertex,
+              "neighbors": _int_list(rows[:, 1])}
+    if with_payload:
+        result["payload"] = {
+            name: _int_list(rows[:, 2 + offset])
+            for offset, name in enumerate(payload_columns)
+        }
+    result["count"] = len(result["neighbors"])
+    return result
+
+
+def shape_neighbors(store, vertex: int, *, with_payload: bool = False) -> dict:
+    """``neighbors`` answer: sorted neighbour ids, self loop excluded; with
+    ``with_payload`` the store's ground-truth columns ride along, keyed by
+    column name."""
+    vertex = int(vertex)
+    rows = store.edges_for_sources([vertex], with_payload=with_payload)
+    return neighbors_shape(vertex, rows, store.payload_columns,
+                           with_payload=with_payload)
+
+
+def shape_egonet(store, vertex: int, *, with_payload: bool = False,
+                 include_members: bool = False) -> dict:
+    """``egonet`` answer: the Figure 7 summary statistics, plus (server mode,
+    ``include_members=True``) the vertex list and induced edges a remote
+    client needs to rebuild the :class:`~repro.graphs.egonet.Egonet`."""
+    vertex = int(vertex)
+    if with_payload:
+        ego, rows = store.egonet(vertex, with_payload=True)
+    else:
+        ego, rows = store.egonet(vertex), None
+    result = {
+        "query": "egonet",
+        "vertex": vertex,
+        "n_vertices": int(ego.n_vertices),
+        "centre_degree": int(ego.degree_of_center()),
+        "triangles_at_centre": int(ego.triangles_at_center()),
+    }
+    if rows is not None:
+        result["n_induced_edges"] = int(rows.shape[0])
+        result["payload_totals"] = {
+            name: int(rows[:, 2 + offset].sum())
+            for offset, name in enumerate(store.payload_columns)
+        }
+    if include_members:
+        result["vertices"] = _int_list(ego.vertices)
+        if with_payload:
+            # The payload rows already carry the topology in their first two
+            # columns — shipping a separate "edges" list would double the
+            # frame on a JSON-serialization-bound path.
+            result["rows"] = _rows_list(rows)
+            result["columns"] = ["src", "dst", *store.payload_columns]
+        else:
+            result["edges"] = _rows_list(_induced_edges_from_graph(
+                ego.vertices, ego.graph.adjacency))
+    return result
+
+
+def shape_range(store, lo: int, hi: int, *, with_payload: bool = False,
+                limit: Optional[int] = None) -> dict:
+    """``edges_in_range`` answer: ``[lo, hi)`` source range, ``(src, dst)``
+    sorted rows.  ``limit`` truncates the listed rows (the CLI's terminal
+    default); ``None`` — the wire default — returns every row, and
+    ``n_edges`` always counts the full answer."""
+    lo, hi = int(lo), int(hi)
+    rows = store.edges_in_range(lo, hi, with_payload=with_payload)
+    columns = ["src", "dst"]
+    if with_payload:
+        columns += list(store.payload_columns)
+    shown = rows if limit is None else rows[:limit]
+    return {
+        "query": "edges_in_range",
+        "lo": lo,
+        "hi": hi,
+        "n_edges": int(rows.shape[0]),
+        "columns": columns,
+        "edges": _rows_list(shown),
+    }
+
+
+def shape_subgraph(store, vertices: Sequence[int], *,
+                   with_payload: bool = False) -> dict:
+    """``subgraph`` answer: the induced stored rows plus the vertex list in
+    the caller's order, from which :func:`induced_adjacency` rebuilds the
+    exact :meth:`ShardStore.subgraph_adjacency` matrix."""
+    vs = np.asarray(vertices, dtype=np.int64)
+    if np.unique(vs).size != vs.size:
+        # Reject before the gather: decoding shards for a request that is
+        # doomed anyway would be free denial-of-work.
+        raise ValueError("subgraph vertex selection contains duplicates")
+    rows = store.subgraph_edges(vs, with_payload=with_payload)
+    result = {
+        "query": "subgraph",
+        "vertices": _int_list(vs),
+        "n_vertices": int(vs.size),
+        "n_edges": int(rows.shape[0]),
+        "name": f"{store.manifest.get('name') or 'store'}[sub]",
+    }
+    if with_payload:
+        result["rows"] = _rows_list(rows)
+        result["columns"] = ["src", "dst", *store.payload_columns]
+    else:
+        result["edges"] = _rows_list(rows)
+    return result
+
+
+def shape_edge_payloads(store, ps: Sequence[int], qs: Sequence[int]) -> dict:
+    """``edge_payloads`` answer: per-edge ground-truth rows for the queried
+    ``(ps[t], qs[t])`` pairs (every pair must be a stored edge)."""
+    values = store.edge_payloads(np.asarray(ps, dtype=np.int64),
+                                 np.asarray(qs, dtype=np.int64))
+    return {
+        "query": "edge_payloads",
+        "columns": list(store.payload_columns),
+        "payloads": _rows_list(values),
+    }
+
+
+def shape_store_info(store) -> dict:
+    """The ``hello`` answer: what a client needs to know about the store."""
+    return {
+        "n_vertices": int(store.n_vertices),
+        "total_edges": int(store.total_edges),
+        "n_shards": int(store.n_shards),
+        "payload_columns": list(store.payload_columns),
+        "name": store.manifest.get("name"),
+    }
+
+
+def induced_adjacency(vertices: np.ndarray, edges: np.ndarray) -> sp.csr_matrix:
+    """Rebuild an induced adjacency from global-id *edges* over *vertices*.
+
+    Local vertex *i* is ``vertices[i]`` (caller order preserved) — the same
+    relabelling :meth:`ShardStore.subgraph_adjacency` applies, so a client
+    reconstructing a served subgraph or egonet gets a matrix exactly equal
+    to the in-process answer.  Every edge endpoint must be in *vertices*.
+    """
+    vs = np.asarray(vertices, dtype=np.int64)
+    k = vs.shape[0]
+    edges = np.asarray(edges, dtype=np.int64).reshape(-1, 2)
+    if edges.shape[0] == 0 or k == 0:
+        return sp.csr_matrix((k, k), dtype=np.int64)
+    order = np.argsort(vs, kind="stable")
+    sorted_vs = vs[order]
+    local_src = order[np.searchsorted(sorted_vs, edges[:, 0])]
+    local_dst = order[np.searchsorted(sorted_vs, edges[:, 1])]
+    data = np.ones(edges.shape[0], dtype=np.int64)
+    return sp.csr_matrix((data, (local_src, local_dst)), shape=(k, k))

@@ -24,10 +24,21 @@ not disk.  Following the PR 1 vectorization conventions, the hot entry points
 are batch-first (``out_degrees`` / ``degrees`` / ``edges_for_sources`` take
 index arrays) and the scalar forms are thin wrappers; there is no per-edge
 Python loop anywhere in the query path.
+
+The cache and its ``shard_reads`` / ``cache_hits`` counters are
+**concurrent-safe**: a lock guards every cache mutation, so one store can be
+shared by many reader threads — the serving pattern of
+:mod:`repro.serve`, whose asyncio front-end fans decodes out to a thread
+pool.  Shard *decodes* run outside the lock (two threads missing on the same
+shard may both read the file; the loser's rows are dropped and counted as a
+read), so concurrent misses on different shards overlap their I/O.
+:meth:`ShardStore.stats` snapshots the counters atomically and
+:meth:`ShardStore.reset_stats` rearms them between measurement windows.
 """
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from pathlib import Path
 from typing import Sequence, Tuple, Union
@@ -115,6 +126,9 @@ class ShardStore:
         self.cache_shards = int(cache_shards)
         # index -> [rows, encoded (src·n + dst) keys or None (built lazily)]
         self._cache: "OrderedDict[int, list]" = OrderedDict()
+        # Guards the LRU OrderedDict and both counters: queries may come from
+        # many threads at once (repro.serve offloads decodes to a pool).
+        self._lock = threading.Lock()
         self.shard_reads = 0
         self.cache_hits = 0
 
@@ -127,11 +141,15 @@ class ShardStore:
         return len(self._files)
 
     def _entry(self, index: int) -> list:
-        cached = self._cache.get(index)
-        if cached is not None:
-            self.cache_hits += 1
-            self._cache.move_to_end(index)
-            return cached
+        with self._lock:
+            cached = self._cache.get(index)
+            if cached is not None:
+                self.cache_hits += 1
+                self._cache.move_to_end(index)
+                return cached
+        # Decode outside the lock so concurrent misses on *different* shards
+        # overlap their file I/O; a racing miss on the same shard costs one
+        # redundant decode (counted below) but never corrupts the cache.
         path = self.directory / self._files[index]
         rows = _load_shard_file(path)
         if rows.ndim != 2 or rows.shape[1] != self._width:
@@ -139,12 +157,17 @@ class ShardStore:
                 f"{path}: shard has shape {rows.shape} but the manifest "
                 f"payload_columns {self.manifest['payload_columns']!r} "
                 f"require {self._width} columns")
-        self.shard_reads += 1
-        entry = [rows, None]
-        self._cache[index] = entry
-        if len(self._cache) > self.cache_shards:
-            self._cache.popitem(last=False)
-        return entry
+        with self._lock:
+            self.shard_reads += 1
+            cached = self._cache.get(index)
+            if cached is not None:
+                self._cache.move_to_end(index)
+                return cached
+            entry = [rows, None]
+            self._cache[index] = entry
+            if len(self._cache) > self.cache_shards:
+                self._cache.popitem(last=False)
+            return entry
 
     def _shard(self, index: int) -> np.ndarray:
         """Decoded ``(m, 2 + k)`` row array of one shard, through the LRU
@@ -156,14 +179,44 @@ class ShardStore:
         """Sorted encoded ``src · n + dst`` keys of one shard, cached with the
         decoded edges so repeated degree queries stay shard-size-independent."""
         entry = self._entry(index)
-        if entry[1] is None:
+        keys = entry[1]
+        if keys is None:
             edges = entry[0]
-            entry[1] = edges[:, 0] * np.int64(self.n_vertices) + edges[:, 1]
-        return entry[1]
+            keys = edges[:, 0] * np.int64(self.n_vertices) + edges[:, 1]
+            # Plain slot assignment: racing threads compute identical arrays,
+            # so last-writer-wins is safe and needs no lock round-trip.
+            entry[1] = keys
+        return keys
 
     def clear_cache(self) -> None:
         """Drop every decoded shard (counters are kept)."""
-        self._cache.clear()
+        with self._lock:
+            self._cache.clear()
+
+    def stats(self) -> dict:
+        """Atomic snapshot of the cache counters and occupancy.
+
+        The serving layer (:mod:`repro.serve`) exposes this verbatim through
+        its ``stats`` request, so the keys are part of the wire surface:
+        ``shard_reads`` (files decoded from disk), ``cache_hits`` (queries
+        served from the decoded-shard LRU), ``cached_shards`` (current
+        occupancy), ``cache_shards`` (capacity) and ``n_shards``.
+        """
+        with self._lock:
+            return {
+                "shard_reads": self.shard_reads,
+                "cache_hits": self.cache_hits,
+                "cached_shards": len(self._cache),
+                "cache_shards": self.cache_shards,
+                "n_shards": self.n_shards,
+            }
+
+    def reset_stats(self) -> None:
+        """Zero ``shard_reads`` / ``cache_hits`` (decoded shards stay cached),
+        so a measurement window can start from a warm cache."""
+        with self._lock:
+            self.shard_reads = 0
+            self.cache_hits = 0
 
     def _overlapping(self, lo: int, hi_inclusive: int) -> Tuple[int, int]:
         """Half-open shard-index range whose vertex ranges intersect

@@ -1,0 +1,606 @@
+"""Tests for the asyncio edge-query service (repro.serve).
+
+Four layers of coverage:
+
+* the wire protocol (framing, size caps, malformed bodies, error frames);
+* the request coalescer (batching, error isolation, max-batch splitting);
+* served-vs-in-process equivalence — every query type answered over the
+  socket must equal the local :class:`~repro.store.ShardStore` answer, both
+  single-threaded and under many concurrent client threads hammering one
+  shared store;
+* the failure paths the server must survive per-connection: malformed
+  frames, oversized requests, disconnects mid-frame, version mismatches,
+  and bad arguments — none of which may take the server (or another
+  client's connection) down.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import re
+import socket
+import struct
+import subprocess
+import sys
+import threading
+from concurrent.futures import ThreadPoolExecutor
+
+import numpy as np
+import pytest
+
+from repro import generators
+from repro.core import KroneckerGraph
+from repro.graphs import NpyShardSink
+from repro.parallel import distributed_generate
+from repro.serve import (
+    PROTOCOL_VERSION,
+    ProtocolError,
+    QueryClient,
+    ServerError,
+    ThreadedServer,
+    protocol,
+)
+from repro.serve.server import _Coalescer
+from repro.store import ShardStore, compact_shards
+
+PAYLOAD = ("triangles", "trussness")
+
+
+# ----------------------------------------------------------------------
+# One compacted payload store + one running server for the whole module
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def factors():
+    factor_a = generators.webgraph_like(40, edges_per_vertex=3,
+                                        triad_probability=0.6, seed=3)
+    factor_b = generators.triangle_constrained_pa(15, seed=13)
+    return factor_a, factor_b
+
+
+@pytest.fixture(scope="module")
+def product(factors):
+    return KroneckerGraph(*factors)
+
+
+@pytest.fixture(scope="module")
+def store_dir(tmp_path_factory, factors, product):
+    tmp = tmp_path_factory.mktemp("serve-store")
+    sink = NpyShardSink(tmp / "spill", name=product.name,
+                        n_vertices=product.n_vertices,
+                        payload_columns=PAYLOAD)
+    distributed_generate(*factors, 4, streaming=True, a_edges_per_block=8,
+                         sink=sink, payload_columns=PAYLOAD)
+    compact_shards(tmp / "spill", tmp / "store", target_shard_edges=1200)
+    return tmp / "store"
+
+
+@pytest.fixture(scope="module")
+def local_store(store_dir):
+    """A reference in-process store, separate from the served instance."""
+    return ShardStore(store_dir, cache_shards=8)
+
+
+@pytest.fixture(scope="module")
+def server(store_dir):
+    with ThreadedServer(store_dir, cache_shards=8) as handle:
+        yield handle
+
+
+@pytest.fixture
+def client(server):
+    with QueryClient(server.host, server.port) as c:
+        yield c
+
+
+def _raw_socket(server):
+    return socket.create_connection((server.host, server.port), timeout=10)
+
+
+# ----------------------------------------------------------------------
+# Wire protocol
+# ----------------------------------------------------------------------
+class TestProtocol:
+    def test_frame_roundtrip(self):
+        obj = {"op": "degree", "args": {"vertex": 7}, "v": 1}
+        frame = protocol.encode_frame(obj)
+        length = struct.unpack(">I", frame[:4])[0]
+        assert length == len(frame) - 4
+        assert protocol.decode_body(frame[4:]) == obj
+
+    def test_encode_rejects_oversized(self):
+        with pytest.raises(ProtocolError, match="exceeds"):
+            protocol.encode_frame({"blob": "x" * 100}, max_bytes=50)
+
+    def test_decode_rejects_bad_json(self):
+        with pytest.raises(ProtocolError, match="not valid JSON"):
+            protocol.decode_body(b"{nope")
+
+    def test_decode_rejects_non_object(self):
+        with pytest.raises(ProtocolError, match="JSON object"):
+            protocol.decode_body(b"[1, 2, 3]")
+
+    def test_error_frame_roundtrips_store_exceptions(self):
+        frame = protocol.error_frame(ValueError("edge (1, 2) is not stored"))
+        assert frame == {"ok": False, "error": {
+            "kind": "ValueError", "message": "edge (1, 2) is not stored"}}
+        with pytest.raises(ValueError, match=r"edge \(1, 2\) is not stored"):
+            protocol.raise_error(frame["error"])
+
+    def test_unknown_error_kind_becomes_server_error(self):
+        with pytest.raises(ServerError, match="InternalError: boom"):
+            protocol.raise_error({"kind": "InternalError", "message": "boom"})
+
+    def test_read_frame_clean_eof_returns_none(self, server):
+        with _raw_socket(server) as sock:
+            pass  # never write anything; the server just sees EOF
+        # Client side of the same rule: a socket the peer closed returns None.
+        left, right = socket.socketpair()
+        right.close()
+        assert protocol.read_frame(left) is None
+        left.close()
+
+    def test_read_frame_mid_frame_eof_raises(self):
+        left, right = socket.socketpair()
+        right.sendall(struct.pack(">I", 100) + b"only a little")
+        right.close()
+        with pytest.raises(ProtocolError, match="mid-frame"):
+            protocol.read_frame(left)
+        left.close()
+
+    def test_read_frame_rejects_oversized_header(self):
+        left, right = socket.socketpair()
+        right.sendall(struct.pack(">I", 1 << 29))
+        with pytest.raises(ProtocolError, match="exceeds"):
+            protocol.read_frame(left, max_bytes=1 << 20)
+        left.close()
+        right.close()
+
+
+# ----------------------------------------------------------------------
+# Request coalescer
+# ----------------------------------------------------------------------
+class TestCoalescer:
+    def _run(self, coro):
+        return asyncio.run(coro)
+
+    def test_concurrent_submissions_fold_into_one_batch(self):
+        async def main():
+            loop = asyncio.get_running_loop()
+            calls = []
+
+            def flush(values):
+                calls.append(list(values))
+                return [v * 2 for v in values]
+
+            with ThreadPoolExecutor(2) as executor:
+                coalescer = _Coalescer(loop, executor, flush)
+                futures = [coalescer.submit(i) for i in range(10)]
+                results = await asyncio.gather(*futures)
+            assert results == [i * 2 for i in range(10)]
+            assert calls == [list(range(10))]
+            assert coalescer.stats() == {"requests": 10, "batches": 1,
+                                         "max_batch": 10}
+        self._run(main())
+
+    def test_max_batch_splits_flushes(self):
+        async def main():
+            loop = asyncio.get_running_loop()
+            calls = []
+
+            def flush(values):
+                calls.append(len(values))
+                return values
+
+            with ThreadPoolExecutor(2) as executor:
+                coalescer = _Coalescer(loop, executor, flush, max_batch=4)
+                futures = [coalescer.submit(i) for i in range(10)]
+                await asyncio.gather(*futures)
+            assert calls == [4, 4, 2]
+        self._run(main())
+
+    def test_flush_failure_fails_every_future_in_batch(self):
+        async def main():
+            loop = asyncio.get_running_loop()
+
+            def flush(values):
+                raise RuntimeError("batch kernel exploded")
+
+            with ThreadPoolExecutor(2) as executor:
+                coalescer = _Coalescer(loop, executor, flush)
+                futures = [coalescer.submit(i) for i in range(3)]
+                results = await asyncio.gather(*futures, return_exceptions=True)
+            assert all(isinstance(r, RuntimeError) for r in results)
+        self._run(main())
+
+
+# ----------------------------------------------------------------------
+# Served answers equal the in-process store
+# ----------------------------------------------------------------------
+class TestServedEquivalence:
+    def test_hello_describes_store(self, client, local_store):
+        info = client.hello()
+        assert info["protocol"] == PROTOCOL_VERSION
+        assert info["store"]["n_vertices"] == local_store.n_vertices
+        assert info["store"]["total_edges"] == local_store.total_edges
+        assert info["store"]["payload_columns"] == list(PAYLOAD)
+        assert "degree" in info["ops"] and "stats" in info["ops"]
+
+    def test_degree_and_degrees(self, client, local_store, product):
+        for v in (0, 37, product.n_vertices - 1):
+            assert client.degree(v) == local_store.degree(v)
+        vs = np.arange(0, product.n_vertices, 5)
+        served = client.degrees(vs)
+        assert served.dtype == np.int64
+        assert np.array_equal(served, local_store.degrees(vs))
+
+    def test_neighbors(self, client, local_store, rng):
+        for v in map(int, rng.choice(local_store.n_vertices, 12,
+                                     replace=False)):
+            served = client.neighbors(v)
+            assert served.dtype == np.int64
+            assert np.array_equal(served, local_store.neighbors(v))
+
+    def test_neighbors_with_payload(self, client, local_store):
+        v = 37
+        ids, payload = client.neighbors_with_payload(v)
+        rows = local_store.edges_for_sources([v], with_payload=True)
+        rows = rows[rows[:, 1] != v]
+        assert np.array_equal(ids, rows[:, 1])
+        for offset, name in enumerate(PAYLOAD):
+            assert payload[name].dtype == np.int64
+            assert np.array_equal(payload[name], rows[:, 2 + offset])
+
+    def test_edges_in_range(self, client, local_store):
+        n = local_store.n_vertices
+        for lo, hi, with_payload in ((0, n, False), (0, n, True),
+                                     (n // 4, n // 2, True), (5, 5, False)):
+            served = client.edges_in_range(lo, hi, with_payload=with_payload)
+            local = local_store.edges_in_range(lo, hi,
+                                               with_payload=with_payload)
+            assert served.dtype == local.dtype == np.int64
+            assert served.shape == local.shape
+            assert np.array_equal(served, local)
+
+    def test_egonet(self, client, local_store, rng):
+        for v in map(int, rng.choice(local_store.n_vertices, 8,
+                                     replace=False)):
+            served = client.egonet(v)
+            local = local_store.egonet(v)
+            assert np.array_equal(served.vertices, local.vertices)
+            assert (served.graph.adjacency != local.graph.adjacency).nnz == 0
+            assert served.graph.name == local.graph.name
+            assert served.degree_of_center() == local.degree_of_center()
+            assert served.triangles_at_center() == local.triangles_at_center()
+
+    def test_egonet_with_payload(self, client, local_store):
+        served_ego, served_rows = client.egonet(37, with_payload=True)
+        local_ego, local_rows = local_store.egonet(37, with_payload=True)
+        assert np.array_equal(served_ego.vertices, local_ego.vertices)
+        assert served_rows.dtype == np.int64
+        assert np.array_equal(served_rows, local_rows)
+
+    def test_subgraph(self, client, local_store, rng):
+        selection = [int(v) for v in
+                     rng.choice(local_store.n_vertices, 15, replace=False)]
+        served = client.subgraph(selection)
+        local = local_store.subgraph(selection)
+        assert (served.adjacency != local.adjacency).nnz == 0
+        assert served.name == local.name
+
+    def test_subgraph_with_payload(self, client, local_store):
+        selection = [5, 3, 99, 37, 200]
+        served, served_rows = client.subgraph(selection, with_payload=True)
+        local, local_rows = local_store.subgraph(selection, with_payload=True)
+        assert (served.adjacency != local.adjacency).nnz == 0
+        assert np.array_equal(served_rows, local_rows)
+
+    def test_edge_payloads(self, client, local_store):
+        rows = local_store.edges_in_range(0, local_store.n_vertices)
+        probe = rows[:: max(1, rows.shape[0] // 32)]
+        served = client.edge_payloads(probe[:, 0], probe[:, 1])
+        local = local_store.edge_payloads(probe[:, 0], probe[:, 1])
+        assert served.dtype == np.int64
+        assert np.array_equal(served, local)
+        p, q = map(int, rows[0])
+        assert client.edge_payload(p, q) == local_store.edge_payload(p, q)
+
+    def test_served_errors_match_local_messages(self, client, local_store):
+        with pytest.raises(IndexError, match="out of range"):
+            client.degree(10 ** 9)
+        with pytest.raises(ValueError, match="not stored in this shard store"):
+            client.edge_payloads([0], [0])
+        with pytest.raises(ValueError, match="duplicates"):
+            client.subgraph([1, 1, 2])
+        # The connection survives dispatch-level errors: same client, next
+        # request answered normally.
+        assert client.degree(37) == local_store.degree(37)
+
+    def test_stats_surface(self, client):
+        client.degree(0)
+        stats = client.stats()
+        assert stats["query"] == "stats"
+        server_stats = stats["server"]
+        assert server_stats["requests"]["degree"] >= 1
+        assert server_stats["connections_total"] >= 1
+        assert "degree" in server_stats["latency_us"]
+        histogram = server_stats["latency_us"]["degree"]
+        assert histogram["count"] == server_stats["requests"]["degree"]
+        assert sum(histogram["buckets"].values()) == histogram["count"]
+        assert server_stats["coalesced"]["degree"]["requests"] >= 1
+        store_stats = stats["store"]
+        assert store_stats["n_shards"] >= 1
+        assert store_stats["shard_reads"] >= 1
+
+
+# ----------------------------------------------------------------------
+# Concurrent clients against one shared store
+# ----------------------------------------------------------------------
+class TestConcurrentServing:
+    N_THREADS = 10
+    N_ROUNDS = 6
+
+    def test_mixed_queries_from_many_threads(self, server, store_dir, product):
+        """The acceptance bar: byte-identical answers under ≥ 8 concurrent
+        clients, all served by ONE store whose LRU is shared."""
+        reference = ShardStore(store_dir, cache_shards=8)
+        n = reference.n_vertices
+        rows = reference.edges_in_range(0, n, with_payload=True)
+        rng = np.random.default_rng(17)
+        vertices = rng.choice(n, self.N_THREADS * self.N_ROUNDS)
+        expected = {
+            "degrees": reference.degrees(np.arange(0, n, 11)),
+            "range": reference.edges_in_range(n // 4, n // 2,
+                                              with_payload=True),
+        }
+        store = server.server.store
+        store.reset_stats()
+        failures = []
+
+        def worker(thread_index: int) -> None:
+            try:
+                with QueryClient(server.host, server.port) as c:
+                    for round_index in range(self.N_ROUNDS):
+                        v = int(vertices[thread_index * self.N_ROUNDS
+                                         + round_index])
+                        assert c.degree(v) == reference.degree(v)
+                        assert np.array_equal(c.neighbors(v),
+                                              reference.neighbors(v))
+                        assert np.array_equal(
+                            c.degrees(np.arange(0, n, 11)),
+                            expected["degrees"])
+                        served_range = c.edges_in_range(
+                            n // 4, n // 2, with_payload=True)
+                        assert served_range.dtype == np.int64
+                        assert np.array_equal(served_range,
+                                              expected["range"])
+                        ego_served = c.egonet(v)
+                        ego_local = reference.egonet(v)
+                        assert np.array_equal(ego_served.vertices,
+                                              ego_local.vertices)
+                        assert (ego_served.triangles_at_center()
+                                == ego_local.triangles_at_center())
+                        probe = rows[(thread_index * 7 + round_index)
+                                     % rows.shape[0]]
+                        assert c.edge_payload(int(probe[0]), int(probe[1])) \
+                            == reference.edge_payload(int(probe[0]),
+                                                      int(probe[1]))
+            except Exception as exc:  # surfaced after join
+                failures.append((thread_index, exc))
+
+        threads = [threading.Thread(target=worker, args=(i,))
+                   for i in range(self.N_THREADS)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=120)
+        assert not failures, failures[:3]
+
+        # One shared LRU served everyone: hits accumulated on the single
+        # store instance (shard_reads may legitimately be 0 here — earlier
+        # tests already pulled every shard into the shared cache).
+        stats = store.stats()
+        assert stats["cache_hits"] > 0
+
+
+# ----------------------------------------------------------------------
+# Failure paths: the server survives every bad client
+# ----------------------------------------------------------------------
+class TestFailurePaths:
+    def _assert_server_alive(self, server):
+        with QueryClient(server.host, server.port) as probe:
+            assert probe.degree(0) >= 0
+
+    def test_malformed_frame_gets_error_then_close(self, server):
+        with _raw_socket(server) as sock:
+            body = b"this is not json"
+            sock.sendall(struct.pack(">I", len(body)) + body)
+            response = protocol.read_frame(sock)
+            assert response["ok"] is False
+            assert response["error"]["kind"] == "ProtocolError"
+            assert "JSON" in response["error"]["message"]
+            # The stream is untrusted now: the server closes it.
+            assert sock.recv(1) == b""
+        self._assert_server_alive(server)
+
+    def test_oversized_request_refused_without_allocation(self, server):
+        with _raw_socket(server) as sock:
+            sock.sendall(struct.pack(">I", (64 << 20)))  # 64 MiB claim
+            response = protocol.read_frame(sock)
+            assert response["ok"] is False
+            assert response["error"]["kind"] == "ProtocolError"
+            assert "exceeds" in response["error"]["message"]
+            assert sock.recv(1) == b""
+        self._assert_server_alive(server)
+
+    def test_disconnect_mid_frame_leaves_server_up(self, server):
+        sock = _raw_socket(server)
+        sock.sendall(struct.pack(">I", 4096) + b"partial")
+        sock.close()  # vanish mid-request
+        self._assert_server_alive(server)
+
+    def test_disconnect_mid_header_leaves_server_up(self, server):
+        sock = _raw_socket(server)
+        sock.sendall(b"\x00\x00")  # half a length prefix
+        sock.close()
+        self._assert_server_alive(server)
+
+    def test_version_mismatch_keeps_connection_open(self, server):
+        with _raw_socket(server) as sock:
+            protocol.write_frame(sock, {"v": 99, "op": "degree",
+                                        "args": {"vertex": 0}})
+            response = protocol.read_frame(sock)
+            assert response["ok"] is False
+            assert "version" in response["error"]["message"]
+            # Framing was intact, so the same connection still answers.
+            protocol.write_frame(sock, protocol.request_frame(
+                "degree", {"vertex": 0}))
+            assert protocol.read_frame(sock)["ok"] is True
+
+    def test_unknown_op_and_bad_args_are_frames_not_disconnects(self, server):
+        with _raw_socket(server) as sock:
+            protocol.write_frame(sock, protocol.request_frame("nonsense"))
+            response = protocol.read_frame(sock)
+            assert response["ok"] is False
+            assert "unknown op" in response["error"]["message"]
+            protocol.write_frame(sock, protocol.request_frame("degree", {}))
+            response = protocol.read_frame(sock)
+            assert response["ok"] is False
+            assert "missing 'vertex'" in response["error"]["message"]
+            protocol.write_frame(sock, protocol.request_frame(
+                "degree", {"vertex": "seven"}))
+            response = protocol.read_frame(sock)
+            assert response["ok"] is False
+            assert "must be an integer" in response["error"]["message"]
+            # Still alive on the very same connection.
+            protocol.write_frame(sock, protocol.request_frame(
+                "degree", {"vertex": 0}))
+            assert protocol.read_frame(sock)["ok"] is True
+
+    def test_threaded_server_surfaces_startup_errors(self, tmp_path,
+                                                     store_dir):
+        """A bad store directory or bad option must raise from start(), not
+        hang the caller on the ready event while the server thread dies."""
+        with pytest.raises(FileNotFoundError):
+            ThreadedServer(tmp_path / "no-such-store").start()
+        with pytest.raises(ValueError, match="cache_shards"):
+            ThreadedServer(store_dir, cache_shards=0).start()
+
+    def test_shutdown_lets_in_flight_requests_finish(self, store_dir):
+        """Graceful stop: a request being served when another client asks
+        for shutdown still gets its full response.  The served store is
+        hooked so the shutdown provably lands while the query is in
+        flight — no scheduling luck involved."""
+        import time as time_mod
+
+        with ThreadedServer(store_dir, cache_shards=8) as fresh:
+            store = fresh.server.store
+            in_flight = threading.Event()
+            original = store.edges_in_range
+
+            def slow_edges_in_range(*args, **kwargs):
+                in_flight.set()
+                time_mod.sleep(0.3)  # hold the request open past the shutdown
+                return original(*args, **kwargs)
+
+            store.edges_in_range = slow_edges_in_range
+            results = {}
+
+            def big_query():
+                with QueryClient(fresh.host, fresh.port) as c:
+                    results["rows"] = c.edges_in_range(0, c.n_vertices,
+                                                       with_payload=True)
+
+            worker = threading.Thread(target=big_query)
+            worker.start()
+            assert in_flight.wait(timeout=30)
+            with QueryClient(fresh.host, fresh.port) as killer:
+                killer.shutdown_server()
+            worker.join(timeout=30)
+            assert not worker.is_alive()
+            assert results["rows"].shape[0] > 0
+
+    def test_one_bad_vertex_cannot_poison_a_coalesced_batch(self, server):
+        """Out-of-range scalars are rejected before coalescing, so an
+        innocent concurrent request never inherits the IndexError."""
+        results = []
+
+        def good():
+            with QueryClient(server.host, server.port) as c:
+                results.append(c.degree(0))
+
+        def bad():
+            with QueryClient(server.host, server.port) as c:
+                with pytest.raises(IndexError):
+                    c.degree(10 ** 9)
+
+        threads = [threading.Thread(target=t) for t in (good, bad) * 4]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=60)
+        assert len(results) == 4
+
+
+# ----------------------------------------------------------------------
+# CLI integration: query --connect and the serve subcommand
+# ----------------------------------------------------------------------
+class TestServeCli:
+    def test_query_connect_matches_local_json(self, server, store_dir,
+                                              capsys):
+        from repro import cli
+        for flags in (["--degree", "37"],
+                      ["--neighbors", "37", "--payload"],
+                      ["--egonet", "37", "--payload"],
+                      ["--range", "0", "100", "--limit", "5"]):
+            assert cli.main(["query", str(store_dir), "--json", *flags]) == 0
+            local = json.loads(capsys.readouterr().out)
+            assert cli.main(["query", "--connect", server.address,
+                             "--json", *flags]) == 0
+            remote = json.loads(capsys.readouterr().out)
+            # Cache counters legitimately differ between the two stores;
+            # every query-answer key must be identical.
+            local.pop("store")
+            remote.pop("store")
+            assert local == remote
+
+    def test_query_requires_exactly_one_source(self, store_dir, server):
+        from repro import cli
+        with pytest.raises(SystemExit, match="exactly one"):
+            cli.main(["query", "--degree", "3"])
+        with pytest.raises(SystemExit, match="exactly one"):
+            cli.main(["query", str(store_dir), "--connect", server.address,
+                      "--degree", "3"])
+
+    def test_serve_subcommand_end_to_end(self, store_dir):
+        """`repro-kron serve` in a real subprocess: binds an ephemeral port,
+        answers queries, stops gracefully on a shutdown request, and prints
+        the request/cache summary."""
+        env = dict(os.environ)
+        src = str((
+            __import__("pathlib").Path(__file__).resolve().parent.parent
+            / "src"))
+        env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+        process = subprocess.Popen(
+            [sys.executable, "-u", "-c",
+             "from repro.cli import main; import sys; "
+             "sys.exit(main(sys.argv[1:]))",
+             "serve", str(store_dir), "--port", "0"],
+            env=env, stdout=subprocess.PIPE, stderr=subprocess.PIPE,
+            text=True)
+        try:
+            banner = process.stdout.readline()
+            match = re.search(r"on 127\.0\.0\.1:(\d+)", banner)
+            assert match, banner
+            with QueryClient("127.0.0.1", int(match.group(1))) as c:
+                assert c.degree(37) >= 0
+                assert c.stats()["server"]["requests"]["degree"] == 1
+                c.shutdown_server()
+            stdout, stderr = process.communicate(timeout=30)
+        finally:
+            if process.poll() is None:
+                process.kill()
+                process.communicate()
+        assert process.returncode == 0, stderr
+        assert "served" in stdout and "requests" in stdout
