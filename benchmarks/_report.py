@@ -1,6 +1,21 @@
-"""Small reporting helpers shared by the benchmark modules."""
+"""Small reporting helpers shared by the benchmark modules.
+
+Besides the console banner, full-mode benchmarks record their headline
+numbers as machine-readable ``BENCH_<name>.json`` files at the repo root via
+:func:`emit_bench_json` — throughput, problem sizes, and the git revision —
+so the perf trajectory across PRs can be diffed without re-parsing console
+logs.  Smoke (tier-1) runs never write them: CI timing is noise.
+"""
 
 from __future__ import annotations
+
+import json
+import subprocess
+from pathlib import Path
+
+#: Repo root — ``BENCH_*.json`` artifacts land here so every bench's record
+#: is one predictable glob away.
+_REPO_ROOT = Path(__file__).resolve().parent.parent
 
 
 def print_section(title: str) -> None:
@@ -9,3 +24,30 @@ def print_section(title: str) -> None:
     print("=" * 72)
     print(title)
     print("=" * 72)
+
+
+def _git_rev() -> str:
+    """Short revision of the working tree, ``"unknown"`` outside git."""
+    try:
+        proc = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            cwd=_REPO_ROOT, capture_output=True, text=True, timeout=10)
+    except (OSError, subprocess.TimeoutExpired):
+        return "unknown"
+    if proc.returncode != 0:
+        return "unknown"
+    return proc.stdout.strip() or "unknown"
+
+
+def emit_bench_json(name: str, payload: dict) -> Path:
+    """Write ``BENCH_<name>.json`` at the repo root and return its path.
+
+    *payload* carries the bench's own numbers (throughput, sizes); the
+    helper stamps the bench name and the current git revision so a series
+    of these files reads as a perf trajectory over commits.  Callers emit
+    only in full (``-m slow``) mode — smoke timings are CI noise.
+    """
+    record = {"bench": str(name), "git_rev": _git_rev(), **payload}
+    path = _REPO_ROOT / f"BENCH_{name}.json"
+    path.write_text(json.dumps(record, indent=2, sort_keys=True) + "\n")
+    return path

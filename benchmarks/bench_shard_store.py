@@ -37,7 +37,7 @@ from repro.graphs import NpyShardSink
 from repro.graphs.egonet import egonet
 from repro.parallel import distributed_generate
 from repro.store import AsyncShardSink, ShardStore, compact_shards
-from benchmarks._report import print_section
+from benchmarks._report import emit_bench_json, print_section
 
 N_RANKS = 8
 
@@ -166,11 +166,31 @@ def test_shard_store_throughput_full(tmp_path):
 
     degrees = store.out_degrees(np.arange(product.n_vertices))
     assert int(degrees.sum()) == product.nnz
+    stats = store.stats()
+    # The zero-copy decode convention: a warm mmap store holds mappings,
+    # not private row copies.
+    assert stats["mmap"] and stats["resident_bytes"] == 0
+    assert stats["mapped_bytes"] > 0
     print(f"  queries: 64 egonets cold {cold_time * 1e3:.1f} ms "
           f"({reads_cold} shard reads), warm {warm_time * 1e3:.1f} ms "
           f"({store.cache_hits} cache hits)")
+    print(f"  cache residency: {stats['mapped_bytes'] / 1e6:.1f} MB mapped, "
+          f"{stats['resident_bytes']} bytes copied (mmap decode)")
     print(f"  async/sync spill wall-time ratio: {times[1] / times[0]:.2f}×")
     # Correctness (byte-identical stores) is asserted above; the timing bound
     # only guards against pathological overhead, loose enough for noisy CI.
     assert times[1] <= times[0] * 10, \
         "async sink overhead blew past 10× the synchronous spill"
+
+    emit_bench_json("shard_store", {
+        "mode": "full",
+        "product_edges": int(product.nnz),
+        "n_shards": int(store.n_shards),
+        "compact_edges_per_s": round(manifest["total_edges"] / times[2], 1),
+        "spill_sync_s": round(times[0], 4),
+        "spill_async_s": round(times[1], 4),
+        "egonets_cold_ms": round(cold_time * 1e3, 2),
+        "egonets_warm_ms": round(warm_time * 1e3, 2),
+        "mapped_bytes_warm": int(stats["mapped_bytes"]),
+        "resident_bytes_warm": int(stats["resident_bytes"]),
+    })

@@ -84,8 +84,9 @@ from repro.graphs import (
     write_edge_shards,
 )
 from repro.parallel import distributed_generate, stream_edges_to_file
-from repro.serve import QueryClient, ShardStoreServer
+from repro.serve import PROTOCOL_VERSION, QueryClient, ShardStoreServer
 from repro.serve.shaping import (
+    range_shape,
     shape_degree,
     shape_egonet,
     shape_neighbors,
@@ -208,6 +209,13 @@ def build_parser() -> argparse.ArgumentParser:
     query.add_argument("--connect", type=str, default=None, metavar="HOST:PORT",
                        help="query a running `repro-kron serve` instance "
                             "instead of a local store directory")
+    query.add_argument("--binary", action="store_true",
+                       help="fetch --range rows over the protocol-v2 binary "
+                            "bulk plane (raw bytes, no JSON row lists); "
+                            "requires --connect, output is identical")
+    query.add_argument("--timeout", type=float, default=30.0,
+                       help="socket timeout in seconds for --connect "
+                            "(default 30; guards against a hung server)")
     what = query.add_mutually_exclusive_group(required=True)
     what.add_argument("--degree", type=int, metavar="V",
                       help="degree of product vertex V")
@@ -496,12 +504,25 @@ def _query_local(args: argparse.Namespace) -> dict:
 
 
 def _query_remote(args: argparse.Namespace) -> dict:
-    with QueryClient.from_address(args.connect) as client:
+    with QueryClient.from_address(args.connect,
+                                  timeout=args.timeout) as client:
         info = client.hello()["store"]
         if args.payload and not info["payload_columns"]:
             raise _no_payload_exit(args.connect)
-        op, wire_args = _wire_request(args)
-        result = client.request(op, wire_args)
+        if args.binary:
+            # Bulk plane: fetch the raw rows, then assemble the exact
+            # display shape the JSON plane would have produced — shared
+            # range_shape() is the one definition of that shape.
+            lo, hi = args.range
+            rows = client.edges_in_range(lo, hi, with_payload=args.payload,
+                                         binary=True)
+            columns = ["src", "dst"]
+            if args.payload:
+                columns += list(info["payload_columns"])
+            result = range_shape(lo, hi, rows, columns, limit=args.limit)
+        else:
+            op, wire_args = _wire_request(args)
+            result = client.request(op, wire_args)
         counters = client.stats()["store"]
     result["store"] = {
         "n_shards": counters["n_shards"],
@@ -520,6 +541,10 @@ def _cmd_query(args: argparse.Namespace) -> int:
         raise SystemExit(
             "query needs exactly one of a store directory or --connect "
             "HOST:PORT")
+    if args.binary and (args.connect is None or args.range is None):
+        raise SystemExit(
+            "--binary is the wire bulk plane: it requires --connect and "
+            "--range")
     result = _query_remote(args) if args.connect else _query_local(args)
     if args.as_json:
         print(json.dumps(result, indent=2, sort_keys=True))
@@ -548,7 +573,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         await server.start()
         print(f"serving {args.store} on {server.host}:{server.port} "
               f"({store.n_shards} shards, {store.total_edges:,} edges, "
-              f"cache {args.cache}, {args.threads} decode threads)",
+              f"cache {args.cache}, {args.threads} decode threads, "
+              f"protocol v{PROTOCOL_VERSION} with binary bulk frames)",
               flush=True)
         # serve_until_stopped tears down gracefully even when Ctrl-C
         # cancels it, so the stats below are final either way.

@@ -430,16 +430,22 @@ def read_shard_manifest(directory: PathLike) -> dict:
     return manifest
 
 
-def iter_edge_shards(directory: PathLike):
+def iter_edge_shards(directory: PathLike, *, mmap_mode: Optional[str] = None):
     """Yield the ``(m, 2 + k)`` edge arrays of a shard directory in manifest
     order, where ``k`` is the number of extra ``payload_columns``; a shard
     file whose width disagrees with the manifest raises a :class:`ValueError`
-    naming the file."""
+    naming the file.
+
+    ``mmap_mode="r"`` yields read-only memory maps instead of private copies
+    — the right mode for read-only sweeps and for feeding compaction, where
+    the consumer makes its own copy anyway.  The default (``None``) keeps the
+    historical copy-per-shard behaviour for callers that mutate the blocks.
+    """
     directory = Path(directory)
     manifest = read_shard_manifest(directory)
     width = len(manifest["payload_columns"])
     for shard in manifest["shards"]:
-        block = np.load(directory / shard["file"])
+        block = np.load(directory / shard["file"], mmap_mode=mmap_mode)
         if block.ndim != 2 or block.shape[1] != width:
             raise ValueError(
                 f"{directory / shard['file']}: shard has shape {block.shape} "
@@ -454,13 +460,14 @@ def load_edge_shards(directory: PathLike) -> np.ndarray:
     The reader-side inverse of the streamed spill; peak memory is the full
     output plus one shard, mirroring ``KroneckerGraph.edges``.  The first two
     columns are always ``(src, dst)``; any extra columns carry the manifest's
-    named per-edge payloads.
+    named per-edge payloads.  Shards are memory-mapped while copying into the
+    preallocated output, so no shard is ever held as a second private copy.
     """
     manifest = read_shard_manifest(Path(directory))
     total = int(manifest["total_edges"])
     out = np.empty((total, len(manifest["payload_columns"])), dtype=np.int64)
     filled = 0
-    for block in iter_edge_shards(directory):
+    for block in iter_edge_shards(directory, mmap_mode="r"):
         out[filled:filled + block.shape[0]] = block
         filled += block.shape[0]
     return out

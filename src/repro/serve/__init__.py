@@ -7,7 +7,9 @@ store behind a socket so consumers no longer run in-process:
 
 * :mod:`repro.serve.protocol` — length-prefixed JSON frames, one response
   per request, error frames carrying the store's exception messages
-  verbatim, and the version rules recorded in the ROADMAP;
+  verbatim, the version rules recorded in the ROADMAP, and (v2) the opt-in
+  binary bulk frame that ships ``edges_in_range`` rows as raw mmapped
+  bytes instead of JSON lists;
 * :mod:`repro.serve.shaping` — the single definition of every query's JSON
   answer shape, shared with the CLI's ``query --json`` so the two surfaces
   cannot drift;
@@ -31,6 +33,7 @@ from repro.serve.client import QueryClient
 from repro.serve.protocol import (
     MAX_FRAME_BYTES,
     PROTOCOL_VERSION,
+    SUPPORTED_PROTOCOL_VERSIONS,
     ProtocolError,
     ServerError,
 )
@@ -39,6 +42,7 @@ from repro.serve.server import ShardStoreServer, ThreadedServer
 __all__ = [
     "MAX_FRAME_BYTES",
     "PROTOCOL_VERSION",
+    "SUPPORTED_PROTOCOL_VERSIONS",
     "ProtocolError",
     "QueryClient",
     "ServerError",

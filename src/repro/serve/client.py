@@ -15,6 +15,16 @@ message verbatim (a served ``edge_payloads`` miss raises the same
 reused across requests, and re-opened once per request if the server closed
 it in between; batch helpers (:meth:`degrees`, :meth:`edge_payloads`) follow
 the repo's array-in / array-out conventions.
+
+Bulk fetches can ride the protocol-v2 **binary plane**:
+``edges_in_range(lo, hi, binary=True)`` asks the server for a raw-rows
+response — JSON control frame plus one binary frame — and rebuilds the
+exact ``int64`` array from the raw bytes (one ``recv_into`` pass into a
+mutable buffer, one ``np.frombuffer`` wrap; no per-row JSON decode).  The
+answer is byte-equal to the JSON plane's and to the in-process store's.
+Every socket operation honours the constructor *timeout*, and
+:meth:`connection_stats` reports connects, reconnect retries, and binary
+transfer volume for operational visibility.
 """
 
 from __future__ import annotations
@@ -27,7 +37,7 @@ import numpy as np
 from repro.graphs.adjacency import Graph
 from repro.graphs.egonet import Egonet
 from repro.serve import protocol
-from repro.serve.shaping import induced_adjacency
+from repro.serve.shaping import induced_adjacency, rows_from_binary
 
 __all__ = ["QueryClient"]
 
@@ -49,7 +59,10 @@ class QueryClient:
         Server address (``QueryClient.from_address("host:port")`` parses the
         CLI's ``--connect`` form).
     timeout:
-        Per-operation socket timeout in seconds (``None`` blocks forever).
+        Per-operation socket timeout in seconds (``None`` blocks forever —
+        opt-in only; the default keeps a hung server from blocking the
+        client indefinitely).  Applies to connect and to every send/recv,
+        including binary-frame bodies.
     """
 
     def __init__(self, host: str, port: int, *,
@@ -59,6 +72,11 @@ class QueryClient:
         self.timeout = timeout
         self._sock: Optional[socket.socket] = None
         self._store_info: Optional[dict] = None
+        self._connects = 0
+        self._reconnect_retries = 0
+        self._requests_sent = 0
+        self._binary_frames = 0
+        self._binary_bytes = 0
 
     @classmethod
     def from_address(cls, address: str, **kwargs) -> "QueryClient":
@@ -78,6 +96,7 @@ class QueryClient:
                                             timeout=self.timeout)
             sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
             self._sock = sock
+            self._connects += 1
         return self._sock
 
     def close(self) -> None:
@@ -104,10 +123,17 @@ class QueryClient:
         between requests (idle-timeout, restart); a failure on the fresh
         connection propagates.
         """
+        result, _ = self._request(op, args, binary=False)
+        return result
+
+    def _request(self, op: str, args: Optional[dict], *, binary: bool):
+        """Request plumbing shared by the JSON and binary planes: returns
+        ``(result, binary_buffer_or_None)`` with the retry-once-on-a-dead-
+        reused-connection behaviour of :meth:`request`."""
         frame = protocol.request_frame(op, args)
         reused = self._sock is not None
         try:
-            return self._roundtrip(frame)
+            return self._roundtrip(frame, binary=binary)
         except (BrokenPipeError, ConnectionResetError, ConnectionAbortedError):
             # Retry once, and only when a *reused* connection died (the
             # server dropped it between requests).  A server-*reported*
@@ -115,13 +141,30 @@ class QueryClient:
             # server already executed and refused that request.
             if not reused:
                 raise
-        return self._roundtrip(frame)
+            self._reconnect_retries += 1
+        return self._roundtrip(frame, binary=binary)
 
-    def _roundtrip(self, frame: dict) -> dict:
+    def _roundtrip(self, frame: dict, *, binary: bool = False):
         sock = self._connect()
+        buffer = None
+        self._requests_sent += 1
         try:
             protocol.write_frame(sock, frame)
             response = protocol.read_frame(sock)
+            if (binary and response is not None and response.get("ok")
+                    and isinstance(response.get("result"), dict)
+                    and "rows" in response["result"]):
+                # The control frame announced a binary follow-up; read it
+                # inside this try so a timeout or truncation mid-body drops
+                # the (desynchronized) socket like any transport failure.
+                buffer = protocol.read_binary_frame(sock)
+                announced = int(response["result"]["rows"]["nbytes"])
+                if len(buffer) != announced:
+                    raise protocol.ProtocolError(
+                        f"binary frame carried {len(buffer)} bytes but the "
+                        f"control frame announced {announced}")
+                self._binary_frames += 1
+                self._binary_bytes += len(buffer)
         except Exception:
             # Any transport-level failure — timeout mid-response included —
             # leaves the byte stream desynchronized: a later request could
@@ -136,9 +179,10 @@ class QueryClient:
                 "without answering")
         if not response.get("ok"):
             # One frame per request even on failure: the stream stays in
-            # sync, so the connection remains reusable.
+            # sync, so the connection remains reusable (no binary frame
+            # ever follows an error frame).
             protocol.raise_error(response.get("error", {}))
-        return response.get("result", {})
+        return response.get("result", {}), buffer
 
     # ------------------------------------------------------------------
     # Store metadata
@@ -185,12 +229,28 @@ class QueryClient:
         return np.asarray(result["neighbors"], dtype=np.int64), payload
 
     def edges_in_range(self, lo: int, hi: int, *,
-                       with_payload: bool = False) -> np.ndarray:
+                       with_payload: bool = False,
+                       binary: bool = False) -> np.ndarray:
         """All stored rows with source in ``[lo, hi)`` — the full answer;
-        the wire shape's ``limit`` is left unset."""
-        result = self.request("edges_in_range",
-                              {"lo": int(lo), "hi": int(hi),
-                               "with_payload": with_payload})
+        the wire shape's ``limit`` is left unset.
+
+        ``binary=True`` fetches the rows over the protocol-v2 bulk plane
+        (raw bytes, no JSON row lists) and returns the identical writable
+        ``int64`` array — same values, dtype, and shape as the JSON path
+        and the in-process store."""
+        args = {"lo": int(lo), "hi": int(hi), "with_payload": with_payload}
+        if binary:
+            args["binary"] = True
+            result, buffer = self._request("edges_in_range", args,
+                                           binary=True)
+            try:
+                return rows_from_binary(result["rows"], buffer)
+            except ValueError as exc:
+                # A descriptor/byte-count contradiction means the stream
+                # cannot be trusted; drop the socket before surfacing it.
+                self.close()
+                raise protocol.ProtocolError(str(exc)) from exc
+        result = self.request("edges_in_range", args)
         return _rows_array(result["edges"], len(result["columns"]))
 
     def egonet(self, v: int, *, with_payload: bool = False):
@@ -257,8 +317,24 @@ class QueryClient:
     # ------------------------------------------------------------------
     def stats(self) -> dict:
         """The server's ``stats`` answer (request counts, latency
-        histograms, coalescing, and store cache counters)."""
-        return self.request("stats")
+        histograms, coalescing, and store cache counters), with this
+        client's own :meth:`connection_stats` under ``"client"``."""
+        result = self.request("stats")
+        result["client"] = self.connection_stats()
+        return result
+
+    def connection_stats(self) -> dict:
+        """Local connection counters: sockets opened (``connects``),
+        transparent retries after a reused connection died
+        (``reconnect_retries``), requests written, and binary-plane
+        transfer volume."""
+        return {
+            "connects": self._connects,
+            "reconnect_retries": self._reconnect_retries,
+            "requests_sent": self._requests_sent,
+            "binary_frames": self._binary_frames,
+            "binary_bytes": self._binary_bytes,
+        }
 
     def shutdown_server(self) -> dict:
         """Ask the server to stop gracefully."""

@@ -3,9 +3,9 @@
 One frame = a 4-byte big-endian unsigned length followed by that many bytes
 of UTF-8 JSON encoding a single object.  Requests are::
 
-    {"v": 1, "op": "degree", "args": {"vertex": 12345}}
+    {"v": 2, "op": "degree", "args": {"vertex": 12345}}
 
-and every request gets exactly one response frame::
+and every request gets exactly one JSON response frame::
 
     {"ok": true,  "result": {...}}                      # success
     {"ok": false, "error": {"kind": "ValueError",       # failure
@@ -19,16 +19,36 @@ matching Python exception on the client side: a served
 ``store.edge_payloads`` miss raises the same :class:`ValueError` message a
 local call would.
 
+**Binary bulk plane (protocol v2).**  A v2 request may opt in to raw-rows
+transfer (``"binary": true`` in its ``args``).  The success response is then
+*two* frames: the usual JSON control frame, whose ``result`` carries a
+``"rows"`` descriptor ``{"shape": [m, w], "dtype": "int64", "nbytes": N}``,
+immediately followed by **one length-prefixed binary frame** — the same
+4-byte big-endian length header, but the body is the raw little-endian
+C-order array bytes (a ``memoryview`` of the server's mmapped shard rows,
+never a Python-list encode).  A binary frame follows a JSON frame *only*
+when that frame is a success whose ``result`` contains ``"rows"``; error
+responses are always a single JSON frame.  JSON stays the control and error
+plane.  v1 requests never receive a binary frame — a v1 request with
+``"binary": true`` is rejected with a ``ProtocolError`` frame (connection
+kept; the framing is intact).
+
 Framing rules (recorded in the ROADMAP's serving conventions):
 
-* ``v`` is :data:`PROTOCOL_VERSION`; a server rejects any other value with a
-  ``ProtocolError`` frame but keeps the connection (the framing is intact).
+* ``v`` must be in :data:`SUPPORTED_PROTOCOL_VERSIONS`; a server rejects any
+  other value with a ``ProtocolError`` frame but keeps the connection (the
+  framing is intact).  Clients stamp :data:`PROTOCOL_VERSION`, and discover
+  a server's ceiling via the ``hello`` op before relying on v2 features.
 * Unknown ``op`` / bad ``args`` → error frame, connection stays open.
 * A frame that cannot be trusted — oversized length prefix, non-JSON body,
-  non-object body — gets one ``ProtocolError`` frame and the connection is
+  non-object body, a binary frame whose length disagrees with its
+  descriptor's ``nbytes`` — gets one ``ProtocolError`` frame (server side)
+  or raises :class:`ProtocolError` (client side) and the connection is
   closed (the byte stream may be desynchronized).
 * Adding optional response keys or new ops does **not** bump the version;
-  changing an existing shape or the framing does.
+  changing an existing shape or the framing does.  v2 added a second frame
+  *after* an opt-in success response — a framing change — but v1 request
+  streams are served byte-identically to a v1 server.
 
 The sync helpers (:func:`write_frame` / :func:`read_frame`) serve the
 blocking client; the server uses :func:`read_frame_async` over an
@@ -46,6 +66,7 @@ from typing import Any, Optional
 
 __all__ = [
     "PROTOCOL_VERSION",
+    "SUPPORTED_PROTOCOL_VERSIONS",
     "MAX_FRAME_BYTES",
     "DEFAULT_MAX_REQUEST_BYTES",
     "ProtocolError",
@@ -59,11 +80,18 @@ __all__ = [
     "write_frame",
     "read_frame",
     "read_frame_async",
+    "binary_frame_header",
+    "read_binary_frame",
 ]
 
 #: Version stamped into every request; bumped only for incompatible shape or
 #: framing changes (additive keys and new ops ride on the same version).
-PROTOCOL_VERSION = 1
+#: v2 added the opt-in binary bulk frame after a success response.
+PROTOCOL_VERSION = 2
+
+#: Request versions the server accepts.  v1 requests are served exactly as a
+#: v1 server would serve them (single JSON frame per response, never binary).
+SUPPORTED_PROTOCOL_VERSIONS = (1, 2)
 
 _HEADER = struct.Struct(">I")
 
@@ -192,6 +220,54 @@ def read_frame(sock: socket.socket, *,
     if body is None:
         raise ProtocolError("connection closed between header and body")
     return decode_body(body)
+
+
+# ----------------------------------------------------------------------
+# Binary bulk frames (protocol v2)
+# ----------------------------------------------------------------------
+def binary_frame_header(nbytes: int, *,
+                        max_bytes: int = MAX_FRAME_BYTES) -> bytes:
+    """The 4-byte length header for a binary frame of *nbytes* body bytes.
+
+    The caller writes this header followed by the raw array bytes (a
+    ``memoryview`` of the mmapped rows on the server) — the body is never
+    copied into a Python-level frame buffer the way JSON bodies are.
+    """
+    if not 0 <= nbytes <= max_bytes:
+        raise ProtocolError(
+            f"binary frame of {nbytes} bytes exceeds the {max_bytes}-byte cap")
+    return _HEADER.pack(nbytes)
+
+
+def read_binary_frame(sock: socket.socket, *,
+                      max_bytes: int = MAX_FRAME_BYTES) -> bytearray:
+    """Read one binary frame from a blocking socket into a ``bytearray``.
+
+    Unlike :func:`read_frame` there is no clean-EOF case: a binary frame is
+    only ever read immediately after a control frame announced it, so EOF
+    anywhere is mid-response desynchronization and raises
+    :class:`ProtocolError`.  The mutable buffer lets the client wrap it with
+    ``np.frombuffer`` into a *writable* array without another copy.
+    """
+    header = _recv_exactly(sock, _HEADER.size)
+    if header is None:
+        raise ProtocolError("connection closed before announced binary frame")
+    (length,) = _HEADER.unpack(header)
+    if length > max_bytes:
+        raise ProtocolError(
+            f"incoming binary frame of {length} bytes exceeds the "
+            f"{max_bytes}-byte cap")
+    buf = bytearray(length)
+    view = memoryview(buf)
+    received = 0
+    while received < length:
+        n = sock.recv_into(view[received:], length - received)
+        if not n:
+            raise ProtocolError(
+                f"connection closed mid-binary-frame "
+                f"({received} of {length} bytes)")
+        received += n
+    return buf
 
 
 # ----------------------------------------------------------------------

@@ -8,6 +8,14 @@ by one :class:`ShardStoreServer`, which accepts length-prefixed JSON frames
 answers with the :mod:`repro.serve.shaping` shapes the CLI's
 ``query --json`` also emits.
 
+Protocol v2 adds the **binary bulk plane**: an ``edges_in_range`` request
+carrying ``"binary": true`` is answered with a JSON control frame (the
+``rows`` descriptor) followed by one binary frame whose body is a
+``memoryview`` over the store's decoded — normally memory-mapped — shard
+rows, so a warm bulk fetch moves bytes from the page cache to the socket
+without a Python-list encode or a private copy.  v1 requests are served
+exactly as before (single JSON frame, never binary).
+
 Design rules:
 
 * **One store, many connections.**  Every connection shares the server's
@@ -53,6 +61,7 @@ from repro.serve import protocol, shaping
 from repro.serve.protocol import (
     DEFAULT_MAX_REQUEST_BYTES,
     PROTOCOL_VERSION,
+    SUPPORTED_PROTOCOL_VERSIONS,
     ProtocolError,
 )
 from repro.store.query import ShardStore
@@ -226,6 +235,8 @@ class ShardStoreServer:
         self._error_count = 0
         self._protocol_errors = 0
         self._connections_total = 0
+        self._binary_frames = 0
+        self._binary_bytes = 0
         self._started_at: Optional[float] = None
         self._ops = {
             "hello": self._op_hello,
@@ -363,12 +374,33 @@ class ShardStoreServer:
                     break
                 if frame is None:  # clean EOF at a frame boundary
                     break
-                response = await self._dispatch(frame)
+                response, binary_rows = await self._dispatch(frame)
+                binary_parts = None
                 try:
                     payload = protocol.encode_frame(response)
+                    if binary_rows is not None:
+                        # Raw bytes over the decoded (mmapped) rows; the
+                        # byte-cast is required because a buffering transport
+                        # extends a bytearray with the view's *elements*.
+                        # (A zero-size ndarray view refuses the cast — an
+                        # empty range still gets its zero-length frame.)
+                        view = (memoryview(binary_rows).cast("B")
+                                if binary_rows.nbytes else memoryview(b""))
+                        binary_parts = (
+                            protocol.binary_frame_header(view.nbytes), view)
                 except ProtocolError as exc:  # response exceeded the cap
                     payload = protocol.encode_frame(protocol.error_frame(exc))
+                    binary_parts = None
+                if binary_parts is not None:
+                    # Count before the bytes can reach a client: a stats
+                    # read that races the send must never under-report a
+                    # frame the peer has already received.
+                    self._binary_frames += 1
+                    self._binary_bytes += binary_parts[1].nbytes
                 writer.write(payload)
+                if binary_parts is not None:
+                    writer.write(binary_parts[0])
+                    writer.write(binary_parts[1])
                 await writer.drain()
                 if self._stop_event.is_set():
                     break  # stop requested while we served this frame
@@ -391,16 +423,25 @@ class ShardStoreServer:
         except (ConnectionResetError, BrokenPipeError):
             pass
 
-    async def _dispatch(self, frame: dict) -> dict:
+    async def _dispatch(self, frame: dict):
+        """Serve one request frame → ``(response, binary_rows_or_None)``.
+
+        *binary_rows* is non-``None`` only for a successful v2 request that
+        opted into the bulk plane: the caller writes the JSON control frame
+        first, then one binary frame over the returned array's bytes.
+        Error responses never carry a binary frame.
+        """
         op = frame.get("op")
         op_key = op if isinstance(op, str) and op in self._ops else "_invalid"
         start_ns = time.perf_counter_ns()
+        binary_rows = None
         try:
             version = frame.get("v")
-            if version != PROTOCOL_VERSION:
+            if version not in SUPPORTED_PROTOCOL_VERSIONS:
                 raise ProtocolError(
                     f"unsupported protocol version {version!r}; this server "
-                    f"speaks version {PROTOCOL_VERSION}")
+                    f"speaks versions "
+                    f"{', '.join(map(str, SUPPORTED_PROTOCOL_VERSIONS))}")
             if op_key == "_invalid":
                 raise ProtocolError(
                     f"unknown op {op!r}; available: "
@@ -408,16 +449,25 @@ class ShardStoreServer:
             args = frame.get("args", {})
             if not isinstance(args, dict):
                 raise ValueError("request args must be a JSON object")
+            if args.get("binary") and version < 2:
+                # A v1 peer must never see a two-frame response; reject the
+                # request but keep the connection — the framing is intact.
+                raise ProtocolError(
+                    "binary responses require protocol version >= 2; "
+                    f"this request is v{version}")
             result = await self._ops[op_key](args)
+            if isinstance(result, tuple):
+                result, binary_rows = result
             response = protocol.result_frame(result)
         except Exception as exc:  # every failure becomes an error frame
             self._error_count += 1
+            binary_rows = None
             response = protocol.error_frame(exc)
         finally:
             self._request_counts[op_key] += 1
             elapsed_us = (time.perf_counter_ns() - start_ns) // 1000
             self._latency[op_key].record(int(elapsed_us))
-        return response
+        return response, binary_rows
 
     async def _run_store(self, fn, *args):
         """Run one store call on the bounded decode pool."""
@@ -457,6 +507,8 @@ class ShardStoreServer:
         return {
             "query": "hello",
             "protocol": PROTOCOL_VERSION,
+            "protocol_versions": list(SUPPORTED_PROTOCOL_VERSIONS),
+            "binary_ops": ["edges_in_range"],
             "ops": sorted(self._ops),
             "store": shaping.shape_store_info(self.store),
         }
@@ -479,14 +531,25 @@ class ShardStoreServer:
                                        self.store.payload_columns,
                                        with_payload=with_payload)
 
-    async def _op_edges_in_range(self, args: dict) -> dict:
+    async def _op_edges_in_range(self, args: dict):
         lo = _arg_int(args, "lo")
         hi = _arg_int(args, "hi")
         with_payload = _arg_bool(args, "with_payload")
+        binary = _arg_bool(args, "binary")
         limit = args.get("limit")
         if limit is not None and (isinstance(limit, bool)
                                   or not isinstance(limit, int)):
             raise ValueError("request arg 'limit' must be an integer or null")
+        if binary:
+            if limit is not None:
+                raise ValueError(
+                    "request arg 'limit' is not supported with binary "
+                    "responses; truncate client-side")
+            # (control, rows): _dispatch unpacks the tuple and the handler
+            # follows the control frame with the rows' raw bytes.
+            return await self._run_store(
+                lambda: shaping.shape_range_binary(self.store, lo, hi,
+                                                   with_payload=with_payload))
         return await self._run_store(
             lambda: shaping.shape_range(self.store, lo, hi,
                                         with_payload=with_payload,
@@ -545,6 +608,8 @@ class ShardStoreServer:
                 "connections_open": len(self._writers),
                 "connections_total": self._connections_total,
                 "decode_threads": self.decode_threads,
+                "binary": {"frames": self._binary_frames,
+                           "bytes": self._binary_bytes},
                 "coalesced": {
                     "degree": degree.stats() if degree is not None
                     else {"requests": 0, "batches": 0, "max_batch": 0},

@@ -32,7 +32,11 @@ __all__ = [
     "shape_degrees",
     "shape_neighbors",
     "shape_egonet",
+    "range_shape",
     "shape_range",
+    "shape_range_binary",
+    "binary_rows_descriptor",
+    "rows_from_binary",
     "shape_subgraph",
     "shape_edge_payloads",
     "shape_store_info",
@@ -147,26 +151,100 @@ def shape_egonet(store, vertex: int, *, with_payload: bool = False,
     return result
 
 
-def shape_range(store, lo: int, hi: int, *, with_payload: bool = False,
+def range_shape(lo: int, hi: int, rows: np.ndarray,
+                columns: Sequence[str], *,
                 limit: Optional[int] = None) -> dict:
-    """``edges_in_range`` answer: ``[lo, hi)`` source range, ``(src, dst)``
-    sorted rows.  ``limit`` truncates the listed rows (the CLI's terminal
-    default); ``None`` — the wire default — returns every row, and
-    ``n_edges`` always counts the full answer."""
+    """Assemble an ``edges_in_range`` answer from already-gathered rows —
+    shared by :func:`shape_range` and the CLI's ``--binary`` path, which
+    fetches the rows over the bulk plane and must display the exact shape
+    the JSON plane would have produced."""
     lo, hi = int(lo), int(hi)
-    rows = store.edges_in_range(lo, hi, with_payload=with_payload)
-    columns = ["src", "dst"]
-    if with_payload:
-        columns += list(store.payload_columns)
     shown = rows if limit is None else rows[:limit]
     return {
         "query": "edges_in_range",
         "lo": lo,
         "hi": hi,
         "n_edges": int(rows.shape[0]),
-        "columns": columns,
+        "columns": list(columns),
         "edges": _rows_list(shown),
     }
+
+
+def shape_range(store, lo: int, hi: int, *, with_payload: bool = False,
+                limit: Optional[int] = None) -> dict:
+    """``edges_in_range`` answer: ``[lo, hi)`` source range, ``(src, dst)``
+    sorted rows.  ``limit`` truncates the listed rows (the CLI's terminal
+    default); ``None`` — the wire default — returns every row, and
+    ``n_edges`` always counts the full answer."""
+    rows = store.edges_in_range(int(lo), int(hi), with_payload=with_payload)
+    columns = ["src", "dst"]
+    if with_payload:
+        columns += list(store.payload_columns)
+    return range_shape(lo, hi, rows, columns, limit=limit)
+
+
+def binary_rows_descriptor(rows: np.ndarray) -> dict:
+    """The ``"rows"`` descriptor a v2 control frame uses to announce the
+    binary frame that follows: shape, dtype name, and exact byte count.
+    *rows* must already be the contiguous array whose raw bytes will be
+    sent."""
+    return {
+        "shape": [int(d) for d in rows.shape],
+        "dtype": str(rows.dtype),
+        "nbytes": int(rows.nbytes),
+    }
+
+
+def shape_range_binary(store, lo: int, hi: int, *,
+                       with_payload: bool = False):
+    """Binary-plane ``edges_in_range`` answer: ``(control, rows)`` where
+    *control* is the JSON control frame's ``result`` (descriptor in
+    ``"rows"``, no ``"edges"`` list) and *rows* is the contiguous ``int64``
+    array whose raw bytes travel as the follow-up binary frame.
+
+    ``np.ascontiguousarray`` is a no-op when the store's answer is already
+    a contiguous slice of a mapped shard — the common warm-cache case — so
+    the server sends a ``memoryview`` straight over the mapping; only
+    non-contiguous views (payload stores queried without payload) pay one
+    gather."""
+    lo, hi = int(lo), int(hi)
+    rows = np.ascontiguousarray(
+        store.edges_in_range(lo, hi, with_payload=with_payload))
+    columns = ["src", "dst"]
+    if with_payload:
+        columns += list(store.payload_columns)
+    control = {
+        "query": "edges_in_range",
+        "lo": lo,
+        "hi": hi,
+        "n_edges": int(rows.shape[0]),
+        "columns": columns,
+        "rows": binary_rows_descriptor(rows),
+    }
+    return control, rows
+
+
+def rows_from_binary(descriptor: dict, buffer) -> np.ndarray:
+    """Rebuild the rows array a binary frame carried (client side).
+
+    Validates the buffer length against the descriptor's ``nbytes`` before
+    wrapping — a mismatch means the stream is desynchronized and raises
+    :class:`ValueError` (the client maps it to a protocol failure and drops
+    the connection).  Passing a mutable *buffer* (``bytearray``) yields a
+    writable array with zero extra copies."""
+    shape = tuple(int(d) for d in descriptor["shape"])
+    dtype = np.dtype(str(descriptor["dtype"]))
+    nbytes = int(descriptor["nbytes"])
+    if len(buffer) != nbytes:
+        raise ValueError(
+            f"binary frame carried {len(buffer)} bytes but the descriptor "
+            f"announced {nbytes}")
+    expected = int(np.prod(shape, dtype=np.int64)) * dtype.itemsize
+    if expected != nbytes:
+        raise ValueError(
+            f"descriptor is inconsistent: shape {shape} × {dtype} needs "
+            f"{expected} bytes, descriptor says {nbytes}")
+    return np.frombuffer(buffer, dtype=dtype).reshape(shape)
 
 
 def shape_subgraph(store, vertices: Sequence[int], *,

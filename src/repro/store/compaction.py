@@ -262,8 +262,8 @@ def compact_shards(
         for stale in destination.glob(pattern):
             stale.unlink()
 
-    def _load_run(path: Path, **kwargs) -> np.ndarray:
-        run = np.load(path, **kwargs)
+    def _load_run(path: Path, mmap_mode: Optional[str] = None) -> np.ndarray:
+        run = np.load(path, mmap_mode=mmap_mode)
         if run.ndim != 2 or run.shape[1] != n_columns:
             raise ValueError(
                 f"{path}: shard has shape {run.shape} but the source manifest "
@@ -285,7 +285,10 @@ def compact_shards(
                 if not shard["n_edges"]:
                     continue  # zero-edge ranks leave empty shards; skip them
                 path = runs_dir / f"run-{index:06d}.npy"
-                np.save(path, _sort_edges(_load_run(source / shard["file"])))
+                # Map the spill read-only; the sort's fancy-index gather in
+                # _sort_edges makes the one private copy run formation needs.
+                np.save(path, _sort_edges(
+                    _load_run(source / shard["file"], mmap_mode="r")))
                 run_paths.append(path)
         runs = [_load_run(path, mmap_mode="r") for path in run_paths]
         try:

@@ -25,6 +25,22 @@ are batch-first (``out_degrees`` / ``degrees`` / ``edges_for_sources`` take
 index arrays) and the scalar forms are thin wrappers; there is no per-edge
 Python loop anywhere in the query path.
 
+**Decodes are zero-copy by default**: shards are opened with
+``np.load(mmap_mode="r")`` — the same convention compaction uses for its
+merge runs — so the LRU caches read-only *views* of the on-disk files, not
+private copies, and a warm bulk query (``edges_in_range`` feeding the
+:mod:`repro.serve` binary data plane) slices the page cache instead of
+burning CPU on array copies.  ``mmap=False`` opts back into eager copies
+(e.g. when the store lives on a filesystem whose mappings are slow).  The
+mapping lifecycle is tied to the cache: evicting an entry (LRU overflow,
+:meth:`clear_cache`, :meth:`close`) drops the store's reference and the
+underlying ``mmap`` — and its file descriptor — is released as soon as the
+last outstanding query view dies (CPython refcounting makes this prompt;
+the fd-churn test in ``tests/test_shard_store.py`` holds it to account).
+:meth:`stats` reports the split: ``resident_bytes`` counts private copies
+held by the cache, ``mapped_bytes`` counts bytes addressable through cached
+mappings.
+
 The cache and its ``shard_reads`` / ``cache_hits`` counters are
 **concurrent-safe**: a lock guards every cache mutation, so one store can be
 shared by many reader threads — the serving pattern of
@@ -41,7 +57,7 @@ from __future__ import annotations
 import threading
 from collections import OrderedDict
 from pathlib import Path
-from typing import Sequence, Tuple, Union
+from typing import Optional, Sequence, Tuple, Union
 
 import numpy as np
 import scipy.sparse as sp
@@ -59,10 +75,11 @@ PathLike = Union[str, Path]
 _MAX_ENCODABLE_VERTICES = np.int64(3_037_000_499)  # floor(sqrt(2**63 - 1))
 
 
-def _load_shard_file(path: Path) -> np.ndarray:
+def _load_shard_file(path: Path, mmap_mode: Optional[str] = None) -> np.ndarray:
     """Decode one shard file.  Module-level so tests can hook it to count
-    exactly which files a query touches."""
-    return np.load(path)
+    exactly which files a query touches.  ``mmap_mode="r"`` maps the file
+    read-only instead of copying it (the store's default)."""
+    return np.load(path, mmap_mode=mmap_mode)
 
 
 def _ragged_take(arr: np.ndarray, lefts: np.ndarray, rights: np.ndarray) -> np.ndarray:
@@ -89,6 +106,12 @@ class ShardStore:
     cache_shards:
         Number of decoded shards kept in the LRU cache (≥ 1).  The cache is
         the store's only O(edges) memory; everything else is manifest-sized.
+    mmap:
+        ``True`` (default) decodes shards with ``np.load(mmap_mode="r")`` so
+        the cache holds read-only views of the files — zero copies on the
+        bulk read path, one open mapping (and file descriptor) per cached
+        shard, released on eviction.  ``False`` opts back into eager array
+        copies (no open files kept; each decode pays a full read).
 
     Attributes
     ----------
@@ -98,7 +121,8 @@ class ShardStore:
         Queries served from the decoded-shard cache.
     """
 
-    def __init__(self, directory: PathLike, *, cache_shards: int = 4):
+    def __init__(self, directory: PathLike, *, cache_shards: int = 4,
+                 mmap: bool = True):
         self.directory = Path(directory)
         manifest = read_shard_manifest(self.directory)
         if manifest["format_version"] < 2 or manifest.get("sorted_by") != "source":
@@ -124,6 +148,7 @@ class ShardStore:
         # reader every consumer shares), so a corrupt manifest fails there
         # with a field-naming ValueError before this object exists.
         self.cache_shards = int(cache_shards)
+        self.mmap = bool(mmap)
         # index -> [rows, encoded (src·n + dst) keys or None (built lazily)]
         self._cache: "OrderedDict[int, list]" = OrderedDict()
         # Guards the LRU OrderedDict and both counters: queries may come from
@@ -151,7 +176,7 @@ class ShardStore:
         # overlap their file I/O; a racing miss on the same shard costs one
         # redundant decode (counted below) but never corrupts the cache.
         path = self.directory / self._files[index]
-        rows = _load_shard_file(path)
+        rows = _load_shard_file(path, mmap_mode="r" if self.mmap else None)
         if rows.ndim != 2 or rows.shape[1] != self._width:
             raise ValueError(
                 f"{path}: shard has shape {rows.shape} but the manifest "
@@ -189,9 +214,22 @@ class ShardStore:
         return keys
 
     def clear_cache(self) -> None:
-        """Drop every decoded shard (counters are kept)."""
+        """Drop every decoded shard (counters are kept).
+
+        With ``mmap=True`` this releases the store's reference to each
+        cached mapping; the ``mmap`` object — and its file descriptor — is
+        closed as soon as no query-returned view of that shard is alive
+        (forcing the close under an outstanding view would invalidate the
+        caller's array mid-read, so lifecycle follows the last reference).
+        """
         with self._lock:
             self._cache.clear()
+
+    def close(self) -> None:
+        """Release every cached decode (and, with ``mmap=True``, the open
+        mappings).  The store stays usable — the next query just decodes
+        again — so this is a cache-lifecycle call, not a destructor."""
+        self.clear_cache()
 
     def stats(self) -> dict:
         """Atomic snapshot of the cache counters and occupancy.
@@ -200,15 +238,35 @@ class ShardStore:
         its ``stats`` request, so the keys are part of the wire surface:
         ``shard_reads`` (files decoded from disk), ``cache_hits`` (queries
         served from the decoded-shard LRU), ``cached_shards`` (current
-        occupancy), ``cache_shards`` (capacity) and ``n_shards``.
+        occupancy), ``cache_shards`` (capacity), ``n_shards``, ``mmap``
+        (whether decodes are zero-copy mappings), and the bytes-resident
+        split: ``resident_bytes`` counts private array copies the cache
+        holds (decoded rows when ``mmap=False``, plus lazily built
+        encoded-key arrays), ``mapped_bytes`` counts bytes addressable
+        through cached read-only mappings (page-cache backed, not private
+        memory).  A warm ``mmap=True`` store answering bulk range queries
+        shows both numbers flat across queries — the no-per-query-copy
+        acceptance bar.
         """
         with self._lock:
+            resident = 0
+            mapped = 0
+            for rows, keys in self._cache.values():
+                if isinstance(rows, np.memmap):
+                    mapped += rows.nbytes
+                else:
+                    resident += rows.nbytes
+                if keys is not None:
+                    resident += keys.nbytes
             return {
                 "shard_reads": self.shard_reads,
                 "cache_hits": self.cache_hits,
                 "cached_shards": len(self._cache),
                 "cache_shards": self.cache_shards,
                 "n_shards": self.n_shards,
+                "mmap": self.mmap,
+                "resident_bytes": resident,
+                "mapped_bytes": mapped,
             }
 
     def reset_stats(self) -> None:

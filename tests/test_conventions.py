@@ -1,0 +1,61 @@
+"""Repo-convention lints enforced as tests.
+
+These are grep-level checks over the source tree, not behavioural tests:
+they keep conventions that code review would otherwise have to re-litigate
+on every PR.  The one enforced here is the zero-copy decode rule from the
+binary data plane work: shard ``.npy`` decodes inside the store and serve
+layers must *state* their memory-mode decision — every ``np.load(`` call in
+``src/repro/store/`` and ``src/repro/serve/`` passes ``mmap_mode``
+explicitly (``mmap_mode=None`` when an eager private copy is the point),
+so a bare call that silently materializes a shard can't creep back in.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+SRC = Path(__file__).resolve().parent.parent / "src" / "repro"
+
+#: Layers covered by the rule.  Other layers (e.g. analysis code loading a
+#: bundle it immediately consumes) may load eagerly without comment.
+ZERO_COPY_LAYERS = ("store", "serve")
+
+_NP_LOAD = re.compile(r"np\.load\s*\(")
+
+
+def _np_load_calls(text: str):
+    """Yield ``(line_number, call_text)`` for every ``np.load(`` call,
+    with *call_text* spanning to the call's closing parenthesis (calls may
+    wrap across lines)."""
+    for match in _NP_LOAD.finditer(text):
+        depth = 0
+        for end in range(match.end() - 1, len(text)):
+            if text[end] == "(":
+                depth += 1
+            elif text[end] == ")":
+                depth -= 1
+                if depth == 0:
+                    break
+        line = text.count("\n", 0, match.start()) + 1
+        yield line, text[match.start():end + 1]
+
+
+def test_store_and_serve_np_load_states_mmap_mode():
+    offenders = []
+    checked = 0
+    for layer in ZERO_COPY_LAYERS:
+        for path in sorted((SRC / layer).rglob("*.py")):
+            text = path.read_text()
+            for line, call in _np_load_calls(text):
+                checked += 1
+                if "mmap_mode" not in call:
+                    offenders.append(f"{path.relative_to(SRC.parent)}:{line}: "
+                                     f"{' '.join(call.split())}")
+    # The rule must actually be exercising something; zero calls would mean
+    # the layers moved and this lint silently checks nothing.
+    assert checked > 0, "no np.load( calls found under src/repro/{store,serve}"
+    assert not offenders, (
+        "np.load( without an explicit mmap_mode in the zero-copy layers "
+        "(pass mmap_mode=None if an eager copy is intended):\n  "
+        + "\n  ".join(offenders))

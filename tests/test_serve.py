@@ -565,6 +565,31 @@ class TestServeCli:
             remote.pop("store")
             assert local == remote
 
+    def test_query_binary_matches_json_plane(self, server, capsys):
+        """`query --connect --range --binary` prints the exact JSON the
+        scalar plane prints — the transport changed, not the answer."""
+        from repro import cli
+        for flags in (["--range", "0", "100", "--limit", "5"],
+                      ["--range", "0", "400", "--payload"]):
+            assert cli.main(["query", "--connect", server.address,
+                             "--json", *flags]) == 0
+            json_plane = json.loads(capsys.readouterr().out)
+            assert cli.main(["query", "--connect", server.address,
+                             "--json", "--binary", *flags]) == 0
+            binary_plane = json.loads(capsys.readouterr().out)
+            json_plane.pop("store")
+            binary_plane.pop("store")
+            assert json_plane == binary_plane
+
+    def test_query_binary_needs_connect_and_range(self, store_dir, server):
+        from repro import cli
+        with pytest.raises(SystemExit, match="--binary"):
+            cli.main(["query", str(store_dir), "--binary",
+                      "--range", "0", "10"])
+        with pytest.raises(SystemExit, match="--binary"):
+            cli.main(["query", "--connect", server.address, "--binary",
+                      "--degree", "3"])
+
     def test_query_requires_exactly_one_source(self, store_dir, server):
         from repro import cli
         with pytest.raises(SystemExit, match="exactly one"):
@@ -604,3 +629,243 @@ class TestServeCli:
                 process.communicate()
         assert process.returncode == 0, stderr
         assert "served" in stdout and "requests" in stdout
+
+
+# ----------------------------------------------------------------------
+# Protocol v2: the binary bulk plane
+# ----------------------------------------------------------------------
+def _scripted_server(handler):
+    """A listening socket whose every accepted connection runs *handler* —
+    the hand-rolled peer for client-side fuzz cases.  Close the returned
+    socket to stop the accept thread."""
+    lsock = socket.socket()
+    lsock.bind(("127.0.0.1", 0))
+    lsock.listen(4)
+    port = lsock.getsockname()[1]
+
+    def run():
+        while True:
+            try:
+                conn, _ = lsock.accept()
+            except OSError:
+                return  # listener closed: test over
+            with conn:
+                try:
+                    handler(conn)
+                except Exception:
+                    pass  # a client that already hung up is fine
+
+    threading.Thread(target=run, daemon=True).start()
+    return lsock, port
+
+
+class TestBinaryPlane:
+    def test_hello_announces_v2_and_binary_ops(self, client):
+        info = client.hello()
+        assert info["protocol"] == PROTOCOL_VERSION == 2
+        assert info["protocol_versions"] == [1, 2]
+        assert info["binary_ops"] == ["edges_in_range"]
+
+    def test_binary_rows_equal_json_and_local(self, client, local_store):
+        n = local_store.n_vertices
+        for lo, hi, with_payload in ((0, n, False), (0, n, True),
+                                     (n // 4, n // 2, True), (5, 5, False)):
+            local = local_store.edges_in_range(lo, hi,
+                                               with_payload=with_payload)
+            json_rows = client.edges_in_range(lo, hi,
+                                              with_payload=with_payload)
+            binary_rows = client.edges_in_range(lo, hi,
+                                                with_payload=with_payload,
+                                                binary=True)
+            assert binary_rows.dtype == local.dtype == np.int64
+            assert binary_rows.shape == local.shape
+            assert np.array_equal(binary_rows, local)
+            assert np.array_equal(binary_rows, json_rows)
+
+    def test_binary_rows_are_writable(self, client, local_store):
+        rows = client.edges_in_range(0, local_store.n_vertices, binary=True)
+        rows[0, 0] = -1  # would raise on a read-only frombuffer wrap
+        assert rows[0, 0] == -1
+
+    def test_client_counts_binary_transfer(self, client):
+        before = client.connection_stats()
+        rows = client.edges_in_range(0, 50, binary=True)
+        after = client.connection_stats()
+        assert after["binary_frames"] == before["binary_frames"] + 1
+        assert after["binary_bytes"] == before["binary_bytes"] + rows.nbytes
+
+    def test_server_counts_binary_transfer(self, server, client):
+        before = server.server.stats()["server"]["binary"]
+        rows = client.edges_in_range(0, 50, binary=True)
+        after = server.server.stats()["server"]["binary"]
+        assert after["frames"] == before["frames"] + 1
+        assert after["bytes"] == before["bytes"] + rows.nbytes
+
+    def test_binary_with_limit_rejected(self, client):
+        with pytest.raises(ValueError, match="limit"):
+            client.request("edges_in_range",
+                           {"lo": 0, "hi": 10, "binary": True, "limit": 5})
+        # Error frames never carry a binary follow-up: same connection,
+        # next request answered in sync.
+        assert client.degree(0) >= 0
+
+    def test_connection_survives_interleaved_planes(self, client,
+                                                    local_store):
+        n = local_store.n_vertices
+        expected = local_store.edges_in_range(0, n // 3)
+        for binary in (False, True, True, False, True):
+            assert np.array_equal(
+                client.edges_in_range(0, n // 3, binary=binary), expected)
+        assert client.connection_stats()["connects"] == 1
+
+
+class TestProtocolV2Compat:
+    """v1 requests keep working byte-identically against the v2 server."""
+
+    def test_v1_json_request_round_trips_unchanged(self, server):
+        wire_args = {"lo": 0, "hi": 200, "with_payload": True}
+        with _raw_socket(server) as sock:
+            protocol.write_frame(sock, {"v": 1, "op": "edges_in_range",
+                                        "args": wire_args})
+            v1_response = protocol.read_frame(sock)
+            protocol.write_frame(sock, {"v": 2, "op": "edges_in_range",
+                                        "args": wire_args})
+            v2_response = protocol.read_frame(sock)
+        assert v1_response is not None and v1_response["ok"]
+        assert v1_response == v2_response
+
+    def test_v1_client_asking_binary_gets_error_frame(self, server):
+        """The fuzz case: a v1 peer requesting the v2 feature gets ONE
+        ProtocolError frame and the connection stays usable (framing is
+        intact — nothing was desynchronized)."""
+        with _raw_socket(server) as sock:
+            protocol.write_frame(sock, {
+                "v": 1, "op": "edges_in_range",
+                "args": {"lo": 0, "hi": 10, "binary": True}})
+            response = protocol.read_frame(sock)
+            assert response["ok"] is False
+            assert response["error"]["kind"] == "ProtocolError"
+            assert "protocol version >= 2" in response["error"]["message"]
+            # No binary frame follows the error; the stream is in sync.
+            protocol.write_frame(sock, {"v": 1, "op": "degree",
+                                        "args": {"vertex": 0}})
+            assert protocol.read_frame(sock)["ok"] is True
+
+
+class TestBinaryFuzz:
+    """Untrustworthy binary frames: one error, connection dropped cleanly."""
+
+    @staticmethod
+    def _control(nbytes: int, shape) -> dict:
+        return protocol.result_frame({
+            "query": "edges_in_range", "lo": 0, "hi": 10,
+            "n_edges": shape[0], "columns": ["src", "dst"],
+            "rows": {"shape": list(shape), "dtype": "int64",
+                     "nbytes": nbytes}})
+
+    def test_truncated_binary_frame(self):
+        def handler(conn):
+            protocol.read_frame(conn)
+            conn.sendall(protocol.encode_frame(self._control(160, (10, 2))))
+            conn.sendall(struct.pack(">I", 160) + b"x" * 50)  # then close
+
+        lsock, port = _scripted_server(handler)
+        try:
+            with QueryClient("127.0.0.1", port, timeout=10) as c:
+                with pytest.raises(ProtocolError, match="mid-binary-frame"):
+                    c.edges_in_range(0, 10, binary=True)
+                # The desynchronized socket was dropped, not kept for reuse.
+                assert c._sock is None
+        finally:
+            lsock.close()
+
+    def test_nbytes_mismatch_with_header(self):
+        def handler(conn):
+            protocol.read_frame(conn)
+            # Descriptor promises 160 bytes; the binary frame carries 80.
+            conn.sendall(protocol.encode_frame(self._control(160, (10, 2))))
+            conn.sendall(struct.pack(">I", 80) + b"y" * 80)
+
+        lsock, port = _scripted_server(handler)
+        try:
+            with QueryClient("127.0.0.1", port, timeout=10) as c:
+                with pytest.raises(ProtocolError, match="announced"):
+                    c.edges_in_range(0, 10, binary=True)
+                assert c._sock is None
+        finally:
+            lsock.close()
+
+    def test_descriptor_inconsistent_with_itself(self):
+        def handler(conn):
+            protocol.read_frame(conn)
+            # Header and nbytes agree (80) but the shape needs 160 bytes.
+            conn.sendall(protocol.encode_frame(self._control(80, (10, 2))))
+            conn.sendall(struct.pack(">I", 80) + b"z" * 80)
+
+        lsock, port = _scripted_server(handler)
+        try:
+            with QueryClient("127.0.0.1", port, timeout=10) as c:
+                with pytest.raises(ProtocolError, match="inconsistent"):
+                    c.edges_in_range(0, 10, binary=True)
+                assert c._sock is None
+        finally:
+            lsock.close()
+
+
+class TestClientConnection:
+    def test_timeout_is_configurable_and_fires(self):
+        """A hung server (accepts, never answers) times the client out
+        instead of blocking it forever."""
+        def handler(conn):
+            protocol.read_frame(conn)  # swallow the request, answer nothing
+            threading.Event().wait(5)
+
+        lsock, port = _scripted_server(handler)
+        try:
+            with QueryClient("127.0.0.1", port, timeout=0.3) as c:
+                assert c.timeout == 0.3
+                with pytest.raises(socket.timeout):
+                    c.request("degree", {"vertex": 0})
+                assert c._sock is None  # timed-out stream is never reused
+        finally:
+            lsock.close()
+
+    def test_reconnect_retry_counted_in_stats(self):
+        """A server that drops the connection after every answer forces the
+        client's retry-once path; connection_stats must show it."""
+        answer = protocol.result_frame({"query": "degree", "vertex": 0,
+                                        "degree": 7})
+
+        def handler(conn):
+            if protocol.read_frame(conn) is not None:
+                conn.sendall(protocol.encode_frame(answer))
+            # connection closes when the handler returns: one answer each
+
+        lsock, port = _scripted_server(handler)
+        try:
+            with QueryClient("127.0.0.1", port, timeout=10) as c:
+                assert c.request("degree", {"vertex": 0})["degree"] == 7
+                assert c.request("degree", {"vertex": 0})["degree"] == 7
+                stats = c.connection_stats()
+                assert stats["reconnect_retries"] == 1
+                assert stats["connects"] == 2
+                assert stats["requests_sent"] == 3  # one round trip retried
+        finally:
+            lsock.close()
+
+    def test_cli_timeout_flag_reaches_the_socket(self, server, capsys,
+                                                 monkeypatch):
+        from repro import cli
+        seen = {}
+        original = QueryClient.from_address.__func__
+
+        def spy(cls, address, **kwargs):
+            seen.update(kwargs)
+            return original(cls, address, **kwargs)
+
+        monkeypatch.setattr(QueryClient, "from_address",
+                            classmethod(spy))
+        assert cli.main(["query", "--connect", server.address, "--json",
+                         "--degree", "0", "--timeout", "7.5"]) == 0
+        capsys.readouterr()
+        assert seen["timeout"] == 7.5

@@ -340,9 +340,9 @@ class TestShardStoreIO:
         opened = []
         real_load = query_mod._load_shard_file
 
-        def counting_load(path):
+        def counting_load(path, mmap_mode=None):
             opened.append(path.name)
-            return real_load(path)
+            return real_load(path, mmap_mode=mmap_mode)
 
         monkeypatch.setattr(query_mod, "_load_shard_file", counting_load)
         store = ShardStore(store_dir, cache_shards=2)
@@ -361,7 +361,7 @@ class TestShardStoreIO:
         real_load = query_mod._load_shard_file
         monkeypatch.setattr(
             query_mod, "_load_shard_file",
-            lambda path: opened.append(path.name) or real_load(path))
+            lambda path, **kw: opened.append(path.name) or real_load(path, **kw))
         store = ShardStore(store_dir, cache_shards=8)
         manifest = read_shard_manifest(store_dir)
         lo = manifest["shards"][1]["src_min"]
@@ -545,3 +545,115 @@ class TestConcurrentStore:
         assert stats["cached_shards"] <= 2
         assert stats["shard_reads"] >= store.n_shards
         assert stats["cache_hits"] > 0
+
+
+class TestMmapLifecycle:
+    """Zero-copy decodes: mmap-vs-copy equality, the stats split, and the
+    mapping/file-descriptor lifecycle under eviction and ``close``."""
+
+    @staticmethod
+    def _open_fds() -> int:
+        import os
+        return len(os.listdir("/proc/self/fd"))
+
+    def test_mmap_vs_copy_equality_across_query_surface(self, store_dir,
+                                                        product):
+        mapped = ShardStore(store_dir, cache_shards=4)  # mmap is the default
+        copied = ShardStore(store_dir, cache_shards=4, mmap=False)
+        assert mapped.stats()["mmap"] is True
+        assert copied.stats()["mmap"] is False
+        n = product.n_vertices
+        vs = np.arange(0, n, 7)
+        assert np.array_equal(mapped.degrees(vs), copied.degrees(vs))
+        assert np.array_equal(mapped.out_degrees(vs), copied.out_degrees(vs))
+        for lo, hi in ((0, n), (n // 4, n // 2), (n - 1, n)):
+            rows_mapped = mapped.edges_in_range(lo, hi)
+            rows_copied = copied.edges_in_range(lo, hi)
+            assert rows_mapped.dtype == rows_copied.dtype == np.int64
+            assert np.array_equal(rows_mapped, rows_copied)
+        rng = np.random.default_rng(5)
+        probes = rng.choice(n, 12, replace=False)
+        for v in map(int, probes):
+            assert np.array_equal(mapped.neighbors(v), copied.neighbors(v))
+            ego_mapped, ego_copied = mapped.egonet(v), copied.egonet(v)
+            assert np.array_equal(ego_mapped.vertices, ego_copied.vertices)
+            assert (ego_mapped.graph.adjacency
+                    != ego_copied.graph.adjacency).nnz == 0
+        selection = rng.choice(n, 20, replace=False)
+        assert np.array_equal(mapped.subgraph_edges(selection),
+                              copied.subgraph_edges(selection))
+
+    def test_stats_split_mapped_vs_resident(self, store_dir):
+        mapped = ShardStore(store_dir, cache_shards=4)
+        copied = ShardStore(store_dir, cache_shards=4, mmap=False)
+        n = mapped.n_vertices
+        mapped.edges_in_range(0, n)
+        copied.edges_in_range(0, n)
+        mapped_stats, copied_stats = mapped.stats(), copied.stats()
+        assert mapped_stats["mapped_bytes"] > 0
+        assert mapped_stats["resident_bytes"] == 0
+        assert copied_stats["resident_bytes"] > 0
+        assert copied_stats["mapped_bytes"] == 0
+
+    def test_warm_cache_no_per_query_copies(self, store_dir):
+        """Acceptance criterion: warm range scans neither decode shards
+        again nor grow the cache's private/mapped footprint."""
+        store = ShardStore(store_dir, cache_shards=store_n(store_dir))
+        n = store.n_vertices
+        store.edges_in_range(0, n)  # warm every shard
+        warm = store.stats()
+        for _ in range(20):
+            store.edges_in_range(n // 4, n // 2)
+        after = store.stats()
+        assert after["shard_reads"] == warm["shard_reads"]
+        assert after["mapped_bytes"] == warm["mapped_bytes"]
+        assert after["resident_bytes"] == warm["resident_bytes"] == 0
+        assert after["cache_hits"] > warm["cache_hits"]
+
+    def test_lru_churn_releases_mappings(self, store_dir):
+        """100-query churn over a 1-slot LRU: evicted mappings are released,
+        so the process's open-fd count stays flat."""
+        import gc
+
+        store = ShardStore(store_dir, cache_shards=1)
+        assert store.n_shards >= 2  # churn needs evictions
+        store.edges_in_range(0, store.n_vertices)
+        gc.collect()
+        baseline = self._open_fds()
+        for _ in range(100):
+            store.edges_in_range(0, store.n_vertices)
+        gc.collect()
+        assert self._open_fds() <= baseline + 1
+        assert store.stats()["cached_shards"] == 1
+
+    def test_close_releases_mappings(self, store_dir):
+        import gc
+
+        store = ShardStore(store_dir, cache_shards=8)
+        gc.collect()
+        before = self._open_fds()
+        store.edges_in_range(0, store.n_vertices)
+        assert store.stats()["cached_shards"] > 0
+        assert self._open_fds() > before  # cached mappings each hold one fd
+        store.close()
+        gc.collect()
+        assert store.stats()["cached_shards"] == 0
+        assert self._open_fds() <= before
+        # The store stays usable after close: the next query just decodes.
+        assert store.edges_in_range(0, store.n_vertices).shape[0] > 0
+
+    def test_iter_edge_shards_mmap_mode(self, store_dir):
+        from repro.graphs import iter_edge_shards
+
+        eager = list(iter_edge_shards(store_dir))
+        lazy = list(iter_edge_shards(store_dir, mmap_mode="r"))
+        assert len(eager) == len(lazy)
+        for block_eager, block_lazy in zip(eager, lazy):
+            assert isinstance(block_lazy, np.memmap)
+            assert not isinstance(block_eager, np.memmap)
+            assert np.array_equal(block_eager, block_lazy)
+
+
+def store_n(store_dir) -> int:
+    """Shard count of a store directory plus one (an LRU that fits it all)."""
+    return len(read_shard_manifest(store_dir)["shards"]) + 1
