@@ -22,6 +22,13 @@ Runs in two modes:
   workload, and the protocol-v2 binary-vs-JSON bulk range-scan sweep
   (acceptance bar: binary ≥ 5× JSON rows/s, byte-equal answers).  Full
   runs record their headline numbers as ``BENCH_*.json`` at the repo root.
+
+PR 7 adds the fleet tier: the smoke stands a range-routed fleet
+(:class:`~tests._fleet_harness.FleetHarness`: partition → 3 slice workers →
+:class:`~repro.serve.RangeRouter`) behind the *same* full equality matrix —
+routed answers byte-equal to the single store under ≥ 8 concurrent
+clients — and the full run sweeps 1 → 4 workers over the mixed workload,
+recording ``BENCH_query_router.json``.
 """
 
 from __future__ import annotations
@@ -218,6 +225,90 @@ def test_query_server_smoke(tmp_path, quick_mode):
           f"{stats['cache_hits']} cache hits across all connections")
     print(f"  coalescing: degree {server_stats['coalesced']['degree']}, "
           f"neighbors {server_stats['coalesced']['neighbors']}")
+
+
+def test_query_router_smoke(tmp_path, quick_mode):
+    """Tier-1: the range-routed fleet answers the full query surface
+    byte-equal to the single store, ≥ 8 concurrent clients."""
+    from _fleet_harness import FleetHarness
+
+    factor_a = generators.webgraph_like(60 if quick_mode else 320,
+                                        edges_per_vertex=3,
+                                        triad_probability=0.6, seed=3)
+    factor_b = generators.triangle_constrained_pa(20 if quick_mode else 90,
+                                                  seed=13)
+    store_dir, product = _build_store(factor_a, factor_b, tmp_path,
+                                      block=8 if quick_mode else 32,
+                                      target=600 if quick_mode else 65_536)
+    reference = ShardStore(store_dir, cache_shards=8)
+
+    with FleetHarness(store_dir, n_slices=3) as harness:
+        requests, elapsed, failures = _concurrent_equivalence(
+            harness, reference, n_clients=N_CLIENTS,
+            rounds=1 if quick_mode else 3, seed=7)
+        assert not failures, failures[:3]
+
+        # The fleet rollup reports the *parent* store's shard count (slices
+        # overlap on boundary shards) and real worker traffic.
+        stats = harness.router.server.stats()
+        assert stats["fleet"]["workers"] == 3
+        assert all(report["ok"] for report in stats["workers"])
+        assert stats["store"]["n_shards"] == reference.n_shards
+        assert stats["store"]["shard_reads"] >= 1
+
+    print_section("Perf — range-routed fleet "
+                  f"({'smoke' if quick_mode else 'full'})")
+    print(f"  product: {product.nnz:,} directed edges; "
+          f"{reference.n_shards} shards split over 3 slice workers, "
+          f"{N_CLIENTS} concurrent clients")
+    print(f"  equivalence: {requests:,} routed requests, every answer "
+          f"byte-equal to the single store "
+          f"({requests / elapsed:,.0f} requests/s)")
+
+
+@pytest.mark.slow
+def test_query_router_scaling_full(tmp_path):
+    """Full sizes: the mixed workload against fleets of 1 → 4 slice
+    workers, routed answers byte-equal throughout."""
+    from _fleet_harness import FleetHarness
+
+    factor_a = generators.webgraph_like(320, edges_per_vertex=3,
+                                        triad_probability=0.6, seed=3)
+    factor_b = generators.triangle_constrained_pa(90, seed=13)
+    store_dir, product = _build_store(factor_a, factor_b, tmp_path,
+                                      block=32, target=65_536)
+    reference = ShardStore(store_dir, cache_shards=16)
+
+    print_section("Perf — range-routed fleet (1 → 4 worker sweep)")
+    print(f"  product: {product.nnz:,} directed edges, "
+          f"{reference.n_shards} shards")
+    sweep = []
+    for n_workers in (1, 2, 3, 4):
+        with FleetHarness(store_dir, n_slices=n_workers,
+                          cache_shards=16, decode_threads=8,
+                          timeout=60.0) as harness:
+            requests, elapsed, failures = _concurrent_equivalence(
+                harness, reference, n_clients=8, rounds=2,
+                seed=29 + n_workers)
+            assert not failures, failures[:3]
+            rollup = harness.fleet.stats()
+            assert rollup["workers"] == n_workers
+            assert rollup["n_shards"] == reference.n_shards
+        rate = requests / elapsed
+        sweep.append({"workers": n_workers, "requests": requests,
+                      "seconds": round(elapsed, 3),
+                      "requests_per_s": round(rate, 1)})
+        print(f"  {n_workers:>2} workers: {rate:>8,.0f} mixed requests/s "
+              f"({requests:,} in {elapsed * 1e3:.0f} ms), "
+              "every answer byte-equal")
+
+    emit_bench_json("query_router", {
+        "mode": "full",
+        "product_edges": int(product.nnz),
+        "n_shards": int(reference.n_shards),
+        "n_clients": 8,
+        "sweep": sweep,
+    })
 
 
 @pytest.mark.slow

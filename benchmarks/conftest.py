@@ -7,10 +7,21 @@ the timed portions measure only the operation under study.
 
 from __future__ import annotations
 
+import sys
+from pathlib import Path
+
 import numpy as np
 import pytest
 
 from repro import generators
+
+# tests/_fleet_harness.py (partition → slice workers → router, with fault
+# injection) is shared between tests/test_router.py and the fleet smoke in
+# bench_query_server.py; the tests directory is not a package, so running
+# `pytest benchmarks/...` directly needs it on sys.path explicitly.
+_TESTS_DIR = str(Path(__file__).resolve().parent.parent / "tests")
+if _TESTS_DIR not in sys.path:
+    sys.path.insert(0, _TESTS_DIR)
 
 #: Benchmark modules that double as tier-1 consistency smoke tests: the
 #: plain ``pytest`` invocation does not match ``bench_*.py`` files, so we

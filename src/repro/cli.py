@@ -83,8 +83,17 @@ from repro.graphs import (
     save_kronecker_bundle,
     write_edge_shards,
 )
+from repro.graphs.io import read_shard_manifest
 from repro.parallel import distributed_generate, stream_edges_to_file
-from repro.serve import PROTOCOL_VERSION, QueryClient, ShardStoreServer
+from repro.serve import (
+    PROTOCOL_VERSION,
+    FleetStore,
+    QueryClient,
+    RangeRouter,
+    ShardStoreServer,
+    ThreadedServer,
+    fleet_info_from_manifest,
+)
 from repro.serve.shaping import (
     range_shape,
     shape_degree,
@@ -98,6 +107,7 @@ from repro.store import (
     PayloadEvaluator,
     ShardStore,
     compact_shards,
+    partition_manifest,
 )
 
 __all__ = ["main", "build_parser"]
@@ -253,6 +263,17 @@ def build_parser() -> argparse.ArgumentParser:
                             "(default 8; shared by every connection)")
     serve.add_argument("--threads", type=int, default=4,
                        help="bounded pool shard decodes run on (default 4)")
+    serve.add_argument("--fleet", type=int, default=None, metavar="N",
+                       help="partition the store into N contiguous "
+                            "vertex-range slices, spawn one in-process "
+                            "worker per slice replica, and serve a range "
+                            "router that fans batch queries out and merges "
+                            "the answers (same protocol, byte-equal "
+                            "answers)")
+    serve.add_argument("--replicas", type=int, default=1, metavar="R",
+                       help="workers per slice with --fleet (default 1); "
+                            "a failed worker call is retried once against "
+                            "the next replica")
 
     return parser
 
@@ -564,7 +585,66 @@ def _cmd_query(args: argparse.Namespace) -> int:
     return 0
 
 
+def _serve_fleet(args: argparse.Namespace) -> int:
+    if args.fleet < 1:
+        raise SystemExit("--fleet needs at least 1 worker")
+    if args.replicas < 1:
+        raise SystemExit("--replicas needs at least 1 worker per slice")
+    slices = partition_manifest(args.store, n_slices=args.fleet)
+    info = fleet_info_from_manifest(read_shard_manifest(args.store))
+    workers: List[ThreadedServer] = []
+    fleet = None
+    try:
+        spec = []
+        for entry in slices:
+            addresses = []
+            for _ in range(args.replicas):
+                worker = ThreadedServer(entry["directory"],
+                                        cache_shards=args.cache,
+                                        decode_threads=args.threads).start()
+                workers.append(worker)
+                addresses.append(worker.address)
+            spec.append({"src_lo": entry["src_lo"],
+                         "src_hi": entry["src_hi"],
+                         "addresses": addresses})
+        fleet = FleetStore(spec, info)
+        router = RangeRouter(fleet, host=args.host, port=args.port,
+                             decode_threads=args.threads)
+
+        async def _run() -> None:
+            await router.start()
+            print(f"serving {args.store} on {router.host}:{router.port} "
+                  f"(fleet of {args.fleet} slice(s) x {args.replicas} "
+                  f"replica(s), {info['n_shards']} shards, "
+                  f"{info['total_edges']:,} edges, "
+                  f"protocol v{PROTOCOL_VERSION} with binary bulk frames)",
+                  flush=True)
+            await router.serve_until_stopped()
+
+        try:
+            asyncio.run(_run())
+        except KeyboardInterrupt:
+            print("\ninterrupted; router stopped")
+        # Roll the final numbers up while the workers still answer.
+        stats = router.stats()
+        served = sum(stats["server"]["requests"].values())
+        counters = stats["store"]
+        print(f"served {served:,} requests over "
+              f"{stats['server']['connections_total']} connections via "
+              f"{stats['fleet']['workers']} workers; "
+              f"{counters['shard_reads']} shard reads, "
+              f"{counters['cache_hits']} cache hits")
+    finally:
+        if fleet is not None:
+            fleet.close()
+        for worker in workers:
+            worker.stop()
+    return 0
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
+    if args.fleet is not None:
+        return _serve_fleet(args)
     store = ShardStore(args.store, cache_shards=args.cache)
     server = ShardStoreServer(store, host=args.host, port=args.port,
                               decode_threads=args.threads)

@@ -22,11 +22,18 @@ store behind a socket so consumers no longer run in-process:
 * :class:`QueryClient` — the blocking wire client: reused connection, batch
   helpers, and answers reconstructed to byte-equality with the in-process
   store (``int64`` rows, rebuilt :class:`~repro.graphs.egonet.Egonet` /
-  :class:`~repro.graphs.Graph` objects).
+  :class:`~repro.graphs.Graph` objects);
+* :mod:`repro.serve.router` — the horizontal-scale tier:
+  :class:`RangeRouter` fronts N vertex-range slice workers
+  (:func:`~repro.store.partition_manifest` slices), splitting batch
+  requests by manifest ranges, fanning out concurrently with one replica
+  failover retry, and merging answers in source order — byte-equal to a
+  single store, over the same protocol.
 
-CLI: ``repro-kron serve STORE`` stands a server up;
+CLI: ``repro-kron serve STORE`` stands a server up (``--fleet N`` serves a
+router over N in-process slice workers);
 ``repro-kron query --connect HOST:PORT ...`` runs the same query surface
-remotely.
+remotely against either.
 """
 
 from repro.serve.client import QueryClient
@@ -37,15 +44,25 @@ from repro.serve.protocol import (
     ProtocolError,
     ServerError,
 )
+from repro.serve.router import (
+    FleetStore,
+    RangeRouter,
+    ThreadedRouter,
+    fleet_info_from_manifest,
+)
 from repro.serve.server import ShardStoreServer, ThreadedServer
 
 __all__ = [
     "MAX_FRAME_BYTES",
     "PROTOCOL_VERSION",
     "SUPPORTED_PROTOCOL_VERSIONS",
+    "FleetStore",
     "ProtocolError",
     "QueryClient",
+    "RangeRouter",
     "ServerError",
     "ShardStoreServer",
+    "ThreadedRouter",
     "ThreadedServer",
+    "fleet_info_from_manifest",
 ]

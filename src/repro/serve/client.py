@@ -228,6 +228,17 @@ class QueryClient:
                    for name, values in result["payload"].items()}
         return np.asarray(result["neighbors"], dtype=np.int64), payload
 
+    def edges_for_sources(self, vs: Sequence[int], *,
+                          with_payload: bool = False) -> np.ndarray:
+        """All stored rows whose source is in *vs* (deduplicated,
+        ``(src, dst)``-sorted) — the batch gather mirroring
+        :meth:`ShardStore.edges_for_sources`."""
+        result = self.request("edges_for_sources", {
+            "vertices": [int(v) for v in np.atleast_1d(np.asarray(vs))],
+            "with_payload": with_payload,
+        })
+        return _rows_array(result["edges"], len(result["columns"]))
+
     def edges_in_range(self, lo: int, hi: int, *,
                        with_payload: bool = False,
                        binary: bool = False) -> np.ndarray:

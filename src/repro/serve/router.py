@@ -1,0 +1,412 @@
+"""Range router: one asyncio front-end over N vertex-range slice workers.
+
+The horizontal-scale half of the serving story.  :func:`partition_manifest
+<repro.store.partition.partition_manifest>` cuts a compacted manifest into
+contiguous vertex-range slices; each slice is served by an ordinary
+:class:`~repro.serve.ShardStoreServer` worker (optionally replicated); and a
+:class:`RangeRouter` fronts the fleet speaking the **same wire protocol** —
+a client cannot tell a router from a single server except by the extra
+``fleet`` sections in ``hello`` / ``stats``.
+
+The construction is deliberately thin:
+
+* :class:`FleetStore` is a *store façade*: it implements the four batch
+  primitives (``degrees`` / ``edges_for_sources`` / ``edges_in_range`` /
+  ``edge_payloads``) by splitting each request across the worker ranges,
+  fanning the slices out concurrently over the existing v1/v2 protocol
+  (blocking :class:`~repro.serve.QueryClient` calls on a dedicated pool),
+  and merging the answers back in source order.  Everything else — scalar
+  wrappers, ``subgraph``, ``egonet`` — comes from the same
+  :class:`~repro.store.StoreQueryMixin` the local store uses, so routed
+  answers are byte-equal to single-store answers *by construction*.
+* :class:`RangeRouter` is :class:`ShardStoreServer` serving that façade:
+  framing, request coalescing, the binary bulk plane, and error frames are
+  inherited unchanged.  Only ``hello`` (adds the fleet description) and
+  ``stats`` (rolls per-worker stats up into a fleet answer) are overridden.
+* :class:`_WorkerChannel` owns one slice's wire connections: a small pool of
+  reused clients against the preferred replica, and on a *transport*
+  failure (``OSError`` / :class:`~repro.serve.protocol.ProtocolError` —
+  never a server-reported store error) it retries the call **once** against
+  the next replica address, then fails with a worker-naming
+  :class:`ConnectionError` that travels back to the router's client as an
+  error frame on an intact connection.
+
+Routing is strict: a vertex is asked only of the worker whose *assigned*
+half-open range contains it, so a boundary shard listed by two slices is
+never served twice, and concatenating per-worker answers in range order *is*
+the global ``(src, dst)`` sort order.
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.serve import protocol, shaping
+from repro.serve.client import QueryClient
+from repro.serve.server import ShardStoreServer, ThreadedServer
+from repro.store.query import StoreQueryMixin
+
+__all__ = ["FleetStore", "RangeRouter", "ThreadedRouter",
+           "fleet_info_from_manifest"]
+
+
+def fleet_info_from_manifest(manifest: dict) -> dict:
+    """The fleet-level store description, taken from the *parent* manifest
+    (summing per-slice manifests would double-count boundary shards)."""
+    return {
+        "name": manifest.get("name") or "",
+        "n_vertices": int(manifest["n_vertices"]),
+        "total_edges": int(manifest["total_edges"]),
+        "n_shards": len(manifest["shards"]),
+        "payload_columns": list(manifest["payload_columns"][2:]),
+    }
+
+
+class _WorkerChannel:
+    """One slice's wire channel: reused blocking clients over the slice's
+    replica addresses, with one failover retry per call.
+
+    ``call(fn)`` runs ``fn(client)`` against the *preferred* replica.  On a
+    transport failure it retries exactly once against the next address in
+    the replica ring (with a single replica that is the same address — a
+    restarted worker is picked back up); a second failure raises a
+    :class:`ConnectionError` naming the worker, its range, and both failed
+    attempts.  A successful failover makes the surviving replica preferred,
+    so later calls do not re-pay the dead primary's connect timeout.
+
+    Thread-safe: the router fans calls out from a pool, so the idle-client
+    list and the counters are lock-guarded.  Exceptions raised by the
+    *server* (error frames re-raised by the client, e.g. a store
+    ``ValueError``) are not transport failures and propagate untouched —
+    retrying them on a replica would just fail identically.
+    """
+
+    def __init__(self, index: int, src_lo: int, src_hi: int,
+                 addresses: Sequence[str], *,
+                 timeout: Optional[float] = 30.0):
+        if not addresses:
+            raise ValueError(f"worker {index} has no addresses")
+        self.index = int(index)
+        self.src_lo = int(src_lo)
+        self.src_hi = int(src_hi)
+        self.addresses = [str(address) for address in addresses]
+        self.timeout = timeout
+        self._lock = threading.Lock()
+        self._idle: List = []  # (address_index, QueryClient) pairs
+        self._preferred = 0
+        self.calls = 0
+        self.failovers = 0
+        self.failures = 0
+
+    def _checkout(self):
+        with self._lock:
+            preferred = self._preferred
+            while self._idle:
+                address_index, client = self._idle.pop()
+                if address_index == preferred:
+                    return preferred, client
+                client.close()  # pooled connection to a demoted replica
+        return preferred, QueryClient.from_address(
+            self.addresses[preferred], timeout=self.timeout)
+
+    def _checkin(self, address_index: int, client: QueryClient) -> None:
+        with self._lock:
+            if address_index == self._preferred:
+                self._idle.append((address_index, client))
+                return
+        client.close()
+
+    def call(self, fn):
+        """Run ``fn(client)`` with one replica-failover retry."""
+        with self._lock:
+            self.calls += 1
+        address_index, client = self._checkout()
+        try:
+            result = fn(client)
+        except (OSError, protocol.ProtocolError) as first:
+            client.close()
+            with self._lock:
+                self.failures += 1
+                fallback = (address_index + 1) % len(self.addresses)
+            retry = QueryClient.from_address(self.addresses[fallback],
+                                             timeout=self.timeout)
+            try:
+                result = fn(retry)
+            except (OSError, protocol.ProtocolError) as second:
+                retry.close()
+                with self._lock:
+                    self.failures += 1
+                raise ConnectionError(
+                    f"worker {self.index} (sources [{self.src_lo}, "
+                    f"{self.src_hi})) is unavailable: "
+                    f"{self.addresses[address_index]} failed ({first}); "
+                    f"retry on {self.addresses[fallback]} failed ({second})"
+                ) from second
+            with self._lock:
+                self.failovers += 1
+                self._preferred = fallback
+            self._checkin(fallback, retry)
+            return result
+        self._checkin(address_index, client)
+        return result
+
+    def close(self) -> None:
+        with self._lock:
+            idle, self._idle = self._idle, []
+        for _, client in idle:
+            client.close()
+
+
+class FleetStore(StoreQueryMixin):
+    """Store façade over N range-sliced workers — the router's ``store``.
+
+    Parameters
+    ----------
+    slices:
+        One dict per worker, in range order:
+        ``{"src_lo", "src_hi", "addresses": ["host:port", ...]}``.  The
+        assigned half-open ranges must tile ``[0, n_vertices)`` exactly
+        (empty ``lo == hi`` slices are legal and never routed to); the
+        first address is the primary, the rest are failover replicas.
+    info:
+        The parent store's description
+        (:func:`fleet_info_from_manifest`) — the fleet answers ``hello`` /
+        ``subgraph`` naming with the *parent* identity, not a slice's.
+    timeout:
+        Per-call socket timeout applied to every worker channel.
+    max_fanout_threads:
+        Cap on concurrent worker calls across all in-flight requests.
+    """
+
+    def __init__(self, slices: Sequence[dict], info: dict, *,
+                 timeout: Optional[float] = 30.0,
+                 max_fanout_threads: Optional[int] = None):
+        self.manifest = {"name": info.get("name") or ""}
+        self.n_vertices = int(info["n_vertices"])
+        self.total_edges = int(info["total_edges"])
+        self.n_shards = int(info["n_shards"])
+        self.payload_columns = tuple(info["payload_columns"])
+        self._width = 2 + len(self.payload_columns)
+        self._channels = [
+            _WorkerChannel(index, entry["src_lo"], entry["src_hi"],
+                           entry["addresses"], timeout=timeout)
+            for index, entry in enumerate(slices)
+        ]
+        expected = 0
+        for channel in self._channels:
+            if channel.src_lo != expected or channel.src_hi < channel.src_lo:
+                raise ValueError(
+                    "worker ranges must tile [0, n_vertices) contiguously; "
+                    f"worker {channel.index} covers [{channel.src_lo}, "
+                    f"{channel.src_hi}) after [0, {expected})")
+            expected = channel.src_hi
+        if expected != self.n_vertices:
+            raise ValueError(
+                f"worker ranges cover [0, {expected}) but the store has "
+                f"{self.n_vertices} vertices")
+        # Exclusive upper bounds, for owner lookup by searchsorted: empty
+        # slices repeat the previous bound and side="right" skips them.
+        self._his = np.asarray([c.src_hi for c in self._channels],
+                               dtype=np.int64)
+        if max_fanout_threads is None:
+            max_fanout_threads = max(8, 2 * len(self._channels))
+        self._fanout = ThreadPoolExecutor(
+            max_workers=max_fanout_threads, thread_name_prefix="fleet-fanout")
+
+    # ------------------------------------------------------------------
+    # Fan-out plumbing
+    # ------------------------------------------------------------------
+    def _owners(self, vs: np.ndarray) -> np.ndarray:
+        """Index of the worker whose assigned range contains each vertex."""
+        return np.searchsorted(self._his, vs, side="right")
+
+    def _scatter(self, calls: List) -> List:
+        """Run ``(channel, fn)`` pairs concurrently; results in call order.
+        The first worker failure propagates (the router turns it into one
+        error frame); remaining calls still complete in the background."""
+        if len(calls) == 1:
+            channel, fn = calls[0]
+            return [channel.call(fn)]
+        futures = [self._fanout.submit(channel.call, fn)
+                   for channel, fn in calls]
+        return [future.result() for future in futures]
+
+    # ------------------------------------------------------------------
+    # Batch primitives (split by owner → fan out → merge in source order)
+    # ------------------------------------------------------------------
+    def degrees(self, vs: Sequence[int]) -> np.ndarray:
+        vs = self._check_vertices(np.atleast_1d(np.asarray(vs, dtype=np.int64)))
+        out = np.zeros(vs.shape[0], dtype=np.int64)
+        if vs.size == 0:
+            return out
+        owners = self._owners(vs)
+        calls, masks = [], []
+        for index, channel in enumerate(self._channels):
+            mask = owners == index
+            if mask.any():
+                sub = vs[mask]
+                calls.append((channel, lambda c, sub=sub: c.degrees(sub)))
+                masks.append(mask)
+        for mask, values in zip(masks, self._scatter(calls)):
+            out[mask] = values
+        return out
+
+    def edges_for_sources(self, vs: Sequence[int], *,
+                          with_payload: bool = False) -> np.ndarray:
+        if with_payload:
+            self._require_payload()
+        vs = np.unique(self._check_vertices(np.asarray(vs, dtype=np.int64)))
+        if vs.size == 0:
+            return self._finish_rows([], with_payload)
+        owners = self._owners(vs)
+        calls = []
+        for index, channel in enumerate(self._channels):
+            mask = owners == index
+            if mask.any():
+                sub = vs[mask]
+                calls.append((channel, lambda c, sub=sub, wp=with_payload:
+                              c.edges_for_sources(sub, with_payload=wp)))
+        # Ranges are contiguous and each worker answers (src, dst)-sorted,
+        # so worker order *is* global source order.
+        parts = [part for part in self._scatter(calls) if part.shape[0]]
+        return self._finish_rows(parts, with_payload)
+
+    def edges_in_range(self, lo: int, hi: int, *,
+                       with_payload: bool = False) -> np.ndarray:
+        if with_payload:
+            self._require_payload()
+        lo, hi = int(lo), int(hi)
+        calls = []
+        for channel in self._channels:
+            sub_lo = max(lo, channel.src_lo)
+            sub_hi = min(hi, channel.src_hi)
+            if sub_lo < sub_hi:
+                # Slice fetches ride the binary bulk plane worker-side —
+                # raw int64 bytes, no per-row JSON decode on the merge path.
+                calls.append((channel,
+                              lambda c, a=sub_lo, b=sub_hi, wp=with_payload:
+                              c.edges_in_range(a, b, with_payload=wp,
+                                               binary=True)))
+        parts = [part for part in self._scatter(calls) if part.shape[0]]
+        return self._finish_rows(parts, with_payload)
+
+    def edge_payloads(self, ps: Sequence[int], qs: Sequence[int]) -> np.ndarray:
+        self._require_payload()
+        ps = self._check_vertices(np.atleast_1d(np.asarray(ps, dtype=np.int64)))
+        qs = self._check_vertices(np.atleast_1d(np.asarray(qs, dtype=np.int64)))
+        if ps.shape != qs.shape:
+            raise ValueError(f"ps and qs must have matching shapes, "
+                             f"got {ps.shape} and {qs.shape}")
+        out = np.zeros((ps.shape[0], len(self.payload_columns)),
+                       dtype=np.int64)
+        if ps.size == 0:
+            return out
+        owners = self._owners(ps)  # an edge lives with its source's owner
+        calls, masks = [], []
+        for index, channel in enumerate(self._channels):
+            mask = owners == index
+            if mask.any():
+                sub_ps, sub_qs = ps[mask], qs[mask]
+                calls.append((channel, lambda c, p=sub_ps, q=sub_qs:
+                              c.edge_payloads(p, q)))
+                masks.append(mask)
+        for mask, values in zip(masks, self._scatter(calls)):
+            out[mask] = values
+        return out
+
+    # ------------------------------------------------------------------
+    # Operational surface
+    # ------------------------------------------------------------------
+    def describe(self) -> dict:
+        """The ``fleet`` description shape (ranges, addresses, channel
+        counters)."""
+        return shaping.fleet_shape(
+            [(c.src_lo, c.src_hi) for c in self._channels],
+            [c.addresses for c in self._channels],
+            calls=[c.calls for c in self._channels],
+            failovers=[c.failovers for c in self._channels])
+
+    def worker_reports(self) -> List[dict]:
+        """One ``stats`` probe per worker, concurrently; a dead worker
+        yields an error report instead of failing the rollup."""
+        def probe(channel):
+            try:
+                stats = channel.call(lambda c: c.request("stats"))
+                return shaping.fleet_worker_report(
+                    channel.index, channel.src_lo, channel.src_hi,
+                    stats=stats)
+            except Exception as exc:
+                return shaping.fleet_worker_report(
+                    channel.index, channel.src_lo, channel.src_hi,
+                    error=str(exc))
+        futures = [self._fanout.submit(probe, channel)
+                   for channel in self._channels]
+        return [future.result() for future in futures]
+
+    def stats(self) -> dict:
+        """Fleet-level ``"store"`` counter section (summed worker
+        counters) — what :meth:`ShardStoreServer.stats` would embed if it
+        served this façade directly."""
+        reports = self.worker_reports()
+        sections = [report["stats"]["store"] for report in reports
+                    if report.get("ok")]
+        return shaping.fleet_store_counters(sections, n_shards=self.n_shards)
+
+    def close(self) -> None:
+        self._fanout.shutdown(wait=True)
+        for channel in self._channels:
+            channel.close()
+
+    def __repr__(self) -> str:
+        return (f"FleetStore(workers={len(self._channels)}, "
+                f"n_vertices={self.n_vertices}, "
+                f"total_edges={self.total_edges}, "
+                f"payload_columns={list(self.payload_columns)})")
+
+
+class RangeRouter(ShardStoreServer):
+    """A :class:`ShardStoreServer` whose store is a :class:`FleetStore`.
+
+    Everything protocol-facing — framing, coalescing, the binary plane,
+    error frames — is inherited; the router only adds the fleet sections to
+    ``hello`` and replaces ``stats`` with the per-worker rollup (which does
+    wire I/O and therefore runs on the executor, never the event loop).
+    """
+
+    def __init__(self, fleet: FleetStore, **kwargs):
+        if not isinstance(fleet, FleetStore):
+            raise TypeError(
+                f"RangeRouter serves a FleetStore, got {type(fleet).__name__}")
+        super().__init__(fleet, **kwargs)
+
+    @property
+    def fleet(self) -> FleetStore:
+        return self.store
+
+    async def _op_hello(self, args: dict) -> dict:
+        return shaping.hello_shape(self._ops,
+                                   shaping.shape_store_info(self.store),
+                                   fleet=self.store.describe())
+
+    async def _op_stats(self, args: dict) -> dict:
+        # Unlike the base class the rollup talks to N workers — executor
+        # work, not event-loop work.
+        return await self._run_store(
+            lambda: shaping.stats_answer_shape(self.stats()))
+
+    def stats(self) -> dict:
+        return shaping.fleet_stats_shape(
+            self._server_stats(), self.store.describe(),
+            self.store.worker_reports(), n_shards=self.store.n_shards)
+
+
+class ThreadedRouter(ThreadedServer):
+    """A :class:`RangeRouter` on a background thread (the
+    :class:`~repro.serve.ThreadedServer` lifecycle, router construction)."""
+
+    def __init__(self, fleet: FleetStore, **kwargs):
+        super().__init__(fleet, server_cls=RangeRouter, **kwargs)

@@ -3,8 +3,9 @@
 The serving half of the out-of-core story: a compacted shard store is owned
 by one :class:`ShardStoreServer`, which accepts length-prefixed JSON frames
 (:mod:`repro.serve.protocol`), dispatches ``degree`` / ``degrees`` /
-``neighbors`` / ``edges_in_range`` / ``egonet`` / ``subgraph`` /
-``edge_payloads`` requests (with their ``with_payload`` variants), and
+``neighbors`` / ``edges_for_sources`` / ``edges_in_range`` / ``egonet`` /
+``subgraph`` / ``edge_payloads`` requests (with their ``with_payload``
+variants), and
 answers with the :mod:`repro.serve.shaping` shapes the CLI's
 ``query --json`` also emits.
 
@@ -53,6 +54,7 @@ import time
 from bisect import bisect_left
 from collections import Counter
 from concurrent.futures import ThreadPoolExecutor
+from pathlib import Path
 from typing import Callable, List, Optional
 
 import numpy as np
@@ -60,7 +62,6 @@ import numpy as np
 from repro.serve import protocol, shaping
 from repro.serve.protocol import (
     DEFAULT_MAX_REQUEST_BYTES,
-    PROTOCOL_VERSION,
     SUPPORTED_PROTOCOL_VERSIONS,
     ProtocolError,
 )
@@ -196,8 +197,10 @@ class ShardStoreServer:
     Parameters
     ----------
     store:
-        A :class:`ShardStore` instance, or a compacted store directory (a
-        store is then opened with *cache_shards*).
+        A :class:`ShardStore` instance, a compacted store directory (a
+        store is then opened with *cache_shards*), or any object exposing
+        the same query surface — the range router serves its fleet façade
+        through this very class.
     host, port:
         Bind address; ``port=0`` picks an ephemeral port, published as
         :attr:`port` after :meth:`start`.
@@ -216,7 +219,7 @@ class ShardStoreServer:
                  max_request_bytes: int = DEFAULT_MAX_REQUEST_BYTES,
                  max_coalesce_batch: int = 1024,
                  cache_shards: int = 8):
-        if not isinstance(store, ShardStore):
+        if isinstance(store, (str, Path)):
             store = ShardStore(store, cache_shards=cache_shards)
         self.store = store
         self.host = host
@@ -243,6 +246,7 @@ class ShardStoreServer:
             "degree": self._op_degree,
             "degrees": self._op_degrees,
             "neighbors": self._op_neighbors,
+            "edges_for_sources": self._op_edges_for_sources,
             "edges_in_range": self._op_edges_in_range,
             "egonet": self._op_egonet,
             "subgraph": self._op_subgraph,
@@ -504,14 +508,8 @@ class ShardStoreServer:
     # Operations
     # ------------------------------------------------------------------
     async def _op_hello(self, args: dict) -> dict:
-        return {
-            "query": "hello",
-            "protocol": PROTOCOL_VERSION,
-            "protocol_versions": list(SUPPORTED_PROTOCOL_VERSIONS),
-            "binary_ops": ["edges_in_range"],
-            "ops": sorted(self._ops),
-            "store": shaping.shape_store_info(self.store),
-        }
+        return shaping.hello_shape(self._ops,
+                                   shaping.shape_store_info(self.store))
 
     async def _op_degree(self, args: dict) -> dict:
         vertex = self._check_vertex(_arg_int(args, "vertex"))
@@ -530,6 +528,13 @@ class ShardStoreServer:
         return shaping.neighbors_shape(vertex, rows,
                                        self.store.payload_columns,
                                        with_payload=with_payload)
+
+    async def _op_edges_for_sources(self, args: dict) -> dict:
+        vertices = _arg_int_list(args, "vertices")
+        with_payload = _arg_bool(args, "with_payload")
+        return await self._run_store(
+            lambda: shaping.shape_edges_for_sources(self.store, vertices,
+                                                    with_payload=with_payload))
 
     async def _op_edges_in_range(self, args: dict):
         lo = _arg_int(args, "lo")
@@ -581,49 +586,55 @@ class ShardStoreServer:
             lambda: shaping.shape_edge_payloads(self.store, ps, qs))
 
     async def _op_stats(self, args: dict) -> dict:
-        return {"query": "stats", **self.stats()}
+        return shaping.stats_answer_shape(self.stats())
 
     async def _op_shutdown(self, args: dict) -> dict:
         # Reply first; the loop notices the event after this response flushes.
         self._loop.call_soon(self._stop_event.set)
-        return {"query": "shutdown", "stopping": True}
+        return shaping.shutdown_shape()
 
     # ------------------------------------------------------------------
     # Operational surface
     # ------------------------------------------------------------------
-    def stats(self) -> dict:
-        """Request counts, per-op latency, coalescing effectiveness, and the
-        store's cache counters — the ``stats`` request returns this."""
+    def _server_stats(self) -> dict:
+        """The ``"server"`` counter section alone — shared with the range
+        router, whose ``stats()`` composes it with a fleet rollup instead of
+        a single store's counters."""
         neighbors = list(self._neighbors_coalescers.values())
         degree = self._degree_coalescer
         return {
-            "server": {
-                "uptime_s": round(time.monotonic() - self._started_at, 3)
-                if self._started_at is not None else 0.0,
-                "requests": {op: count
-                             for op, count in self._request_counts.items()
-                             if count},
-                "errors": self._error_count,
-                "protocol_errors": self._protocol_errors,
-                "connections_open": len(self._writers),
-                "connections_total": self._connections_total,
-                "decode_threads": self.decode_threads,
-                "binary": {"frames": self._binary_frames,
-                           "bytes": self._binary_bytes},
-                "coalesced": {
-                    "degree": degree.stats() if degree is not None
-                    else {"requests": 0, "batches": 0, "max_batch": 0},
-                    "neighbors": {
-                        "requests": sum(c.requests for c in neighbors),
-                        "batches": sum(c.batches for c in neighbors),
-                        "max_batch": max((c.max_batch_seen for c in neighbors),
-                                         default=0),
-                    },
+            "uptime_s": round(time.monotonic() - self._started_at, 3)
+            if self._started_at is not None else 0.0,
+            "requests": {op: count
+                         for op, count in self._request_counts.items()
+                         if count},
+            "errors": self._error_count,
+            "protocol_errors": self._protocol_errors,
+            "connections_open": len(self._writers),
+            "connections_total": self._connections_total,
+            "decode_threads": self.decode_threads,
+            "binary": {"frames": self._binary_frames,
+                       "bytes": self._binary_bytes},
+            "coalesced": {
+                "degree": degree.stats() if degree is not None
+                else {"requests": 0, "batches": 0, "max_batch": 0},
+                "neighbors": {
+                    "requests": sum(c.requests for c in neighbors),
+                    "batches": sum(c.batches for c in neighbors),
+                    "max_batch": max((c.max_batch_seen for c in neighbors),
+                                     default=0),
                 },
-                "latency_us": {op: hist.snapshot()
-                               for op, hist in sorted(self._latency.items())
-                               if hist.count},
             },
+            "latency_us": {op: hist.snapshot()
+                           for op, hist in sorted(self._latency.items())
+                           if hist.count},
+        }
+
+    def stats(self) -> dict:
+        """Request counts, per-op latency, coalescing effectiveness, and the
+        store's cache counters — the ``stats`` request returns this."""
+        return {
+            "server": self._server_stats(),
             "store": self.store.stats(),
         }
 
@@ -637,8 +648,9 @@ class ThreadedServer:
     ``server.port``), and tears everything down — gracefully — on exit.
     """
 
-    def __init__(self, store, **kwargs):
+    def __init__(self, store, *, server_cls=None, **kwargs):
         self._store = store
+        self._server_cls = server_cls if server_cls is not None else ShardStoreServer
         self._kwargs = kwargs
         self._thread: Optional[threading.Thread] = None
         self._ready = threading.Event()
@@ -667,7 +679,7 @@ class ThreadedServer:
             # Construction opens the store (manifest read, validation) and
             # can fail just like bind — both must surface to start(), never
             # leave it blocked on the ready event.
-            server = ShardStoreServer(self._store, **self._kwargs)
+            server = self._server_cls(self._store, **self._kwargs)
             await server.start()
         except BaseException as exc:  # surface open/bind errors to start()
             self._startup_error = exc

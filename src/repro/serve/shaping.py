@@ -25,6 +25,8 @@ from typing import Optional, Sequence
 import numpy as np
 import scipy.sparse as sp
 
+from repro.serve.protocol import PROTOCOL_VERSION, SUPPORTED_PROTOCOL_VERSIONS
+
 __all__ = [
     "degree_shape",
     "neighbors_shape",
@@ -37,9 +39,18 @@ __all__ = [
     "shape_range_binary",
     "binary_rows_descriptor",
     "rows_from_binary",
+    "edges_for_sources_shape",
+    "shape_edges_for_sources",
     "shape_subgraph",
     "shape_edge_payloads",
     "shape_store_info",
+    "hello_shape",
+    "stats_answer_shape",
+    "shutdown_shape",
+    "fleet_shape",
+    "fleet_worker_report",
+    "fleet_store_counters",
+    "fleet_stats_shape",
     "induced_adjacency",
 ]
 
@@ -247,6 +258,33 @@ def rows_from_binary(descriptor: dict, buffer) -> np.ndarray:
     return np.frombuffer(buffer, dtype=dtype).reshape(shape)
 
 
+def edges_for_sources_shape(vertices: np.ndarray, rows: np.ndarray,
+                            columns: Sequence[str]) -> dict:
+    """Assemble an ``edges_for_sources`` answer from already-gathered rows."""
+    return {
+        "query": "edges_for_sources",
+        "vertices": _int_list(vertices),
+        "n_edges": int(rows.shape[0]),
+        "columns": list(columns),
+        "edges": _rows_list(rows),
+    }
+
+
+def shape_edges_for_sources(store, vertices: Sequence[int], *,
+                            with_payload: bool = False) -> dict:
+    """``edges_for_sources`` answer: every stored row whose source is in
+    *vertices* (deduplicated), ``(src, dst)``-sorted — the batch gather the
+    range router splits by worker ranges, exposed on the wire so remote
+    callers (and the router itself) can compose subgraph-style queries from
+    one round trip per slice."""
+    vs = np.asarray(vertices, dtype=np.int64)
+    rows = store.edges_for_sources(vs, with_payload=with_payload)
+    columns = ["src", "dst"]
+    if with_payload:
+        columns += list(store.payload_columns)
+    return edges_for_sources_shape(vs, rows, columns)
+
+
 def shape_subgraph(store, vertices: Sequence[int], *,
                    with_payload: bool = False) -> dict:
     """``subgraph`` answer: the induced stored rows plus the vertex list in
@@ -293,6 +331,106 @@ def shape_store_info(store) -> dict:
         "n_shards": int(store.n_shards),
         "payload_columns": list(store.payload_columns),
         "name": store.manifest.get("name"),
+    }
+
+
+def hello_shape(ops: Sequence[str], store_info: dict, *,
+                binary_ops: Sequence[str] = ("edges_in_range",),
+                fleet: Optional[dict] = None) -> dict:
+    """The ``hello`` answer envelope: protocol capabilities plus the store
+    description.  A range router adds a ``"fleet"`` section describing its
+    worker slices; everything else is identical to a single server, which is
+    what makes routing transparent to ``query --connect``."""
+    result = {
+        "query": "hello",
+        "protocol": PROTOCOL_VERSION,
+        "protocol_versions": list(SUPPORTED_PROTOCOL_VERSIONS),
+        "binary_ops": list(binary_ops),
+        "ops": sorted(ops),
+        "store": store_info,
+    }
+    if fleet is not None:
+        result["fleet"] = fleet
+    return result
+
+
+def stats_answer_shape(stats: dict) -> dict:
+    """The ``stats`` answer envelope around a server's counter sections."""
+    return {"query": "stats", **stats}
+
+
+def shutdown_shape() -> dict:
+    """The ``shutdown`` acknowledgement."""
+    return {"query": "shutdown", "stopping": True}
+
+
+def fleet_shape(ranges: Sequence, addresses: Sequence, *,
+                failovers: Optional[Sequence[int]] = None,
+                calls: Optional[Sequence[int]] = None) -> dict:
+    """Describe a fleet: one entry per worker slice, in range order.
+
+    *ranges* are the assigned half-open ``(src_lo, src_hi)`` vertex ranges,
+    *addresses* the per-slice replica address lists; *failovers* / *calls*
+    add the router's per-slice channel counters when known.
+    """
+    slices = []
+    for index, ((lo, hi), addrs) in enumerate(zip(ranges, addresses)):
+        entry = {"worker": index, "src_lo": int(lo), "src_hi": int(hi),
+                 "addresses": [str(a) for a in addrs]}
+        if calls is not None:
+            entry["calls"] = int(calls[index])
+        if failovers is not None:
+            entry["failovers"] = int(failovers[index])
+        slices.append(entry)
+    return {"workers": len(slices), "slices": slices}
+
+
+def fleet_worker_report(index: int, src_lo: int, src_hi: int, *,
+                        stats: Optional[dict] = None,
+                        error: Optional[str] = None) -> dict:
+    """One worker's entry in the fleet ``stats`` rollup: its full per-worker
+    ``stats`` answer when it responded, or the error string when it did not
+    (a fleet-level ``stats`` must not fail just because one worker is down).
+    """
+    report = {"worker": int(index), "src_lo": int(src_lo),
+              "src_hi": int(src_hi), "ok": error is None}
+    if error is None:
+        report["stats"] = stats
+    else:
+        report["error"] = str(error)
+    return report
+
+
+def fleet_store_counters(store_sections: Sequence[dict], *,
+                         n_shards: int) -> dict:
+    """Fleet-level ``"store"`` counter section: the single-store keys with
+    additive counters summed across the responding workers, so CLI / client
+    consumers of ``stats()["store"]`` read a router exactly like a single
+    server.  ``n_shards`` is the *parent* store's count (boundary shards are
+    listed by two slices and must not be double-counted)."""
+    summed = {key: sum(int(section[key]) for section in store_sections)
+              for key in ("shard_reads", "cache_hits", "cached_shards",
+                          "cache_shards", "resident_bytes", "mapped_bytes")}
+    return {
+        **summed,
+        "n_shards": int(n_shards),
+        "mmap": all(bool(section["mmap"]) for section in store_sections),
+        "workers": len(store_sections),
+    }
+
+
+def fleet_stats_shape(server: dict, fleet: dict, reports: Sequence[dict], *,
+                      n_shards: int) -> dict:
+    """A router's ``stats()`` sections: the router's own ``server`` counters,
+    the fleet description, the per-worker reports
+    (:func:`fleet_worker_report`), and the summed ``store`` section."""
+    sections = [report["stats"]["store"] for report in reports
+                if report.get("ok")]
+    return {
+        "server": server,
+        "fleet": fleet,
+        "workers": list(reports),
+        "store": fleet_store_counters(sections, n_shards=n_shards),
     }
 
 

@@ -8,6 +8,10 @@ that spill into a *servable* edge store:
 * :func:`compact_shards` — bounded-memory external merge sort of the
   per-block shards into source-sorted, size-targeted shards, recorded in a
   **manifest v2** with per-shard ``[src_min, src_max]`` vertex ranges;
+* :func:`partition_manifest` — cut a compacted manifest into per-worker
+  vertex-range slice manifests (no shard rewrites; slices reference the
+  existing ``.npy`` files) for the range-routed serving fleet
+  (:mod:`repro.serve.router`);
 * :class:`ShardStore` — range-query layer answering ``degree`` /
   ``neighbors`` / ``edges_in_range`` / ``egonet`` by binary-searching the
   manifest ranges, with an LRU of decoded shards and batch-first entry
@@ -24,14 +28,17 @@ that spill into a *servable* edge store:
 
 from repro.store.async_sink import AsyncShardSink
 from repro.store.compaction import MANIFEST_V2, compact_shards
+from repro.store.partition import partition_manifest
 from repro.store.payloads import KNOWN_PAYLOAD_COLUMNS, PayloadEvaluator
-from repro.store.query import ShardStore
+from repro.store.query import ShardStore, StoreQueryMixin
 
 __all__ = [
     "AsyncShardSink",
     "KNOWN_PAYLOAD_COLUMNS",
     "PayloadEvaluator",
     "ShardStore",
+    "StoreQueryMixin",
     "compact_shards",
+    "partition_manifest",
     "MANIFEST_V2",
 ]

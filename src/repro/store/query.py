@@ -67,7 +67,7 @@ from repro.graphs.egonet import Egonet
 from repro.graphs.egonet import egonet as _extract_egonet
 from repro.graphs.io import read_shard_manifest
 
-__all__ = ["ShardStore"]
+__all__ = ["ShardStore", "StoreQueryMixin"]
 
 PathLike = Union[str, Path]
 
@@ -94,7 +94,177 @@ def _ragged_take(arr: np.ndarray, lefts: np.ndarray, rights: np.ndarray) -> np.n
     return arr[starts + offsets]
 
 
-class ShardStore:
+class StoreQueryMixin:
+    """Derived graph queries over any store exposing the batch primitives.
+
+    The mixin is the single definition of every query that can be *composed*
+    from the batched primitives — ``degree`` / ``neighbors`` / ``has_edge`` /
+    ``subgraph_adjacency`` / ``subgraph_edges`` / ``subgraph`` / ``egonet`` /
+    ``edge_payload`` — so a local :class:`ShardStore` and the range-routed
+    fleet façade (:class:`repro.serve.router.FleetStore`) answer them through
+    literally the same code path, and routed answers are byte-equal to
+    single-store answers by construction rather than by parallel maintenance.
+
+    A concrete store provides the primitives and descriptors:
+
+    - ``degrees(vs)``, ``edges_for_sources(vs, with_payload=)``,
+      ``edges_in_range(lo, hi, with_payload=)``, ``edge_payloads(ps, qs)``
+    - attributes ``n_vertices``, ``payload_columns``, ``manifest``, ``_width``
+    """
+
+    def _store_label(self) -> str:
+        """Human-facing identity used in error messages: the directory for an
+        on-disk store, the manifest name for a façade without one."""
+        directory = getattr(self, "directory", None)
+        if directory is not None:
+            return str(directory)
+        return str(self.manifest.get("name") or "store")
+
+    def _check_vertices(self, vs: np.ndarray) -> np.ndarray:
+        vs = np.ascontiguousarray(vs, dtype=np.int64)
+        if vs.size and (vs.min() < 0 or vs.max() >= self.n_vertices):
+            raise IndexError("product vertex id out of range")
+        return vs
+
+    def _require_payload(self) -> None:
+        if not self.payload_columns:
+            raise ValueError(
+                f"{self._store_label()}: store carries no payload columns "
+                "(manifest payload_columns is ['src', 'dst']); re-stream the "
+                "spill with payload columns and recompact to serve per-edge "
+                "ground truth")
+
+    def _finish_rows(self, parts, with_payload: bool) -> np.ndarray:
+        """Assemble gathered full-width rows and slice off the payload unless
+        the caller asked for it."""
+        if with_payload:
+            self._require_payload()
+        width = self._width if with_payload else 2
+        if not parts:
+            return np.zeros((0, width), dtype=np.int64)
+        rows = parts[0] if len(parts) == 1 else np.concatenate(parts)
+        return rows if with_payload else rows[:, :2]
+
+    def payload_index(self, column: str) -> int:
+        """Position of *column* within the payload slice of a full row
+        (i.e. ``row[2 + payload_index(column)]`` is its value)."""
+        try:
+            return self.payload_columns.index(column)
+        except ValueError:
+            raise ValueError(
+                f"{self._store_label()}: no payload column {column!r}; this "
+                f"store carries {list(self.payload_columns)}") from None
+
+    def edge_payload(self, p: int, q: int) -> dict:
+        """Payload of one stored edge as a ``{column: value}`` dict."""
+        values = self.edge_payloads(np.asarray([p]), np.asarray([q]))[0]
+        return {name: int(value)
+                for name, value in zip(self.payload_columns, values)}
+
+    # ------------------------------------------------------------------
+    # Scalar views (thin wrappers over the batched kernels)
+    # ------------------------------------------------------------------
+    def degree(self, v: int) -> int:
+        """Degree of one vertex, self loop excluded (the
+        :meth:`repro.core.KroneckerGraph.degree` convention)."""
+        return int(self.degrees(np.asarray([v]))[0])
+
+    def has_edge(self, p: int, q: int) -> bool:
+        """Whether the store holds the directed entry ``(p, q)``."""
+        row = self.edges_for_sources(np.asarray([p]))
+        index = int(np.searchsorted(row[:, 1], int(q)))
+        return index < row.shape[0] and int(row[index, 1]) == int(q)
+
+    def neighbors(self, v: int, *, include_self_loop: bool = False) -> np.ndarray:
+        """Sorted neighbour ids of *v*, matching
+        :meth:`repro.core.KroneckerGraph.neighbors`."""
+        qs = self.edges_for_sources(np.asarray([v]))[:, 1]
+        if not include_self_loop:
+            qs = qs[qs != int(v)]
+        return np.ascontiguousarray(qs)
+
+    # ------------------------------------------------------------------
+    # Induced subgraphs / egonets
+    # ------------------------------------------------------------------
+    def subgraph_adjacency(self, vertices: Sequence[int]) -> sp.csr_matrix:
+        """Induced adjacency on *vertices*, gathered through the batched
+        edge primitives only.
+
+        Local vertex *i* of the result is ``vertices[i]`` (order preserved,
+        like :meth:`repro.core.KroneckerGraph.subgraph_adjacency`); *vertices*
+        must be unique.
+        """
+        ps = self._check_vertices(np.asarray(vertices, dtype=np.int64))
+        k = ps.shape[0]
+        if k == 0:
+            return sp.csr_matrix((0, 0), dtype=np.int64)
+        order = np.argsort(ps, kind="stable")
+        sorted_ps = ps[order]
+        if np.any(sorted_ps[1:] == sorted_ps[:-1]):
+            raise ValueError("subgraph vertex selection contains duplicates")
+        edges = self.edges_for_sources(sorted_ps)
+        if edges.shape[0] == 0:
+            return sp.csr_matrix((k, k), dtype=np.int64)
+        # Keep only edges landing inside the selection, then relabel both
+        # endpoints to local ids in the caller's ordering.
+        pos = np.minimum(np.searchsorted(sorted_ps, edges[:, 1]), k - 1)
+        keep = sorted_ps[pos] == edges[:, 1]
+        edges, pos = edges[keep], pos[keep]
+        local_src = order[np.searchsorted(sorted_ps, edges[:, 0])]
+        local_dst = order[pos]
+        data = np.ones(edges.shape[0], dtype=np.int64)
+        return sp.csr_matrix((data, (local_src, local_dst)), shape=(k, k))
+
+    def subgraph_edges(self, vertices: Sequence[int], *,
+                       with_payload: bool = False) -> np.ndarray:
+        """Stored rows with both endpoints in *vertices* (global ids,
+        ``(src, dst)``-sorted); the edge-list sibling of
+        :meth:`subgraph_adjacency`, and the carrier of the induced payload
+        rows when ``with_payload=True``."""
+        sel = np.unique(self._check_vertices(np.asarray(vertices, dtype=np.int64)))
+        rows = self.edges_for_sources(sel, with_payload=with_payload)
+        if sel.size == 0 or rows.shape[0] == 0:
+            return rows
+        pos = np.minimum(np.searchsorted(sel, rows[:, 1]), sel.size - 1)
+        return rows[sel[pos] == rows[:, 1]]
+
+    def subgraph(self, vertices: Sequence[int], *, with_payload: bool = False):
+        """Induced subgraph as a :class:`repro.graphs.Graph` (undirected
+        stores; the adjacency of an undirected product spill is symmetric by
+        construction).
+
+        With ``with_payload=True`` returns ``(graph, rows)`` where *rows* are
+        the induced ``(m, 2 + k)`` stored rows (global vertex ids) carrying
+        the manifest's payload columns.
+        """
+        graph = Graph(self.subgraph_adjacency(vertices),
+                      name=f"{self.manifest.get('name') or 'store'}[sub]",
+                      validate=False)
+        if not with_payload:
+            return graph
+        return graph, self.subgraph_edges(vertices, with_payload=True)
+
+    def egonet(self, v: int, *, with_payload: bool = False):
+        """Egonet of *v* served entirely from the store.
+
+        Delegates to :func:`repro.graphs.egonet.egonet` through the same
+        ``neighbors``/``subgraph`` protocol :class:`~repro.core.KroneckerGraph`
+        implements, so the Figure 7 spot checks run unchanged against spilled
+        edges — the product is never materialized, and only the shards
+        covering the centre and its neighbours are decoded.
+
+        With ``with_payload=True`` returns ``(egonet, rows)`` where *rows*
+        are the stored ``(m, 2 + k)`` rows induced on the egonet's vertices —
+        the per-edge ground truth of the neighbourhood, served from the same
+        decoded shards.
+        """
+        ego = _extract_egonet(self, int(v))
+        if not with_payload:
+            return ego
+        return ego, self.subgraph_edges(ego.vertices, with_payload=True)
+
+
+class ShardStore(StoreQueryMixin):
     """Read-side query layer over a compacted (manifest v2) shard directory.
 
     Parameters
@@ -287,12 +457,6 @@ class ShardStore:
     # ------------------------------------------------------------------
     # Batched queries (the hot path)
     # ------------------------------------------------------------------
-    def _check_vertices(self, vs: np.ndarray) -> np.ndarray:
-        vs = np.ascontiguousarray(vs, dtype=np.int64)
-        if vs.size and (vs.min() < 0 or vs.max() >= self.n_vertices):
-            raise IndexError("product vertex id out of range")
-        return vs
-
     def _batched_counts(self, vs: np.ndarray, *, with_self_loops: bool
                         ) -> Tuple[np.ndarray, np.ndarray]:
         """Per-vertex stored-entry counts and (optionally) self-loop flags.
@@ -348,25 +512,6 @@ class ShardStore:
                                              with_self_loops=True)
         return counts - loops.astype(np.int64)
 
-    def _require_payload(self) -> None:
-        if not self.payload_columns:
-            raise ValueError(
-                f"{self.directory}: store carries no payload columns "
-                "(manifest payload_columns is ['src', 'dst']); re-stream the "
-                "spill with payload columns and recompact to serve per-edge "
-                "ground truth")
-
-    def _finish_rows(self, parts, with_payload: bool) -> np.ndarray:
-        """Assemble gathered full-width rows and slice off the payload unless
-        the caller asked for it."""
-        if with_payload:
-            self._require_payload()
-        width = self._width if with_payload else 2
-        if not parts:
-            return np.zeros((0, width), dtype=np.int64)
-        rows = parts[0] if len(parts) == 1 else np.concatenate(parts)
-        return rows if with_payload else rows[:, :2]
-
     def edges_for_sources(self, vs: Sequence[int], *,
                           with_payload: bool = False) -> np.ndarray:
         """All stored edges whose source is in *vs*, in ``(src, dst)`` order.
@@ -419,16 +564,6 @@ class ShardStore:
     # ------------------------------------------------------------------
     # Payload lookups
     # ------------------------------------------------------------------
-    def payload_index(self, column: str) -> int:
-        """Position of *column* within the payload slice of a full row
-        (i.e. ``row[2 + payload_index(column)]`` is its value)."""
-        try:
-            return self.payload_columns.index(column)
-        except ValueError:
-            raise ValueError(
-                f"{self.directory}: no payload column {column!r}; this store "
-                f"carries {list(self.payload_columns)}") from None
-
     def edge_payloads(self, ps: Sequence[int], qs: Sequence[int]) -> np.ndarray:
         """Payload values of the stored edges ``(ps[t], qs[t])``.
 
@@ -479,116 +614,12 @@ class ShardStore:
                 "in this shard store; payloads exist only for stored edges")
         return out
 
-    def edge_payload(self, p: int, q: int) -> dict:
-        """Payload of one stored edge as a ``{column: value}`` dict."""
-        values = self.edge_payloads(np.asarray([p]), np.asarray([q]))[0]
-        return {name: int(value)
-                for name, value in zip(self.payload_columns, values)}
-
     # ------------------------------------------------------------------
     # Scalar views (thin wrappers over the batched kernels)
     # ------------------------------------------------------------------
     def out_degree(self, v: int) -> int:
         """Stored out-entry count of one vertex."""
         return int(self.out_degrees(np.asarray([v]))[0])
-
-    def degree(self, v: int) -> int:
-        """Degree of one vertex, self loop excluded (the
-        :meth:`repro.core.KroneckerGraph.degree` convention)."""
-        return int(self.degrees(np.asarray([v]))[0])
-
-    def has_edge(self, p: int, q: int) -> bool:
-        """Whether the store holds the directed entry ``(p, q)``."""
-        row = self.edges_for_sources(np.asarray([p]))
-        index = int(np.searchsorted(row[:, 1], int(q)))
-        return index < row.shape[0] and int(row[index, 1]) == int(q)
-
-    def neighbors(self, v: int, *, include_self_loop: bool = False) -> np.ndarray:
-        """Sorted neighbour ids of *v*, matching
-        :meth:`repro.core.KroneckerGraph.neighbors`."""
-        qs = self.edges_for_sources(np.asarray([v]))[:, 1]
-        if not include_self_loop:
-            qs = qs[qs != int(v)]
-        return np.ascontiguousarray(qs)
-
-    # ------------------------------------------------------------------
-    # Induced subgraphs / egonets
-    # ------------------------------------------------------------------
-    def subgraph_adjacency(self, vertices: Sequence[int]) -> sp.csr_matrix:
-        """Induced adjacency on *vertices*, decoded from the touched shards only.
-
-        Local vertex *i* of the result is ``vertices[i]`` (order preserved,
-        like :meth:`repro.core.KroneckerGraph.subgraph_adjacency`); *vertices*
-        must be unique.
-        """
-        ps = self._check_vertices(np.asarray(vertices, dtype=np.int64))
-        k = ps.shape[0]
-        if k == 0:
-            return sp.csr_matrix((0, 0), dtype=np.int64)
-        order = np.argsort(ps, kind="stable")
-        sorted_ps = ps[order]
-        if np.any(sorted_ps[1:] == sorted_ps[:-1]):
-            raise ValueError("subgraph vertex selection contains duplicates")
-        edges = self.edges_for_sources(sorted_ps)
-        if edges.shape[0] == 0:
-            return sp.csr_matrix((k, k), dtype=np.int64)
-        # Keep only edges landing inside the selection, then relabel both
-        # endpoints to local ids in the caller's ordering.
-        pos = np.minimum(np.searchsorted(sorted_ps, edges[:, 1]), k - 1)
-        keep = sorted_ps[pos] == edges[:, 1]
-        edges, pos = edges[keep], pos[keep]
-        local_src = order[np.searchsorted(sorted_ps, edges[:, 0])]
-        local_dst = order[pos]
-        data = np.ones(edges.shape[0], dtype=np.int64)
-        return sp.csr_matrix((data, (local_src, local_dst)), shape=(k, k))
-
-    def subgraph_edges(self, vertices: Sequence[int], *,
-                       with_payload: bool = False) -> np.ndarray:
-        """Stored rows with both endpoints in *vertices* (global ids,
-        ``(src, dst)``-sorted); the edge-list sibling of
-        :meth:`subgraph_adjacency`, and the carrier of the induced payload
-        rows when ``with_payload=True``."""
-        sel = np.unique(self._check_vertices(np.asarray(vertices, dtype=np.int64)))
-        rows = self.edges_for_sources(sel, with_payload=with_payload)
-        if sel.size == 0 or rows.shape[0] == 0:
-            return rows
-        pos = np.minimum(np.searchsorted(sel, rows[:, 1]), sel.size - 1)
-        return rows[sel[pos] == rows[:, 1]]
-
-    def subgraph(self, vertices: Sequence[int], *, with_payload: bool = False):
-        """Induced subgraph as a :class:`repro.graphs.Graph` (undirected
-        stores; the adjacency of an undirected product spill is symmetric by
-        construction).
-
-        With ``with_payload=True`` returns ``(graph, rows)`` where *rows* are
-        the induced ``(m, 2 + k)`` stored rows (global vertex ids) carrying
-        the manifest's payload columns.
-        """
-        graph = Graph(self.subgraph_adjacency(vertices),
-                      name=f"{self.manifest.get('name') or 'store'}[sub]",
-                      validate=False)
-        if not with_payload:
-            return graph
-        return graph, self.subgraph_edges(vertices, with_payload=True)
-
-    def egonet(self, v: int, *, with_payload: bool = False):
-        """Egonet of *v* served entirely from the store.
-
-        Delegates to :func:`repro.graphs.egonet.egonet` through the same
-        ``neighbors``/``subgraph`` protocol :class:`~repro.core.KroneckerGraph`
-        implements, so the Figure 7 spot checks run unchanged against spilled
-        edges — the product is never materialized, and only the shards
-        covering the centre and its neighbours are decoded.
-
-        With ``with_payload=True`` returns ``(egonet, rows)`` where *rows*
-        are the stored ``(m, 2 + k)`` rows induced on the egonet's vertices —
-        the per-edge ground truth of the neighbourhood, served from the same
-        decoded shards.
-        """
-        ego = _extract_egonet(self, int(v))
-        if not with_payload:
-            return ego
-        return ego, self.subgraph_edges(ego.vertices, with_payload=True)
 
     def __repr__(self) -> str:
         return (f"ShardStore({str(self.directory)!r}, n_vertices={self.n_vertices}, "

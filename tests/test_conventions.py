@@ -2,12 +2,20 @@
 
 These are grep-level checks over the source tree, not behavioural tests:
 they keep conventions that code review would otherwise have to re-litigate
-on every PR.  The one enforced here is the zero-copy decode rule from the
-binary data plane work: shard ``.npy`` decodes inside the store and serve
-layers must *state* their memory-mode decision — every ``np.load(`` call in
-``src/repro/store/`` and ``src/repro/serve/`` passes ``mmap_mode``
-explicitly (``mmap_mode=None`` when an eager private copy is the point),
-so a bare call that silently materializes a shard can't creep back in.
+on every PR.  Two are enforced here:
+
+* the zero-copy decode rule from the binary data plane work: shard ``.npy``
+  decodes inside the store and serve layers must *state* their memory-mode
+  decision — every ``np.load(`` call in ``src/repro/store/`` and
+  ``src/repro/serve/`` passes ``mmap_mode`` explicitly (``mmap_mode=None``
+  when an eager private copy is the point), so a bare call that silently
+  materializes a shard can't creep back in;
+* the answer-shape rule: every query answer dict (recognisable by its
+  ``"query": "<op>"`` discriminator) is built in
+  ``src/repro/serve/shaping.py`` and nowhere else — the server, the range
+  router, and the CLI assemble answers exclusively through shaping
+  functions, so the wire surface and ``query --json`` cannot drift apart
+  shape by shape.
 """
 
 from __future__ import annotations
@@ -59,3 +67,29 @@ def test_store_and_serve_np_load_states_mmap_mode():
         "np.load( without an explicit mmap_mode in the zero-copy layers "
         "(pass mmap_mode=None if an eager copy is intended):\n  "
         + "\n  ".join(offenders))
+
+
+#: Files that *consume* answer shapes and must never hand-build one.  An
+#: answer dict is recognisable by its '"query": "<op>"' discriminator key
+#: (string-literal value: the dispatch table in cli.py maps the same key to
+#: a function and is legitimately not a shape).
+ANSWER_SHAPE_CONSUMERS = ("serve/server.py", "serve/router.py", "cli.py")
+
+_QUERY_KEY_LITERAL = re.compile(r"""["']query["']\s*:\s*["']""")
+
+
+def test_answer_shapes_are_built_only_in_shaping():
+    # Self-check: the rule's home must actually build shapes, otherwise the
+    # lint would pass vacuously after a refactor moved them elsewhere.
+    shaping_text = (SRC / "serve" / "shaping.py").read_text()
+    assert len(_QUERY_KEY_LITERAL.findall(shaping_text)) >= 5, (
+        "shaping.py no longer builds the answer shapes this lint protects")
+    offenders = []
+    for rel in ANSWER_SHAPE_CONSUMERS:
+        text = (SRC / rel).read_text()
+        for match in _QUERY_KEY_LITERAL.finditer(text):
+            line = text.count("\n", 0, match.start()) + 1
+            offenders.append(f"{rel}:{line}")
+    assert not offenders, (
+        "answer dicts must come from repro.serve.shaping, not be hand-built "
+        "(add a shaping function and call it):\n  " + "\n  ".join(offenders))

@@ -1,0 +1,439 @@
+"""Tests for the range-routed serving fleet (repro.serve.router).
+
+Four layers of coverage, all through :class:`~tests._fleet_harness.FleetHarness`
+(partition → N slice workers → router, on ephemeral ports):
+
+* routing transparency — every query op answered by the router must be
+  byte-equal (values *and* dtypes) to the single in-process
+  :class:`~repro.store.ShardStore` answer, including queries that span
+  slice boundaries and a partition whose boundary falls inside one shard's
+  source range, single-threaded and under ≥ 8 concurrent client threads;
+* the fleet operational surface — ``hello`` announces the slice layout,
+  ``stats`` rolls per-worker reports into fleet-level store counters;
+* fault injection — a worker killed mid-request (scripted primary dying
+  after reading the request, or mid-response) fails over to its replica
+  exactly once and still returns the byte-equal answer; a pooled
+  connection to a worker stopped between requests fails over the same way;
+* the no-replica-left path — with every replica of a slice down, the
+  router answers with a clear error *frame* naming the worker and its
+  range, and the client's connection stays usable for other slices.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import subprocess
+import sys
+import threading
+
+import numpy as np
+import pytest
+
+from _fleet_harness import (
+    FleetHarness,
+    drop_after_request,
+    truncate_response,
+)
+from repro import generators
+from repro.core import KroneckerGraph
+from repro.graphs import NpyShardSink
+from repro.graphs.io import read_shard_manifest
+from repro.parallel import distributed_generate
+from repro.serve import QueryClient, ServerError
+from repro.store import ShardStore, compact_shards
+
+PAYLOAD = ("triangles", "trussness")
+
+
+# ----------------------------------------------------------------------
+# One spill for the whole module; each harness compacts its own store so
+# re-partitioning for one test can never touch another test's live fleet.
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def factors():
+    factor_a = generators.webgraph_like(40, edges_per_vertex=3,
+                                        triad_probability=0.6, seed=3)
+    factor_b = generators.triangle_constrained_pa(15, seed=13)
+    return factor_a, factor_b
+
+
+@pytest.fixture(scope="module")
+def product(factors):
+    return KroneckerGraph(*factors)
+
+
+@pytest.fixture(scope="module")
+def spill_dir(tmp_path_factory, factors, product):
+    tmp = tmp_path_factory.mktemp("router-spill")
+    sink = NpyShardSink(tmp / "spill", name=product.name,
+                        n_vertices=product.n_vertices,
+                        payload_columns=PAYLOAD)
+    distributed_generate(*factors, 4, streaming=True, a_edges_per_block=8,
+                         sink=sink, payload_columns=PAYLOAD)
+    return tmp / "spill"
+
+
+@pytest.fixture(scope="module")
+def store_factory(spill_dir, tmp_path_factory):
+    counter = iter(range(10 ** 6))
+
+    def make(target_shard_edges: int = 600):
+        dest = tmp_path_factory.mktemp(
+            f"router-store-{next(counter)}") / "store"
+        compact_shards(spill_dir, dest,
+                       target_shard_edges=target_shard_edges)
+        return dest
+
+    return make
+
+
+@pytest.fixture(scope="module")
+def store_dir(store_factory):
+    return store_factory()
+
+
+@pytest.fixture(scope="module")
+def local_store(store_dir):
+    """The single-store reference every routed answer must match."""
+    return ShardStore(store_dir, cache_shards=16)
+
+
+@pytest.fixture(scope="module")
+def fleet(store_dir):
+    with FleetHarness(store_dir, n_slices=3) as harness:
+        yield harness
+
+
+@pytest.fixture
+def client(fleet):
+    with fleet.client() as c:
+        yield c
+
+
+def _boundary_vertices(harness):
+    """Vertices hugging every internal slice boundary (both sides)."""
+    probes = []
+    for entry in harness.slices[1:]:
+        probes += [entry["src_lo"] - 1, entry["src_lo"]]
+    return probes
+
+
+# ----------------------------------------------------------------------
+# Routing transparency: byte-equal to the single store
+# ----------------------------------------------------------------------
+class TestRoutedEquivalence:
+    def test_hello_announces_fleet_layout(self, fleet, client, local_store):
+        info = client.hello()
+        assert info["store"]["n_vertices"] == local_store.n_vertices
+        assert info["store"]["total_edges"] == local_store.total_edges
+        assert info["store"]["payload_columns"] == list(PAYLOAD)
+        assert "edges_for_sources" in info["ops"]
+        layout = info["fleet"]
+        assert layout["workers"] == 3
+        assert layout["slices"][0]["src_lo"] == 0
+        assert layout["slices"][-1]["src_hi"] == local_store.n_vertices
+        for left, right in zip(layout["slices"], layout["slices"][1:]):
+            assert left["src_hi"] == right["src_lo"]
+
+    def test_degrees_across_all_slices(self, fleet, client, local_store):
+        n = local_store.n_vertices
+        for v in (0, *_boundary_vertices(fleet), n - 1):
+            assert client.degree(v) == local_store.degree(v)
+        vs = np.arange(0, n, 7)  # spans every slice in one batch
+        routed = client.degrees(vs)
+        assert routed.dtype == np.int64
+        assert np.array_equal(routed, local_store.degrees(vs))
+
+    def test_neighbors_and_edges_for_sources(self, fleet, client,
+                                             local_store, rng):
+        for v in map(int, rng.choice(local_store.n_vertices, 10,
+                                     replace=False)):
+            routed = client.neighbors(v)
+            assert routed.dtype == np.int64
+            assert np.array_equal(routed, local_store.neighbors(v))
+        # One batch whose sources live on all three slices, unsorted.
+        vs = [_boundary_vertices(fleet)[0], 3, local_store.n_vertices - 2, 0]
+        for with_payload in (False, True):
+            routed = client.edges_for_sources(vs, with_payload=with_payload)
+            local = local_store.edges_for_sources(vs,
+                                                  with_payload=with_payload)
+            assert routed.dtype == local.dtype == np.int64
+            assert np.array_equal(routed, local)
+
+    def test_edges_in_range_spanning_boundaries(self, fleet, client,
+                                                local_store):
+        n = local_store.n_vertices
+        spans = [(0, n, False), (0, n, True), (5, 5, False)]
+        for boundary in _boundary_vertices(fleet)[1::2]:
+            spans.append((max(0, boundary - 20), min(n, boundary + 20), True))
+        for lo, hi, with_payload in spans:
+            for binary in (False, True):
+                routed = client.edges_in_range(lo, hi,
+                                               with_payload=with_payload,
+                                               binary=binary)
+                local = local_store.edges_in_range(lo, hi,
+                                                   with_payload=with_payload)
+                assert routed.dtype == local.dtype == np.int64
+                assert routed.shape == local.shape
+                assert np.array_equal(routed, local)
+
+    def test_egonet_and_subgraph(self, fleet, client, local_store, rng):
+        for v in map(int, rng.choice(local_store.n_vertices, 6,
+                                     replace=False)):
+            routed = client.egonet(v)
+            local = local_store.egonet(v)
+            assert np.array_equal(routed.vertices, local.vertices)
+            assert (routed.graph.adjacency != local.graph.adjacency).nnz == 0
+            assert routed.triangles_at_center() == local.triangles_at_center()
+        routed_ego, routed_rows = client.egonet(37, with_payload=True)
+        local_ego, local_rows = local_store.egonet(37, with_payload=True)
+        assert np.array_equal(routed_ego.vertices, local_ego.vertices)
+        assert np.array_equal(routed_rows, local_rows)
+        selection = [5, 3, *(v + 1 for v in _boundary_vertices(fleet)), 200]
+        routed_sub, routed_rows = client.subgraph(selection,
+                                                  with_payload=True)
+        local_sub, local_rows = local_store.subgraph(selection,
+                                                     with_payload=True)
+        assert (routed_sub.adjacency != local_sub.adjacency).nnz == 0
+        assert routed_sub.name == local_sub.name
+        assert np.array_equal(routed_rows, local_rows)
+
+    def test_edge_payloads(self, client, local_store):
+        rows = local_store.edges_in_range(0, local_store.n_vertices)
+        probe = rows[:: max(1, rows.shape[0] // 24)]
+        routed = client.edge_payloads(probe[:, 0], probe[:, 1])
+        assert routed.dtype == np.int64
+        assert np.array_equal(routed,
+                              local_store.edge_payloads(probe[:, 0],
+                                                        probe[:, 1]))
+        p, q = map(int, rows[-1])
+        assert client.edge_payload(p, q) == local_store.edge_payload(p, q)
+
+    def test_errors_are_transparent_and_connection_survives(self, client,
+                                                            local_store):
+        with pytest.raises(IndexError, match="out of range"):
+            client.degree(10 ** 9)
+        with pytest.raises(ValueError, match="duplicates"):
+            client.subgraph([1, 1, 2])
+        with pytest.raises(ValueError, match="matching shapes"):
+            client.edge_payloads([0, 1], [0])
+        assert client.degree(37) == local_store.degree(37)
+
+    def test_stats_rolls_up_every_worker(self, fleet, client, local_store):
+        client.degrees(np.arange(0, local_store.n_vertices, 13))
+        stats = client.stats()
+        assert stats["query"] == "stats"
+        assert stats["server"]["requests"]["degrees"] >= 1
+        assert stats["fleet"]["workers"] == 3
+        reports = stats["workers"]
+        assert [r["worker"] for r in reports] == [0, 1, 2]
+        assert all(r["ok"] for r in reports)
+        rollup = stats["store"]
+        # Slices overlap on boundary shards; the fleet counter reports the
+        # parent store's shard count, not the sum of slice counts.
+        assert rollup["n_shards"] == local_store.n_shards
+        assert rollup["workers"] == 3
+        assert rollup["shard_reads"] >= 1
+
+    def test_boundary_inside_one_shard(self, store_factory):
+        """A partition boundary in the middle of a shard's source range:
+        the shard is listed by both slices, but each worker serves only its
+        assigned half — no duplicated or dropped boundary rows."""
+        store = store_factory()
+        manifest = read_shard_manifest(store)
+        shard = manifest["shards"][len(manifest["shards"]) // 2]
+        boundary = (int(shard["src_min"]) + int(shard["src_max"]) + 1) // 2
+        assert shard["src_min"] < boundary <= shard["src_max"]
+        reference = ShardStore(store, cache_shards=16)
+        with FleetHarness(store, boundaries=[boundary]) as harness:
+            assert harness.slices[0]["n_shards"] \
+                + harness.slices[1]["n_shards"] == len(manifest["shards"]) + 1
+            with harness.client() as c:
+                lo, hi = boundary - 15, boundary + 15
+                for with_payload in (False, True):
+                    routed = c.edges_in_range(lo, hi,
+                                              with_payload=with_payload)
+                    local = reference.edges_in_range(
+                        lo, hi, with_payload=with_payload)
+                    assert np.array_equal(routed, local)
+                vs = np.arange(lo, hi)
+                assert np.array_equal(c.degrees(vs), reference.degrees(vs))
+
+    def test_concurrent_clients_byte_equal(self, fleet, local_store):
+        """The acceptance bar: ≥ 8 concurrent clients, every routed answer
+        byte-identical to the single store."""
+        n = local_store.n_vertices
+        n_threads, n_rounds = 8, 4
+        rng = np.random.default_rng(29)
+        vertices = rng.choice(n, n_threads * n_rounds)
+        expected = {
+            "degrees": local_store.degrees(np.arange(0, n, 11)),
+            "range": local_store.edges_in_range(n // 4, n // 2,
+                                                with_payload=True),
+        }
+        failures = []
+
+        def worker(thread_index: int) -> None:
+            try:
+                with fleet.client() as c:
+                    for round_index in range(n_rounds):
+                        v = int(vertices[thread_index * n_rounds
+                                         + round_index])
+                        assert c.degree(v) == local_store.degree(v)
+                        assert np.array_equal(c.neighbors(v),
+                                              local_store.neighbors(v))
+                        assert np.array_equal(
+                            c.degrees(np.arange(0, n, 11)),
+                            expected["degrees"])
+                        routed = c.edges_in_range(n // 4, n // 2,
+                                                  with_payload=True)
+                        assert routed.dtype == np.int64
+                        assert np.array_equal(routed, expected["range"])
+                        ego_routed = c.egonet(v)
+                        ego_local = local_store.egonet(v)
+                        assert np.array_equal(ego_routed.vertices,
+                                              ego_local.vertices)
+            except Exception as exc:  # surfaced after join
+                failures.append((thread_index, exc))
+
+        threads = [threading.Thread(target=worker, args=(i,))
+                   for i in range(n_threads)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=120)
+        assert not failures, failures[:3]
+
+
+# ----------------------------------------------------------------------
+# Fault injection: worker death, replica failover, no-replica-left
+# ----------------------------------------------------------------------
+class TestFaultInjection:
+    def test_worker_killed_mid_request_fails_over_once(self, store_factory):
+        """Slice 1's primary dies after reading the request; the router
+        retries its replica exactly once and the answer is byte-equal."""
+        store = store_factory()
+        reference = ShardStore(store, cache_shards=16)
+        with FleetHarness(store, n_slices=3,
+                          scripted={1: drop_after_request}) as harness:
+            target = harness.slices[1]
+            vs = np.arange(target["src_lo"], target["src_hi"], 3)
+            with harness.client() as c:
+                routed = c.degrees(vs)
+            assert np.array_equal(routed, reference.degrees(vs))
+            channel = harness.channel(1)
+            assert channel.failovers == 1
+            # The channel stuck to the replica after failing over: a second
+            # query must not pay the dead primary again.
+            with harness.client() as c:
+                assert np.array_equal(c.degrees(vs), reference.degrees(vs))
+            assert channel.failovers == 1
+
+    def test_worker_killed_mid_response_fails_over(self, store_factory):
+        """Death *mid-frame* (desynchronized stream) is the same failover
+        path as a clean close."""
+        store = store_factory()
+        reference = ShardStore(store, cache_shards=16)
+        with FleetHarness(store, n_slices=3,
+                          scripted={0: truncate_response}) as harness:
+            lo, hi = 0, harness.slices[0]["src_hi"]
+            with harness.client() as c:
+                routed = c.edges_in_range(lo, hi, with_payload=True)
+            assert np.array_equal(
+                routed, reference.edges_in_range(lo, hi, with_payload=True))
+            assert harness.channel(0).failovers == 1
+
+    def test_pooled_connection_to_stopped_worker_fails_over(
+            self, store_factory):
+        """A worker stopped *between* requests: the router's pooled client
+        hits a dead socket on the next call and fails over to the replica."""
+        store = store_factory()
+        reference = ShardStore(store, cache_shards=16)
+        with FleetHarness(store, n_slices=2, replicas=2) as harness:
+            vs = np.arange(0, reference.n_vertices, 9)
+            with harness.client() as c:
+                assert np.array_equal(c.degrees(vs),
+                                      reference.degrees(vs))  # warm pools
+                harness.kill(0, 0)
+                assert np.array_equal(c.degrees(vs), reference.degrees(vs))
+            assert harness.channel(0).failovers == 1
+
+    def test_all_replicas_down_is_an_error_frame_not_a_disconnect(
+            self, store_factory):
+        """Every replica of one slice down: the router reports a clear
+        error naming the worker and its range — and the client connection
+        stays usable for queries the surviving slices can answer."""
+        store = store_factory()
+        reference = ShardStore(store, cache_shards=16)
+        with FleetHarness(store, n_slices=3) as harness:
+            dead = harness.slices[1]
+            harness.kill(1, 0)
+            with harness.client() as c:
+                with pytest.raises(ServerError, match=(
+                        rf"worker 1 \(sources \[{dead['src_lo']}, "
+                        rf"{dead['src_hi']}\)\) is unavailable")):
+                    c.degrees(np.arange(dead["src_lo"], dead["src_hi"], 5))
+                # Same connection, different slice: still answered.
+                vs = np.arange(0, dead["src_lo"], 4)
+                assert np.array_equal(c.degrees(vs), reference.degrees(vs))
+                assert c.connection_stats()["connects"] == 1
+
+
+# ----------------------------------------------------------------------
+# CLI: serve --fleet and query --connect routing transparency
+# ----------------------------------------------------------------------
+class TestFleetCLI:
+    def test_query_connect_routes_transparently(self, fleet, store_dir,
+                                                capsys):
+        from repro import cli
+        for flags in (["--degree", "37"],
+                      ["--neighbors", "37", "--payload"],
+                      ["--egonet", "37", "--payload"],
+                      ["--range", "0", "300", "--limit", "5"]):
+            assert cli.main(["query", str(store_dir), "--json", *flags]) == 0
+            local = json.loads(capsys.readouterr().out)
+            assert cli.main(["query", "--connect", fleet.address,
+                             "--json", *flags]) == 0
+            routed = json.loads(capsys.readouterr().out)
+            # Cache counters legitimately differ (fleet rollup vs local
+            # store); every query-answer key must be identical.
+            local.pop("store")
+            routed.pop("store")
+            assert local == routed
+
+    def test_serve_fleet_subcommand_end_to_end(self, store_dir, local_store):
+        """`repro-kron serve --fleet 2` in a real subprocess: partitions,
+        spawns the slice workers, fronts them with the router, answers
+        routed queries, and shuts down gracefully with the fleet summary."""
+        env = dict(os.environ)
+        src = str((
+            __import__("pathlib").Path(__file__).resolve().parent.parent
+            / "src"))
+        env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+        process = subprocess.Popen(
+            [sys.executable, "-u", "-c",
+             "from repro.cli import main; import sys; "
+             "sys.exit(main(sys.argv[1:]))",
+             "serve", str(store_dir), "--port", "0", "--fleet", "2"],
+            env=env, stdout=subprocess.PIPE, stderr=subprocess.PIPE,
+            text=True)
+        try:
+            banner = process.stdout.readline()
+            match = re.search(r"on 127\.0\.0\.1:(\d+)", banner)
+            assert match, banner
+            assert "fleet of 2" in banner
+            with QueryClient("127.0.0.1", int(match.group(1))) as c:
+                assert c.hello()["fleet"]["workers"] == 2
+                assert c.degree(37) == local_store.degree(37)
+                vs = np.arange(0, local_store.n_vertices, 17)
+                assert np.array_equal(c.degrees(vs), local_store.degrees(vs))
+                c.shutdown_server()
+            stdout, stderr = process.communicate(timeout=30)
+        finally:
+            if process.poll() is None:
+                process.kill()
+                process.communicate()
+        assert process.returncode == 0, stderr
+        assert "served" in stdout and "2 workers" in stdout
