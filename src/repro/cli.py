@@ -11,7 +11,11 @@ published artefacts of the paper:
 ``repro-kron stats``
     Load a bundle and print the Section VI-style summary table (vertices,
     edges, triangles) for the factors and the product, all from Kronecker
-    formulas.
+    formulas.  With ``--connect HOST:PORT`` it instead polls a running
+    ``repro-kron serve`` instance's operational stats (request counts,
+    latency percentiles, fleet rollup) — ``--watch N`` refreshes every N
+    seconds and ``--prometheus`` emits the registry snapshot in
+    Prometheus text format for scraping.
 
 ``repro-kron validate``
     Load a bundle and run the egonet spot-check validation (Fig. 7) and, when
@@ -64,6 +68,7 @@ import argparse
 import asyncio
 import json
 import sys
+import time
 from pathlib import Path
 from typing import List, Optional, Tuple
 
@@ -156,8 +161,25 @@ def build_parser() -> argparse.ArgumentParser:
                      help="also spill the product edge list to a .npy shard "
                           "directory (bounded-memory, never materialized)")
 
-    stats = sub.add_parser("stats", help="print the summary table for a bundle")
-    stats.add_argument("bundle", type=Path)
+    stats = sub.add_parser(
+        "stats",
+        help="print the summary table for a bundle, or poll a running "
+             "server's operational stats with --connect")
+    stats.add_argument("bundle", type=Path, nargs="?", default=None,
+                       help="Kronecker bundle (omit with --connect)")
+    stats.add_argument("--connect", type=str, default=None, metavar="HOST:PORT",
+                       help="show a running `repro-kron serve` instance's "
+                            "operational stats instead of a bundle table")
+    stats.add_argument("--watch", type=float, default=None, metavar="SECONDS",
+                       help="with --connect: re-poll every SECONDS until "
+                            "interrupted")
+    stats.add_argument("--prometheus", action="store_true",
+                       help="with --connect: print the metrics registry in "
+                            "Prometheus text format instead of the JSON "
+                            "stats answer")
+    stats.add_argument("--timeout", type=float, default=30.0,
+                       help="socket timeout in seconds for --connect "
+                            "(default 30)")
 
     val = sub.add_parser("validate", help="validate formulas against direct computation")
     val.add_argument("bundle", type=Path)
@@ -274,6 +296,12 @@ def build_parser() -> argparse.ArgumentParser:
                        help="workers per slice with --fleet (default 1); "
                             "a failed worker call is retried once against "
                             "the next replica")
+    serve.add_argument("--slow-log", type=Path, default=None, metavar="FILE",
+                       help="append one JSON line per slow query to FILE "
+                            "(op, elapsed_us, ok, trace id)")
+    serve.add_argument("--slow-ms", type=float, default=None, metavar="MS",
+                       help="slow-query threshold in milliseconds "
+                            "(default 100 when --slow-log is set)")
 
     return parser
 
@@ -303,7 +331,31 @@ def _cmd_generate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _stats_remote(args: argparse.Namespace) -> int:
+    """Poll a running server's operational surface (the ``stats`` op, or
+    the ``metrics`` op's Prometheus rendering with ``--prometheus``)."""
+    with QueryClient.from_address(args.connect,
+                                  timeout=args.timeout) as client:
+        try:
+            while True:
+                if args.prometheus:
+                    print(client.metrics()["prometheus"], end="", flush=True)
+                else:
+                    print(json.dumps(client.request("stats"),
+                                     indent=2, sort_keys=True), flush=True)
+                if args.watch is None:
+                    return 0
+                time.sleep(args.watch)
+        except KeyboardInterrupt:
+            return 0
+
+
 def _cmd_stats(args: argparse.Namespace) -> int:
+    if (args.bundle is None) == (args.connect is None):
+        raise SystemExit(
+            "stats needs exactly one of a bundle path or --connect HOST:PORT")
+    if args.connect is not None:
+        return _stats_remote(args)
     factor_a, factor_b, _ = _load_undirected_bundle(args.bundle)
     rows = [
         graph_summary(factor_a, name="A"),
@@ -585,6 +637,16 @@ def _cmd_query(args: argparse.Namespace) -> int:
     return 0
 
 
+def _slow_log_kwargs(args: argparse.Namespace) -> dict:
+    """Server slow-query keyword arguments from ``--slow-log``/``--slow-ms``."""
+    kwargs = {}
+    if args.slow_log is not None:
+        kwargs["slow_query_log"] = args.slow_log
+    if args.slow_ms is not None:
+        kwargs["slow_query_us"] = int(args.slow_ms * 1000)
+    return kwargs
+
+
 def _serve_fleet(args: argparse.Namespace) -> int:
     if args.fleet < 1:
         raise SystemExit("--fleet needs at least 1 worker")
@@ -609,7 +671,8 @@ def _serve_fleet(args: argparse.Namespace) -> int:
                          "addresses": addresses})
         fleet = FleetStore(spec, info)
         router = RangeRouter(fleet, host=args.host, port=args.port,
-                             decode_threads=args.threads)
+                             decode_threads=args.threads,
+                             **_slow_log_kwargs(args))
 
         async def _run() -> None:
             await router.start()
@@ -647,7 +710,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         return _serve_fleet(args)
     store = ShardStore(args.store, cache_shards=args.cache)
     server = ShardStoreServer(store, host=args.host, port=args.port,
-                              decode_threads=args.threads)
+                              decode_threads=args.threads,
+                              **_slow_log_kwargs(args))
 
     async def _run() -> None:
         await server.start()

@@ -1,0 +1,414 @@
+"""Dependency-free metrics registry: counters, gauges, histograms.
+
+Every instrument lives in a :class:`MetricsRegistry` under a dotted
+``snake_case`` name (``serve.requests``, ``store.shard_reads``) plus an
+optional label set (``op="degrees"``).  ``registry.counter(name,
+**labels)`` is get-or-create, so instrument handles can be recreated
+anywhere without double-registering a series.
+
+Concurrency contract: the registry lock guards only series
+creation/lookup; each instrument carries its own *leaf* lock for
+mutation, and fn-gauges are evaluated outside the registry lock at
+snapshot time — so an fn-gauge may acquire an interior lock (the shard
+store's cache lock, say) without ever deadlocking against a concurrent
+``counter.inc()``.
+
+:func:`render_prometheus` turns a registry snapshot into Prometheus
+text exposition (dots become underscores); the snapshot and the text
+carry the same numbers by construction, which
+``benchmarks/bench_query_server.py`` asserts as a round-trip.
+"""
+
+from __future__ import annotations
+
+import re
+import threading
+import time
+from bisect import bisect_left
+from math import ceil
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsError",
+    "MetricsRegistry",
+    "render_prometheus",
+]
+
+
+class MetricsError(ValueError):
+    """Bad metric name, label set, or conflicting re-registration."""
+
+
+#: Dotted snake_case: at least two segments, so every metric is
+#: namespaced by its layer (``serve.``, ``store.``, ``fleet.``).
+_NAME = re.compile(r"^[a-z][a-z0-9_]*(\.[a-z][a-z0-9_]*)+$")
+_LABEL = re.compile(r"^[a-z][a-z0-9_]*$")
+
+
+def _series_key(name: str, labels: Dict[str, str]) -> Tuple:
+    return (name, tuple(sorted(labels.items())))
+
+
+def _check_name(name: str) -> None:
+    if not isinstance(name, str) or not _NAME.match(name):
+        raise MetricsError(
+            f"metric name {name!r} is not dotted snake_case "
+            "(expected e.g. 'serve.requests')")
+
+
+def _check_labels(labels: Dict[str, object]) -> Dict[str, str]:
+    out = {}
+    for key, value in labels.items():
+        if not _LABEL.match(key):
+            raise MetricsError(f"label name {key!r} is not snake_case")
+        out[key] = str(value)
+    return out
+
+
+class Counter:
+    """Monotonic counter.  ``inc`` is thread-safe (leaf lock)."""
+
+    kind = "counter"
+    __slots__ = ("name", "labels", "_lock", "_value")
+
+    def __init__(self, name: str, labels: Dict[str, str]):
+        self.name = name
+        self.labels = labels
+        self._lock = threading.Lock()
+        self._value = 0
+
+    def inc(self, n: int = 1) -> None:
+        with self._lock:
+            self._value += n
+
+    @property
+    def value(self) -> int:
+        with self._lock:
+            return self._value
+
+    def reset(self) -> None:
+        with self._lock:
+            self._value = 0
+
+
+class Gauge:
+    """Point-in-time value: either set/``set_max`` (watermarks) or
+    backed by a callable evaluated at read time (``fn=...``)."""
+
+    kind = "gauge"
+    __slots__ = ("name", "labels", "_lock", "_value", "_fn")
+
+    def __init__(self, name: str, labels: Dict[str, str],
+                 fn: Optional[Callable[[], float]] = None):
+        self.name = name
+        self.labels = labels
+        self._lock = threading.Lock()
+        self._value = 0
+        self._fn = fn
+
+    def set(self, value) -> None:
+        if self._fn is not None:
+            raise MetricsError(f"gauge {self.name} is callback-backed")
+        with self._lock:
+            self._value = value
+
+    def set_max(self, value) -> None:
+        """Watermark update: keep the largest value seen since reset."""
+        if self._fn is not None:
+            raise MetricsError(f"gauge {self.name} is callback-backed")
+        with self._lock:
+            if value > self._value:
+                self._value = value
+
+    def read(self):
+        if self._fn is not None:
+            return self._fn()
+        with self._lock:
+            return self._value
+
+    @property
+    def value(self):
+        return self.read()
+
+    def reset(self) -> None:
+        if self._fn is None:
+            with self._lock:
+                self._value = 0
+
+
+class Histogram:
+    """Fixed-bucket histogram with derived percentile summaries.
+
+    ``bounds`` are inclusive upper bucket bounds; one overflow bucket is
+    implicit.  :meth:`time` returns a context manager that records the
+    elapsed microseconds — the only sanctioned way for the serve/store
+    layers to measure a latency (they must not call ``time.perf_counter``
+    themselves).
+    """
+
+    kind = "histogram"
+    __slots__ = ("name", "labels", "bounds", "unit", "_lock", "_counts",
+                 "_count", "_sum", "_max")
+
+    def __init__(self, name: str, labels: Dict[str, str],
+                 bounds: Iterable[float], unit: str = ""):
+        self.name = name
+        self.labels = labels
+        self.bounds = tuple(bounds)
+        if not self.bounds or list(self.bounds) != sorted(set(self.bounds)):
+            raise MetricsError(
+                f"histogram {name} bounds must be strictly increasing")
+        self.unit = unit
+        self._lock = threading.Lock()
+        self._counts = [0] * (len(self.bounds) + 1)
+        self._count = 0
+        self._sum = 0
+        self._max = 0
+
+    def record(self, value) -> None:
+        index = bisect_left(self.bounds, value)
+        with self._lock:
+            self._counts[index] += 1
+            self._count += 1
+            self._sum += value
+            if value > self._max:
+                self._max = value
+
+    def time(self) -> "_Timer":
+        return _Timer(self)
+
+    @property
+    def count(self) -> int:
+        with self._lock:
+            return self._count
+
+    def _percentile_locked(self, q: float):
+        # Upper bucket bound of the q-quantile, clamped to the observed
+        # max so a sparse histogram never reports beyond its data.
+        rank = max(1, ceil(q * self._count))
+        cumulative = 0
+        for index, n in enumerate(self._counts):
+            cumulative += n
+            if cumulative >= rank:
+                if index < len(self.bounds):
+                    return min(self.bounds[index], self._max)
+                return self._max
+        return self._max
+
+    def summary(self) -> Dict[str, object]:
+        """The stats-surface view: count/mean/max, p50/p95/p99 derived
+        from the buckets, and labelled bucket counts.  Keys carry the
+        unit suffix (``mean_us``) so the wire shape predates-compatible
+        with the old private histogram."""
+        unit = self.unit
+        suffix = f"_{unit}" if unit else ""
+        with self._lock:
+            if not self._count:
+                mean = 0.0
+            else:
+                mean = round(self._sum / self._count, 1)
+            buckets = {}
+            for bound, n in zip(self.bounds, self._counts):
+                buckets[f"<={bound}{unit}"] = n
+            buckets[f">{self.bounds[-1]}{unit}"] = self._counts[-1]
+            out = {
+                "count": self._count,
+                f"mean{suffix}": mean,
+                f"max{suffix}": self._max,
+                f"p50{suffix}": self._percentile_locked(0.50) if self._count else 0,
+                f"p95{suffix}": self._percentile_locked(0.95) if self._count else 0,
+                f"p99{suffix}": self._percentile_locked(0.99) if self._count else 0,
+                "buckets": buckets,
+            }
+        return out
+
+    def snapshot(self) -> Dict[str, object]:
+        """Raw series view used by the registry snapshot / Prometheus."""
+        with self._lock:
+            return {
+                "bounds": list(self.bounds),
+                "counts": list(self._counts),
+                "count": self._count,
+                "sum": self._sum,
+                "max": self._max,
+            }
+
+    def reset(self) -> None:
+        with self._lock:
+            self._counts = [0] * (len(self.bounds) + 1)
+            self._count = 0
+            self._sum = 0
+            self._max = 0
+
+
+class _Timer:
+    """``with hist.time() as t: ...`` — records elapsed µs on exit and
+    leaves it readable as ``t.elapsed_us`` (slow-query thresholds)."""
+
+    __slots__ = ("_histogram", "_start_ns", "elapsed_us")
+
+    def __init__(self, histogram: Histogram):
+        self._histogram = histogram
+        self._start_ns = 0
+        self.elapsed_us = 0
+
+    def __enter__(self) -> "_Timer":
+        self._start_ns = time.perf_counter_ns()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.elapsed_us = (time.perf_counter_ns() - self._start_ns) // 1000
+        self._histogram.record(self.elapsed_us)
+
+
+class MetricsRegistry:
+    """Get-or-create home for every instrument of one process view.
+
+    A server and the store it owns share one registry, so ``stats()``
+    on either is a *view* over the same series rather than a private
+    dict; ``snapshot()`` / ``reset()`` are the only whole-registry
+    operations.
+    """
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._series: Dict[Tuple, object] = {}
+
+    def _get_or_create(self, cls, name: str, labels: Dict[str, object],
+                       factory: Callable[[], object]):
+        _check_name(name)
+        clean = _check_labels(labels)
+        key = _series_key(name, clean)
+        with self._lock:
+            found = self._series.get(key)
+            if found is not None:
+                if not isinstance(found, cls):
+                    raise MetricsError(
+                        f"metric {name} already registered as {found.kind}")
+                return found, clean, False
+            instrument = factory() if factory is not None else None
+            if instrument is None:
+                instrument = cls(name, clean)
+            self._series[key] = instrument
+            return instrument, clean, True
+
+    def counter(self, name: str, **labels) -> Counter:
+        instrument, _, _ = self._get_or_create(Counter, name, labels, None)
+        return instrument
+
+    def gauge(self, name: str, fn: Optional[Callable[[], float]] = None,
+              **labels) -> Gauge:
+        clean = _check_labels(labels)
+        instrument, _, created = self._get_or_create(
+            Gauge, name, labels, lambda: Gauge(name, clean, fn=fn))
+        if not created and fn is not None and instrument._fn is not fn:
+            raise MetricsError(
+                f"gauge {name} already registered with a different callback")
+        return instrument
+
+    def histogram(self, name: str, bounds: Iterable[float], *,
+                  unit: str = "", **labels) -> Histogram:
+        clean = _check_labels(labels)
+        bounds = tuple(bounds)
+        instrument, _, created = self._get_or_create(
+            Histogram, name, labels,
+            lambda: Histogram(name, clean, bounds, unit=unit))
+        if not created and instrument.bounds != bounds:
+            raise MetricsError(
+                f"histogram {name} already registered with different bounds")
+        return instrument
+
+    def _instruments(self) -> List[object]:
+        with self._lock:
+            return sorted(self._series.values(),
+                          key=lambda i: (i.name, tuple(sorted(i.labels.items()))))
+
+    def snapshot(self) -> Dict[str, List[Dict[str, object]]]:
+        """All series as plain JSON-able data.  Instrument reads happen
+        outside the registry lock (fn-gauges may take interior locks)."""
+        counters, gauges, histograms = [], [], []
+        for instrument in self._instruments():
+            entry = {"name": instrument.name, "labels": dict(instrument.labels)}
+            if instrument.kind == "counter":
+                entry["value"] = instrument.value
+                counters.append(entry)
+            elif instrument.kind == "gauge":
+                entry["value"] = instrument.read()
+                gauges.append(entry)
+            else:
+                entry.update(instrument.snapshot())
+                histograms.append(entry)
+        return {"counters": counters, "gauges": gauges,
+                "histograms": histograms}
+
+    def reset(self) -> None:
+        """Zero every counter/histogram and settable gauge (fn-gauges
+        reflect live state and are left alone)."""
+        for instrument in self._instruments():
+            instrument.reset()
+
+
+def _prom_name(name: str) -> str:
+    return name.replace(".", "_")
+
+
+def _prom_labels(labels: Dict[str, str], extra: Optional[Tuple[str, str]] = None) -> str:
+    items = sorted(labels.items())
+    if extra is not None:
+        items.append(extra)
+    if not items:
+        return ""
+    body = ",".join(f'{key}="{value}"' for key, value in items)
+    return "{" + body + "}"
+
+
+def _fmt(value) -> str:
+    if isinstance(value, bool):
+        return "1" if value else "0"
+    if isinstance(value, float) and value == int(value):
+        return str(int(value))
+    return str(value)
+
+
+def render_prometheus(snapshot: Dict[str, List[Dict[str, object]]]) -> str:
+    """Prometheus text exposition of a :meth:`MetricsRegistry.snapshot`.
+
+    Same numbers, second surface: histogram buckets become cumulative
+    ``_bucket{le=...}`` series plus ``_sum`` / ``_count``.
+    """
+    lines: List[str] = []
+    typed = set()
+
+    def type_line(name: str, kind: str) -> None:
+        if name not in typed:
+            typed.add(name)
+            lines.append(f"# TYPE {name} {kind}")
+
+    for entry in snapshot.get("counters", ()):
+        name = _prom_name(entry["name"])
+        type_line(name, "counter")
+        lines.append(f"{name}{_prom_labels(entry['labels'])} "
+                     f"{_fmt(entry['value'])}")
+    for entry in snapshot.get("gauges", ()):
+        name = _prom_name(entry["name"])
+        type_line(name, "gauge")
+        lines.append(f"{name}{_prom_labels(entry['labels'])} "
+                     f"{_fmt(entry['value'])}")
+    for entry in snapshot.get("histograms", ()):
+        name = _prom_name(entry["name"])
+        type_line(name, "histogram")
+        labels = entry["labels"]
+        cumulative = 0
+        for bound, n in zip(entry["bounds"], entry["counts"]):
+            cumulative += n
+            lines.append(f"{name}_bucket{_prom_labels(labels, ('le', _fmt(bound)))} "
+                         f"{cumulative}")
+        cumulative += entry["counts"][-1]
+        lines.append(f"{name}_bucket{_prom_labels(labels, ('le', '+Inf'))} "
+                     f"{cumulative}")
+        lines.append(f"{name}_sum{_prom_labels(labels)} {_fmt(entry['sum'])}")
+        lines.append(f"{name}_count{_prom_labels(labels)} {entry['count']}")
+    return "\n".join(lines) + ("\n" if lines else "")

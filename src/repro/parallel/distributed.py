@@ -32,6 +32,12 @@ through :meth:`~repro.core.triangle_formulas.KroneckerTriangleStats.edge_values`
 one gatherer reused across all blocks) — no per-edge Python loop anywhere.
 Ranks run sequentially by default; pass ``use_processes=True`` to fan them
 out on a ``multiprocessing`` pool.
+
+Under an active :mod:`repro.obs.trace` context a streaming run records a
+``stream.run`` span with one ``stream.rank`` child per in-process rank
+(block counts and edge totals attached) — process-pool ranks run in other
+interpreters and are not spanned.  Without an active trace the calls are
+no-ops.
 """
 
 from __future__ import annotations
@@ -48,6 +54,7 @@ from repro.core.triangle_formulas import KroneckerTriangleStats, TriangleStatsGa
 from repro.core.truss_formulas import KroneckerTrussDecomposition, kron_truss_decomposition
 from repro.graphs.adjacency import Graph
 from repro.graphs.io import normalize_payload_columns
+from repro.obs import trace
 from repro.parallel.comm import SimulatedComm
 from repro.parallel.partition import (
     EdgePartition,
@@ -471,38 +478,48 @@ def distributed_generate(
     block = 1024 if a_edges_per_block is None else int(a_edges_per_block)
     if block < 1:
         raise ValueError(f"a_edges_per_block must be >= 1, got {block}")
-    if not use_processes:
-        # One cached-key gatherer for the whole run — every rank's blocks
-        # reuse the same sorted component keys.
-        gatherer = stats.gatherer() if stats is not None else None
-        rank_aggregates = [
-            stream_rank_aggregate(factor_a, factor_b, part,
-                                  a_edges_per_block=block,
-                                  with_statistics=with_statistics, stats=stats,
-                                  gatherer=gatherer, truss=truss, sink=sink,
-                                  payload_columns=payload_columns)
-            for part in partitions
-        ]
-    else:
-        with ProcessPoolExecutor(
-            max_workers=max_workers or min(n_ranks, 8),
-            initializer=_worker_init,
-            initargs=(factor_a, factor_b, with_statistics, stats,
-                      truss, sink, block, payload_columns),
-        ) as pool:
-            rank_aggregates = list(pool.map(_stream_worker, partitions))
+    with trace.span("stream.run", n_ranks=n_ranks, layout=layout,
+                    use_processes=use_processes):
+        if not use_processes:
+            # One cached-key gatherer for the whole run — every rank's
+            # blocks reuse the same sorted component keys.
+            gatherer = stats.gatherer() if stats is not None else None
+            rank_aggregates = []
+            for part in partitions:
+                with trace.span("stream.rank", rank=part.rank) as record:
+                    acc = stream_rank_aggregate(
+                        factor_a, factor_b, part,
+                        a_edges_per_block=block,
+                        with_statistics=with_statistics, stats=stats,
+                        gatherer=gatherer, truss=truss, sink=sink,
+                        payload_columns=payload_columns)
+                    if record is not None:
+                        record["n_edges"] = acc.n_edges
+                        record["n_blocks"] = acc.n_blocks
+                rank_aggregates.append(acc)
+        else:
+            # Pool ranks run in other interpreters; their work is visible
+            # only through the enclosing stream.run span.
+            with ProcessPoolExecutor(
+                max_workers=max_workers or min(n_ranks, 8),
+                initializer=_worker_init,
+                initargs=(factor_a, factor_b, with_statistics, stats,
+                          truss, sink, block, payload_columns),
+            ) as pool:
+                rank_aggregates = list(pool.map(_stream_worker, partitions))
 
-    comm = SimulatedComm(n_ranks)
-    total = None
-    for acc in rank_aggregates:
-        total = comm.allreduce_sum("streaming-aggregate", acc.rank, acc)
-    if total.rank != -1:
-        # A size-1 allreduce hands back the contributed object itself; detach
-        # a merged copy so total never aliases a per-rank accumulator.
-        total = total + StreamingRankAccumulator(-1)
-    finalize = getattr(sink, "finalize", None)
-    if finalize is not None:
-        finalize()
+        comm = SimulatedComm(n_ranks)
+        total = None
+        for acc in rank_aggregates:
+            total = comm.allreduce_sum("streaming-aggregate", acc.rank, acc)
+        if total.rank != -1:
+            # A size-1 allreduce hands back the contributed object itself;
+            # detach a merged copy so total never aliases a per-rank
+            # accumulator.
+            total = total + StreamingRankAccumulator(-1)
+        finalize = getattr(sink, "finalize", None)
+        if finalize is not None:
+            finalize()
     return StreamingGenerateResult(rank_aggregates=rank_aggregates,
                                    total=total, partitions=partitions, stats=stats)
 

@@ -25,17 +25,25 @@ answer is byte-equal to the JSON plane's and to the in-process store's.
 Every socket operation honours the constructor *timeout*, and
 :meth:`connection_stats` reports connects, reconnect retries, and binary
 transfer volume for operational visibility.
+
+Distributed tracing (PR 8): when a :mod:`repro.obs.trace` context is
+active (``start_trace``), every request runs under a ``client.<op>`` span
+and stamps the additive ``"trace"`` key on its frame — the server adopts
+the trace and parents its own spans under the client's, so
+:meth:`trace_spans` afterwards returns the full cross-process tree.
+Without an active trace nothing is stamped and nothing is timed.
 """
 
 from __future__ import annotations
 
 import socket
-from typing import Optional, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.graphs.adjacency import Graph
 from repro.graphs.egonet import Egonet
+from repro.obs import trace
 from repro.serve import protocol
 from repro.serve.shaping import induced_adjacency, rows_from_binary
 
@@ -129,8 +137,28 @@ class QueryClient:
     def _request(self, op: str, args: Optional[dict], *, binary: bool):
         """Request plumbing shared by the JSON and binary planes: returns
         ``(result, binary_buffer_or_None)`` with the retry-once-on-a-dead-
-        reused-connection behaviour of :meth:`request`."""
+        reused-connection behaviour of :meth:`request`.
+
+        Under an active trace the round trip runs inside a
+        ``client.<op>`` span whose id is stamped on the frame's additive
+        ``"trace"`` key, making the span the parent of everything the
+        server records for this request."""
         frame = protocol.request_frame(op, args)
+        active = trace.current()
+        if active is not None:
+            # A *leaf* span: the socket round trip opens no nested spans,
+            # so skipping the contextvar switch keeps the traced scalar
+            # hot path inside the ≤ 5% overhead budget.
+            client_span = trace.adopt_leaf_span(
+                active.recorder, active.trace_id, active.span_id,
+                f"client.{op}", op=op)
+            with client_span:
+                frame["trace"] = {"id": active.trace_id,
+                                  "span": client_span.span_id}
+                return self._send_with_retry(frame, binary=binary)
+        return self._send_with_retry(frame, binary=binary)
+
+    def _send_with_retry(self, frame: dict, *, binary: bool):
         reused = self._sock is not None
         try:
             return self._roundtrip(frame, binary=binary)
@@ -333,6 +361,21 @@ class QueryClient:
         result = self.request("stats")
         result["client"] = self.connection_stats()
         return result
+
+    def metrics(self) -> dict:
+        """The server's ``metrics`` answer: the full registry snapshot
+        plus its Prometheus-text rendering (same numbers, two surfaces)."""
+        return self.request("metrics")
+
+    def trace_spans(self, trace_id: str) -> List[dict]:
+        """Every span the server recorded for *trace_id*, start-ordered
+        (a router answers with its workers' spans merged in)."""
+        return self.request("trace", {"id": str(trace_id)})["spans"]
+
+    def reset_stats(self) -> dict:
+        """Zero the server's registry counters (a router fans the reset
+        out fleet-wide; the answer then carries the worker count)."""
+        return self.request("reset_stats")
 
     def connection_stats(self) -> dict:
         """Local connection counters: sockets opened (``connects``),

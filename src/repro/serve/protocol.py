@@ -49,6 +49,11 @@ Framing rules (recorded in the ROADMAP's serving conventions):
   changing an existing shape or the framing does.  v2 added a second frame
   *after* an opt-in success response — a framing change — but v1 request
   streams are served byte-identically to a v1 server.
+* The same additive rule covers optional *request* keys: a traced client
+  stamps ``"trace": {"id": <hex>, "span": <hex>}`` beside ``op``/``args``
+  (PR 8) and the server parents its spans under it, but the key is
+  optional and ignored by older servers — no version bump, and v1
+  requests may carry it too.
 
 The sync helpers (:func:`write_frame` / :func:`read_frame`) serve the
 blocking client; the server uses :func:`read_frame_async` over an

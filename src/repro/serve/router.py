@@ -35,19 +35,32 @@ Routing is strict: a vertex is asked only of the worker whose *assigned*
 half-open range contains it, so a boundary shard listed by two slices is
 never served twice, and concatenating per-worker answers in range order *is*
 the global ``(src, dst)`` sort order.
+
+Telemetry (PR 8): per-worker call/failover/failure counters are
+``fleet.worker_*{worker=<index>}`` series in the fleet's
+:class:`~repro.obs.MetricsRegistry` (the router adopts it, so ``metrics``
+exposes fleet and server series side by side).  Every replica attempt runs
+under a ``fleet.worker_call`` trace span — a failed primary attempt records
+``status="error"`` and the failover retry lands as its *sibling* — and
+:meth:`FleetStore._scatter` carries the active trace context onto the
+fan-out threads with ``contextvars.copy_context()``.  The router's
+``trace`` op merges its own spans with each worker's (fetched over the
+wire), so one routed query answers with the whole tree.
 """
 
 from __future__ import annotations
 
+import contextvars
 import threading
 from concurrent.futures import ThreadPoolExecutor
 from typing import List, Optional, Sequence
 
 import numpy as np
 
+from repro.obs import MetricsRegistry, trace
 from repro.serve import protocol, shaping
 from repro.serve.client import QueryClient
-from repro.serve.server import ShardStoreServer, ThreadedServer
+from repro.serve.server import ShardStoreServer, ThreadedServer, _arg
 from repro.store.query import StoreQueryMixin
 
 __all__ = ["FleetStore", "RangeRouter", "ThreadedRouter",
@@ -87,7 +100,8 @@ class _WorkerChannel:
 
     def __init__(self, index: int, src_lo: int, src_hi: int,
                  addresses: Sequence[str], *,
-                 timeout: Optional[float] = 30.0):
+                 timeout: Optional[float] = 30.0,
+                 registry: Optional[MetricsRegistry] = None):
         if not addresses:
             raise ValueError(f"worker {index} has no addresses")
         self.index = int(index)
@@ -98,9 +112,25 @@ class _WorkerChannel:
         self._lock = threading.Lock()
         self._idle: List = []  # (address_index, QueryClient) pairs
         self._preferred = 0
-        self.calls = 0
-        self.failovers = 0
-        self.failures = 0
+        registry = registry if registry is not None else MetricsRegistry()
+        self._calls = registry.counter("fleet.worker_calls",
+                                       worker=self.index)
+        self._failovers = registry.counter("fleet.worker_failovers",
+                                           worker=self.index)
+        self._failures = registry.counter("fleet.worker_failures",
+                                          worker=self.index)
+
+    @property
+    def calls(self) -> int:
+        return self._calls.value
+
+    @property
+    def failovers(self) -> int:
+        return self._failovers.value
+
+    @property
+    def failures(self) -> int:
+        return self._failures.value
 
     def _checkout(self):
         with self._lock:
@@ -121,33 +151,42 @@ class _WorkerChannel:
         client.close()
 
     def call(self, fn):
-        """Run ``fn(client)`` with one replica-failover retry."""
-        with self._lock:
-            self.calls += 1
+        """Run ``fn(client)`` with one replica-failover retry.
+
+        Each replica attempt is its own ``fleet.worker_call`` trace span
+        (a no-op without an active trace): a dead primary leaves an
+        error-status span and the failover retry records a *sibling*
+        span, so the trace tree shows both attempts side by side.
+        """
+        self._calls.inc()
         address_index, client = self._checkout()
         try:
-            result = fn(client)
+            with trace.span("fleet.worker_call", worker=self.index,
+                            address=self.addresses[address_index]):
+                result = fn(client)
         except (OSError, protocol.ProtocolError) as first:
             client.close()
+            self._failures.inc()
             with self._lock:
-                self.failures += 1
                 fallback = (address_index + 1) % len(self.addresses)
             retry = QueryClient.from_address(self.addresses[fallback],
                                              timeout=self.timeout)
             try:
-                result = fn(retry)
+                with trace.span("fleet.worker_call", worker=self.index,
+                                address=self.addresses[fallback],
+                                failover=True):
+                    result = fn(retry)
             except (OSError, protocol.ProtocolError) as second:
                 retry.close()
-                with self._lock:
-                    self.failures += 1
+                self._failures.inc()
                 raise ConnectionError(
                     f"worker {self.index} (sources [{self.src_lo}, "
                     f"{self.src_hi})) is unavailable: "
                     f"{self.addresses[address_index]} failed ({first}); "
                     f"retry on {self.addresses[fallback]} failed ({second})"
                 ) from second
+            self._failovers.inc()
             with self._lock:
-                self.failovers += 1
                 self._preferred = fallback
             self._checkin(fallback, retry)
             return result
@@ -180,20 +219,28 @@ class FleetStore(StoreQueryMixin):
         Per-call socket timeout applied to every worker channel.
     max_fanout_threads:
         Cap on concurrent worker calls across all in-flight requests.
+    registry:
+        :class:`~repro.obs.MetricsRegistry` the per-worker channel
+        counters register into (a private one by default).  The router
+        adopts it via the store's ``registry`` attribute, so the
+        ``metrics`` op exposes fleet and server series together.
     """
 
     def __init__(self, slices: Sequence[dict], info: dict, *,
                  timeout: Optional[float] = 30.0,
-                 max_fanout_threads: Optional[int] = None):
+                 max_fanout_threads: Optional[int] = None,
+                 registry: Optional[MetricsRegistry] = None):
         self.manifest = {"name": info.get("name") or ""}
         self.n_vertices = int(info["n_vertices"])
         self.total_edges = int(info["total_edges"])
         self.n_shards = int(info["n_shards"])
         self.payload_columns = tuple(info["payload_columns"])
         self._width = 2 + len(self.payload_columns)
+        self.registry = registry if registry is not None else MetricsRegistry()
         self._channels = [
             _WorkerChannel(index, entry["src_lo"], entry["src_hi"],
-                           entry["addresses"], timeout=timeout)
+                           entry["addresses"], timeout=timeout,
+                           registry=self.registry)
             for index, entry in enumerate(slices)
         ]
         expected = 0
@@ -227,12 +274,23 @@ class FleetStore(StoreQueryMixin):
     def _scatter(self, calls: List) -> List:
         """Run ``(channel, fn)`` pairs concurrently; results in call order.
         The first worker failure propagates (the router turns it into one
-        error frame); remaining calls still complete in the background."""
+        error frame); remaining calls still complete in the background.
+
+        Under an active trace each submission carries a fresh
+        ``contextvars`` copy onto its fan-out thread (one copy per future
+        — a shared ``Context`` cannot be entered concurrently), so the
+        per-worker spans parent correctly under the routed request."""
         if len(calls) == 1:
             channel, fn = calls[0]
             return [channel.call(fn)]
-        futures = [self._fanout.submit(channel.call, fn)
-                   for channel, fn in calls]
+        if trace.current() is not None:
+            futures = [
+                self._fanout.submit(
+                    contextvars.copy_context().run, channel.call, fn)
+                for channel, fn in calls]
+        else:
+            futures = [self._fanout.submit(channel.call, fn)
+                       for channel, fn in calls]
         return [future.result() for future in futures]
 
     # ------------------------------------------------------------------
@@ -356,6 +414,37 @@ class FleetStore(StoreQueryMixin):
                     if report.get("ok")]
         return shaping.fleet_store_counters(sections, n_shards=self.n_shards)
 
+    def reset_stats(self) -> int:
+        """Fan the ``reset_stats`` op out to every worker (fleet-wide
+        counter reset — e.g. clearing benchmark warmup) and return the
+        worker count for the answer shape.  A dead worker propagates as
+        the usual channel :class:`ConnectionError`."""
+        futures = [
+            self._fanout.submit(
+                channel.call, lambda c: c.request("reset_stats"))
+            for channel in self._channels]
+        for future in futures:
+            future.result()
+        return len(self._channels)
+
+    def collect_trace(self, trace_id: str) -> List[dict]:
+        """Every worker's recorded spans for *trace_id*, concurrently; a
+        worker that cannot answer contributes nothing rather than failing
+        the merge (its spans are simply missing from the tree)."""
+        def fetch(channel):
+            try:
+                answer = channel.call(
+                    lambda c: c.request("trace", {"id": trace_id}))
+                return list(answer.get("spans", ()))
+            except Exception:
+                return []
+        futures = [self._fanout.submit(fetch, channel)
+                   for channel in self._channels]
+        spans: List[dict] = []
+        for future in futures:
+            spans.extend(future.result())
+        return spans
+
     def close(self) -> None:
         self._fanout.shutdown(wait=True)
         for channel in self._channels:
@@ -373,8 +462,13 @@ class RangeRouter(ShardStoreServer):
 
     Everything protocol-facing — framing, coalescing, the binary plane,
     error frames — is inherited; the router only adds the fleet sections to
-    ``hello`` and replaces ``stats`` with the per-worker rollup (which does
-    wire I/O and therefore runs on the executor, never the event loop).
+    ``hello``, replaces ``stats`` with the per-worker rollup, and widens
+    ``trace`` to merge each worker's spans into its own (both do wire I/O
+    and therefore run on the executor, never the event loop).  The fleet's
+    registry is adopted as the router's, so ``metrics`` serves the
+    ``fleet.worker_*`` series alongside the inherited ``serve.*`` ones,
+    and the inherited ``reset_stats`` fans out to every worker through
+    :meth:`FleetStore.reset_stats`.
     """
 
     def __init__(self, fleet: FleetStore, **kwargs):
@@ -397,6 +491,15 @@ class RangeRouter(ShardStoreServer):
         # work, not event-loop work.
         return await self._run_store(
             lambda: shaping.stats_answer_shape(self.stats()))
+
+    async def _op_trace(self, args: dict) -> dict:
+        trace_id = _arg(args, "id")
+        if not isinstance(trace_id, str):
+            raise ValueError("request arg 'id' must be a string trace id")
+        worker_spans = await self._run_store(
+            lambda: self.store.collect_trace(trace_id))
+        return shaping.trace_answer_shape(
+            trace_id, self.recorder.spans(trace_id) + worker_spans)
 
     def stats(self) -> dict:
         return shaping.fleet_stats_shape(

@@ -37,9 +37,19 @@ Design rules:
   only an untrustworthy frame (oversized length prefix, non-JSON body,
   disconnect mid-frame) closes the connection, and then only that one.
 * **Operational surface built in.**  A ``stats`` request reports request
-  counts, per-op latency histograms, coalescing effectiveness, and the
-  store's ``shard_reads`` / ``cache_hits``; ``shutdown`` requests a graceful
-  stop (in-flight requests finish, then the listener closes).
+  counts, per-op latency histograms (with derived p50/p95/p99), coalescing
+  effectiveness, and the store's ``shard_reads`` / ``cache_hits``;
+  ``metrics`` exposes the same registry as a raw snapshot plus Prometheus
+  text; ``reset_stats`` rearms every counter (benchmark warmup exclusion);
+  ``shutdown`` requests a graceful stop (in-flight requests finish, then
+  the listener closes).
+* **One registry, one recorder (PR 8).**  All telemetry lives on a single
+  :class:`repro.obs.MetricsRegistry` shared with the store — ``stats()`` is
+  a view over it, never a private dict — and requests carrying the additive
+  ``"trace"`` key run under :mod:`repro.obs.trace` spans recorded into the
+  server's bounded :class:`~repro.obs.TraceRecorder`, retrievable through
+  the ``trace`` op.  Requests above ``slow_query_us`` are appended to a
+  structured JSON-lines slow-query log when one is configured.
 
 :class:`ThreadedServer` runs the whole thing on a background thread for
 synchronous callers — the test suite, benchmarks, and examples stand a
@@ -49,16 +59,17 @@ server up with ``with ThreadedServer(store) as handle: ...``.
 from __future__ import annotations
 
 import asyncio
+import contextvars
+import json
 import threading
 import time
-from bisect import bisect_left
-from collections import Counter
 from concurrent.futures import ThreadPoolExecutor
 from pathlib import Path
 from typing import Callable, List, Optional
 
 import numpy as np
 
+from repro.obs import MetricsRegistry, TraceRecorder, trace
 from repro.serve import protocol, shaping
 from repro.serve.protocol import (
     DEFAULT_MAX_REQUEST_BYTES,
@@ -69,35 +80,10 @@ from repro.store.query import ShardStore
 
 __all__ = ["ShardStoreServer", "ThreadedServer"]
 
-#: Upper bucket bounds (µs) of the per-op latency histograms.
+#: Upper bucket bounds (µs) of the per-op latency histograms
+#: (``serve.latency_us`` series on the registry).
 _LATENCY_BOUNDS_US = (100, 250, 500, 1_000, 2_500, 5_000,
                       10_000, 25_000, 50_000, 100_000, 500_000)
-
-
-class _LatencyHistogram:
-    """Fixed-bucket latency histogram (µs), cheap enough for every request."""
-
-    __slots__ = ("counts", "count", "total_us", "max_us")
-
-    def __init__(self):
-        self.counts = [0] * (len(_LATENCY_BOUNDS_US) + 1)
-        self.count = 0
-        self.total_us = 0
-        self.max_us = 0
-
-    def record(self, us: int) -> None:
-        self.counts[bisect_left(_LATENCY_BOUNDS_US, us)] += 1
-        self.count += 1
-        self.total_us += us
-        self.max_us = max(self.max_us, us)
-
-    def snapshot(self) -> dict:
-        buckets = {f"<={bound}us": count
-                   for bound, count in zip(_LATENCY_BOUNDS_US, self.counts)}
-        buckets[f">{_LATENCY_BOUNDS_US[-1]}us"] = self.counts[-1]
-        mean = self.total_us / self.count if self.count else 0.0
-        return {"count": self.count, "mean_us": round(mean, 1),
-                "max_us": self.max_us, "buckets": buckets}
 
 
 class _Coalescer:
@@ -112,16 +98,23 @@ class _Coalescer:
 
     def __init__(self, loop: asyncio.AbstractEventLoop,
                  executor: ThreadPoolExecutor,
-                 flush_fn: Callable[[List], List], *, max_batch: int = 1024):
+                 flush_fn: Callable[[List], List], *, max_batch: int = 1024,
+                 registry: Optional[MetricsRegistry] = None,
+                 kind: str = "adhoc"):
         self._loop = loop
         self._executor = executor
         self._flush_fn = flush_fn
         self._max_batch = max_batch
         self._pending: List = []  # (value, future) pairs
         self._flush_scheduled = False
-        self.batches = 0
-        self.requests = 0
-        self.max_batch_seen = 0
+        # Effectiveness counters are registry series (labelled by the scalar
+        # op being coalesced) so the fleet rollup and Prometheus see them;
+        # a private registry keeps direct construction (unit tests) working.
+        registry = registry if registry is not None else MetricsRegistry()
+        self._batches = registry.counter("serve.coalesced_batches", kind=kind)
+        self._requests = registry.counter("serve.coalesced_requests", kind=kind)
+        self._max_batch_seen = registry.gauge("serve.coalesce_max_batch",
+                                              kind=kind)
 
     def submit(self, value) -> "asyncio.Future":
         future = self._loop.create_future()
@@ -138,9 +131,9 @@ class _Coalescer:
         if not self._pending:
             return
         batch, self._pending = self._pending, []
-        self.batches += 1
-        self.requests += len(batch)
-        self.max_batch_seen = max(self.max_batch_seen, len(batch))
+        self._batches.inc()
+        self._requests.inc(len(batch))
+        self._max_batch_seen.set_max(len(batch))
         values = [value for value, _ in batch]
         task = self._loop.run_in_executor(
             self._executor, self._flush_fn, values)
@@ -156,6 +149,18 @@ class _Coalescer:
                     future.set_result(done.result()[index])
 
         task.add_done_callback(_distribute)
+
+    @property
+    def requests(self) -> int:
+        return self._requests.value
+
+    @property
+    def batches(self) -> int:
+        return self._batches.value
+
+    @property
+    def max_batch_seen(self) -> int:
+        return self._max_batch_seen.value
 
     def stats(self) -> dict:
         return {"requests": self.requests, "batches": self.batches,
@@ -212,21 +217,46 @@ class ShardStoreServer:
         error frame and the connection is closed.
     cache_shards:
         LRU size used only when *store* is a directory path.
+    slow_query_us:
+        Latency threshold (µs) above which a request is counted in
+        ``serve.slow_queries`` and appended to the slow-query log.
+        Defaults to 100 000 µs when *slow_query_log* is set, else off.
+    slow_query_log:
+        Destination for the structured JSON-lines slow-query log — a path
+        (opened append at :meth:`start`, closed on :meth:`stop`) or any
+        object with a ``write`` method.  Each line records ``ts`` / ``op``
+        / ``elapsed_us`` / ``ok`` / ``trace``.
     """
 
     def __init__(self, store, *, host: str = "127.0.0.1", port: int = 0,
                  decode_threads: int = 4,
                  max_request_bytes: int = DEFAULT_MAX_REQUEST_BYTES,
                  max_coalesce_batch: int = 1024,
-                 cache_shards: int = 8):
+                 cache_shards: int = 8,
+                 slow_query_us: Optional[int] = None,
+                 slow_query_log=None):
+        # One registry per server process view: a store opened here joins
+        # it, a pre-opened store (or fleet façade) brings its own, so
+        # server and store stats are views over the same series.
         if isinstance(store, (str, Path)):
-            store = ShardStore(store, cache_shards=cache_shards)
+            self.registry = MetricsRegistry()
+            store = ShardStore(store, cache_shards=cache_shards,
+                               registry=self.registry)
+        else:
+            self.registry = getattr(store, "registry", None) or MetricsRegistry()
         self.store = store
         self.host = host
         self.port = int(port)
         self.decode_threads = int(decode_threads)
         self.max_request_bytes = int(max_request_bytes)
         self.max_coalesce_batch = int(max_coalesce_batch)
+        self.recorder = TraceRecorder()
+        if slow_query_us is None and slow_query_log is not None:
+            slow_query_us = 100_000
+        self.slow_query_us = slow_query_us
+        self._slow_log_spec = slow_query_log
+        self._slow_log = None
+        self._slow_log_owned = False
         self._server: Optional[asyncio.AbstractServer] = None
         self._executor: Optional[ThreadPoolExecutor] = None
         self._stop_event: Optional[asyncio.Event] = None
@@ -235,11 +265,6 @@ class ShardStoreServer:
         self._tasks: set = set()
         self._degree_coalescer: Optional[_Coalescer] = None
         self._neighbors_coalescers: dict = {}
-        self._error_count = 0
-        self._protocol_errors = 0
-        self._connections_total = 0
-        self._binary_frames = 0
-        self._binary_bytes = 0
         self._started_at: Optional[float] = None
         self._ops = {
             "hello": self._op_hello,
@@ -252,14 +277,31 @@ class ShardStoreServer:
             "subgraph": self._op_subgraph,
             "edge_payloads": self._op_edge_payloads,
             "stats": self._op_stats,
+            "metrics": self._op_metrics,
+            "trace": self._op_trace,
+            "reset_stats": self._op_reset_stats,
             "shutdown": self._op_shutdown,
         }
-        # Pre-size both maps with every possible key so they never change
-        # size while serving: stats() may be called from another thread
-        # (ThreadedServer monitoring) and must not race a dict resize.
+        # Pre-create every per-op series so the maps never change size while
+        # serving: stats() may be called from another thread (ThreadedServer
+        # monitoring) and must not race a dict resize.
         op_keys = [*self._ops, "_invalid"]
-        self._request_counts: Counter = Counter({op: 0 for op in op_keys})
-        self._latency = {op: _LatencyHistogram() for op in op_keys}
+        self._request_counts = {
+            op: self.registry.counter("serve.requests", op=op)
+            for op in op_keys}
+        self._latency = {
+            op: self.registry.histogram("serve.latency_us",
+                                        _LATENCY_BOUNDS_US, unit="us", op=op)
+            for op in op_keys}
+        self._error_count = self.registry.counter("serve.errors")
+        self._protocol_errors = self.registry.counter("serve.protocol_errors")
+        self._connections_total = self.registry.counter(
+            "serve.connections_total")
+        self._binary_frames = self.registry.counter("serve.binary_frames")
+        self._binary_bytes = self.registry.counter("serve.binary_bytes")
+        self._slow_queries = self.registry.counter("serve.slow_queries")
+        self.registry.gauge("serve.connections_open",
+                            fn=lambda: len(self._writers))
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -272,14 +314,23 @@ class ShardStoreServer:
             max_workers=self.decode_threads, thread_name_prefix="shard-decode")
         self._degree_coalescer = _Coalescer(
             self._loop, self._executor, self._degrees_batch,
-            max_batch=self.max_coalesce_batch)
+            max_batch=self.max_coalesce_batch,
+            registry=self.registry, kind="degree")
         self._neighbors_coalescers = {
             with_payload: _Coalescer(
                 self._loop, self._executor,
                 lambda vs, wp=with_payload: self._neighbors_batch(vs, wp),
-                max_batch=self.max_coalesce_batch)
+                max_batch=self.max_coalesce_batch,
+                registry=self.registry,
+                kind="neighbors_payload" if with_payload else "neighbors")
             for with_payload in (False, True)
         }
+        if self._slow_log_spec is not None and self._slow_log is None:
+            if hasattr(self._slow_log_spec, "write"):
+                self._slow_log = self._slow_log_spec
+            else:
+                self._slow_log = open(self._slow_log_spec, "a", encoding="utf-8")
+                self._slow_log_owned = True
         self._server = await asyncio.start_server(
             self._handle_connection, self.host, self.port)
         self.port = self._server.sockets[0].getsockname()[1]
@@ -310,6 +361,10 @@ class ShardStoreServer:
         if self._executor is not None:
             self._executor.shutdown(wait=True)
             self._executor = None
+        if self._slow_log is not None and self._slow_log_owned:
+            self._slow_log.close()
+            self._slow_log = None
+            self._slow_log_owned = False
 
     def request_stop(self) -> None:
         """Ask the serve loop to exit (safe from any thread; a no-op when
@@ -345,7 +400,7 @@ class ShardStoreServer:
     # ------------------------------------------------------------------
     async def _handle_connection(self, reader: asyncio.StreamReader,
                                  writer: asyncio.StreamWriter) -> None:
-        self._connections_total += 1
+        self._connections_total.inc()
         self._writers.add(writer)
         task = asyncio.current_task()
         self._tasks.add(task)
@@ -373,7 +428,7 @@ class ShardStoreServer:
                 except ProtocolError as exc:
                     # The byte stream can no longer be trusted: answer once,
                     # then drop this connection (and only this one).
-                    self._protocol_errors += 1
+                    self._protocol_errors.inc()
                     await self._try_send(writer, protocol.error_frame(exc))
                     break
                 if frame is None:  # clean EOF at a frame boundary
@@ -399,8 +454,8 @@ class ShardStoreServer:
                     # Count before the bytes can reach a client: a stats
                     # read that races the send must never under-report a
                     # frame the peer has already received.
-                    self._binary_frames += 1
-                    self._binary_bytes += binary_parts[1].nbytes
+                    self._binary_frames.inc()
+                    self._binary_bytes.inc(binary_parts[1].nbytes)
                 writer.write(payload)
                 if binary_parts is not None:
                     writer.write(binary_parts[0])
@@ -434,47 +489,107 @@ class ShardStoreServer:
         opted into the bulk plane: the caller writes the JSON control frame
         first, then one binary frame over the returned array's bytes.
         Error responses never carry a binary frame.
+
+        A request carrying the additive ``"trace"`` key
+        (``{"id": <trace_id>, "span": <parent_span_id>}``) is served under
+        an activated trace context: the ``serve.<op>`` span records into
+        this server's recorder and store work inherits the context (so
+        shard-decode spans nest under it).  Untraced requests skip the
+        tracing machinery entirely.
         """
+        trace_ref = frame.get("trace")
+        if (isinstance(trace_ref, dict)
+                and isinstance(trace_ref.get("id"), str)):
+            return await self._dispatch_timed(frame, trace_ref)
+        return await self._dispatch_timed(frame, None)
+
+    #: Ops whose handlers provably open no child spans — the coalesced
+    #: scalar ops (their batch flush runs on the executor *without* a
+    #: copied context) and ``hello``.  Their serve spans skip the
+    #: contextvar switch entirely (``adopt_leaf_span``), which keeps the
+    #: traced scalar hot path inside the ≤ 5% overhead budget.
+    _LEAF_OPS = frozenset({"degree", "neighbors", "hello"})
+
+    async def _dispatch_timed(self, frame: dict, trace_ref: Optional[dict]):
         op = frame.get("op")
         op_key = op if isinstance(op, str) and op in self._ops else "_invalid"
-        start_ns = time.perf_counter_ns()
+        trace_id = trace_ref["id"] if trace_ref is not None else None
         binary_rows = None
-        try:
-            version = frame.get("v")
-            if version not in SUPPORTED_PROTOCOL_VERSIONS:
-                raise ProtocolError(
-                    f"unsupported protocol version {version!r}; this server "
-                    f"speaks versions "
-                    f"{', '.join(map(str, SUPPORTED_PROTOCOL_VERSIONS))}")
-            if op_key == "_invalid":
-                raise ProtocolError(
-                    f"unknown op {op!r}; available: "
-                    f"{', '.join(sorted(self._ops))}")
-            args = frame.get("args", {})
-            if not isinstance(args, dict):
-                raise ValueError("request args must be a JSON object")
-            if args.get("binary") and version < 2:
-                # A v1 peer must never see a two-frame response; reject the
-                # request but keep the connection — the framing is intact.
-                raise ProtocolError(
-                    "binary responses require protocol version >= 2; "
-                    f"this request is v{version}")
-            result = await self._ops[op_key](args)
-            if isinstance(result, tuple):
-                result, binary_rows = result
-            response = protocol.result_frame(result)
-        except Exception as exc:  # every failure becomes an error frame
-            self._error_count += 1
-            binary_rows = None
-            response = protocol.error_frame(exc)
-        finally:
-            self._request_counts[op_key] += 1
-            elapsed_us = (time.perf_counter_ns() - start_ns) // 1000
-            self._latency[op_key].record(int(elapsed_us))
+        ok = True
+        if trace_ref is not None:
+            # adopt_* fuses trace adoption + the serve span into at most
+            # one context switch — this is the per-request hot path.
+            adopt = (trace.adopt_leaf_span if op_key in self._LEAF_OPS
+                     else trace.adopt_span)
+            serve_span = adopt(self.recorder, trace_id, trace_ref.get("span"),
+                               f"serve.{op_key}", op=op_key)
+        else:
+            serve_span = trace.span(f"serve.{op_key}", op=op_key)
+        with self._latency[op_key].time() as timer:
+            try:
+                # The span sees handler exceptions (status="error") before
+                # they are converted to error frames below.
+                with serve_span:
+                    version = frame.get("v")
+                    if version not in SUPPORTED_PROTOCOL_VERSIONS:
+                        raise ProtocolError(
+                            f"unsupported protocol version {version!r}; this "
+                            f"server speaks versions "
+                            f"{', '.join(map(str, SUPPORTED_PROTOCOL_VERSIONS))}")
+                    if op_key == "_invalid":
+                        raise ProtocolError(
+                            f"unknown op {op!r}; available: "
+                            f"{', '.join(sorted(self._ops))}")
+                    args = frame.get("args", {})
+                    if not isinstance(args, dict):
+                        raise ValueError("request args must be a JSON object")
+                    if args.get("binary") and version < 2:
+                        # A v1 peer must never see a two-frame response;
+                        # reject the request but keep the connection — the
+                        # framing is intact.
+                        raise ProtocolError(
+                            "binary responses require protocol version >= 2; "
+                            f"this request is v{version}")
+                    result = await self._ops[op_key](args)
+                if isinstance(result, tuple):
+                    result, binary_rows = result
+                response = protocol.result_frame(result)
+            except Exception as exc:  # every failure becomes an error frame
+                self._error_count.inc()
+                ok = False
+                binary_rows = None
+                response = protocol.error_frame(exc)
+        self._request_counts[op_key].inc()
+        if (self.slow_query_us is not None
+                and timer.elapsed_us >= self.slow_query_us):
+            self._slow_queries.inc()
+            self._log_slow_query(op_key, timer.elapsed_us, ok, trace_id)
         return response, binary_rows
 
+    def _log_slow_query(self, op_key: str, elapsed_us: int, ok: bool,
+                        trace_id: Optional[str]) -> None:
+        if self._slow_log is None:
+            return
+        line = json.dumps({"ts": round(time.time(), 3), "op": op_key,
+                           "elapsed_us": int(elapsed_us), "ok": ok,
+                           "trace": trace_id}, sort_keys=True)
+        try:
+            self._slow_log.write(line + "\n")
+            self._slow_log.flush()
+        except (OSError, ValueError):
+            pass  # a full disk / closed sink must never fail a request
+
     async def _run_store(self, fn, *args):
-        """Run one store call on the bounded decode pool."""
+        """Run one store call on the bounded decode pool.
+
+        ``run_in_executor`` does *not* carry ``contextvars``; when a trace
+        is active the context is copied explicitly so store-side spans
+        (shard decodes, fleet fan-out attempts) stay in the request's tree.
+        """
+        if trace.current() is not None:
+            ctx = contextvars.copy_context()
+            return await self._loop.run_in_executor(
+                self._executor, lambda: ctx.run(fn, *args))
         return await self._loop.run_in_executor(self._executor, fn, *args)
 
     # ------------------------------------------------------------------
@@ -588,6 +703,30 @@ class ShardStoreServer:
     async def _op_stats(self, args: dict) -> dict:
         return shaping.stats_answer_shape(self.stats())
 
+    async def _op_metrics(self, args: dict) -> dict:
+        # Snapshot on the pool: fn-gauges may take the store's cache lock.
+        snapshot = await self._run_store(self.registry.snapshot)
+        return shaping.metrics_shape(snapshot)
+
+    async def _op_trace(self, args: dict) -> dict:
+        trace_id = _arg(args, "id")
+        if not isinstance(trace_id, str):
+            raise ValueError("request arg 'id' must be a string trace id")
+        return shaping.trace_answer_shape(trace_id,
+                                          self.recorder.spans(trace_id))
+
+    async def _op_reset_stats(self, args: dict) -> dict:
+        details = await self._run_store(self._reset_stats)
+        return shaping.reset_stats_shape(workers=details)
+
+    def _reset_stats(self) -> Optional[int]:
+        """Zero every registry series; a store with its own reset hook (the
+        fleet façade fans the reset out to its workers) runs it too, and
+        its worker count rides back on the answer shape."""
+        self.registry.reset()
+        reset_hook = getattr(self.store, "reset_stats", None)
+        return reset_hook() if reset_hook is not None else None
+
     async def _op_shutdown(self, args: dict) -> dict:
         # Reply first; the loop notices the event after this response flushes.
         self._loop.call_soon(self._stop_event.set)
@@ -599,22 +738,25 @@ class ShardStoreServer:
     def _server_stats(self) -> dict:
         """The ``"server"`` counter section alone — shared with the range
         router, whose ``stats()`` composes it with a fleet rollup instead of
-        a single store's counters."""
+        a single store's counters.  Every number is read off the registry
+        series; the dict is a *view*, not a second set of books.  Latency
+        summaries carry p50/p95/p99 derived from the histogram buckets."""
         neighbors = list(self._neighbors_coalescers.values())
         degree = self._degree_coalescer
         return {
             "uptime_s": round(time.monotonic() - self._started_at, 3)
             if self._started_at is not None else 0.0,
-            "requests": {op: count
-                         for op, count in self._request_counts.items()
-                         if count},
-            "errors": self._error_count,
-            "protocol_errors": self._protocol_errors,
+            "requests": {op: counter.value
+                         for op, counter in self._request_counts.items()
+                         if counter.value},
+            "errors": self._error_count.value,
+            "protocol_errors": self._protocol_errors.value,
             "connections_open": len(self._writers),
-            "connections_total": self._connections_total,
+            "connections_total": self._connections_total.value,
             "decode_threads": self.decode_threads,
-            "binary": {"frames": self._binary_frames,
-                       "bytes": self._binary_bytes},
+            "slow_queries": self._slow_queries.value,
+            "binary": {"frames": self._binary_frames.value,
+                       "bytes": self._binary_bytes.value},
             "coalesced": {
                 "degree": degree.stats() if degree is not None
                 else {"requests": 0, "batches": 0, "max_batch": 0},
@@ -625,7 +767,7 @@ class ShardStoreServer:
                                      default=0),
                 },
             },
-            "latency_us": {op: hist.snapshot()
+            "latency_us": {op: hist.summary()
                            for op, hist in sorted(self._latency.items())
                            if hist.count},
         }

@@ -25,9 +25,13 @@ from typing import Optional, Sequence
 import numpy as np
 import scipy.sparse as sp
 
+from repro.obs import render_prometheus
 from repro.serve.protocol import PROTOCOL_VERSION, SUPPORTED_PROTOCOL_VERSIONS
 
 __all__ = [
+    "metrics_shape",
+    "trace_answer_shape",
+    "reset_stats_shape",
     "degree_shape",
     "neighbors_shape",
     "shape_degree",
@@ -362,6 +366,44 @@ def stats_answer_shape(stats: dict) -> dict:
 def shutdown_shape() -> dict:
     """The ``shutdown`` acknowledgement."""
     return {"query": "shutdown", "stopping": True}
+
+
+def metrics_shape(snapshot: dict) -> dict:
+    """The ``metrics`` answer: one registry snapshot, two renderings.
+
+    ``"metrics"`` carries the raw series
+    (:meth:`repro.obs.MetricsRegistry.snapshot`) and ``"prometheus"`` the
+    text exposition of the *same* snapshot
+    (:func:`repro.obs.render_prometheus`) — both surfaces are derived here
+    from one snapshot, so they round-trip the same numbers by construction.
+    """
+    return {
+        "query": "metrics",
+        "metrics": snapshot,
+        "prometheus": render_prometheus(snapshot),
+    }
+
+
+def trace_answer_shape(trace_id: str, spans: Sequence[dict]) -> dict:
+    """The ``trace`` answer: every recorded span of one trace, ordered by
+    wall-clock start so the fan-out reads top-down.  A router merges its own
+    spans with its workers' before shaping, so the client sees one tree."""
+    ordered = sorted(spans, key=lambda s: (s.get("start_us", 0), s.get("span", "")))
+    return {
+        "query": "trace",
+        "id": str(trace_id),
+        "n_spans": len(ordered),
+        "spans": list(ordered),
+    }
+
+
+def reset_stats_shape(*, workers: Optional[int] = None) -> dict:
+    """The ``reset_stats`` acknowledgement; a router reports how many
+    workers the reset fanned out to."""
+    result = {"query": "reset_stats", "reset": True}
+    if workers is not None:
+        result["workers"] = int(workers)
+    return result
 
 
 def fleet_shape(ranges: Sequence, addresses: Sequence, *,

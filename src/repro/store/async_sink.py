@@ -28,13 +28,13 @@ from __future__ import annotations
 
 import queue
 import threading
-import time
 from pathlib import Path
 from typing import Optional, Sequence, Union
 
 import numpy as np
 
 from repro.graphs.io import NpyShardSink
+from repro.obs import MetricsRegistry
 
 __all__ = ["AsyncShardSink"]
 
@@ -42,6 +42,11 @@ PathLike = Union[str, Path]
 
 #: Sentinel telling the writer thread to drain and exit.
 _STOP = None
+
+#: Bucket bounds (µs) for the sink's write / back-pressure histograms —
+#: coarser than the serve-side latency buckets because one np.save of a
+#: block is milliseconds, not microseconds.
+_SINK_BOUNDS_US = (100, 1_000, 10_000, 100_000, 1_000_000, 10_000_000)
 
 
 class AsyncShardSink:
@@ -56,6 +61,10 @@ class AsyncShardSink:
     queue_blocks:
         Bound on blocks waiting to be written; a full queue blocks ``write``
         (back-pressure) so a fast producer cannot buffer the whole product.
+    registry:
+        :class:`~repro.obs.MetricsRegistry` the sink's write/back-pressure
+        histograms and block counter register into (a private one by
+        default).  The legacy attributes below are views over it.
 
     Attributes
     ----------
@@ -70,7 +79,8 @@ class AsyncShardSink:
 
     def __init__(self, directory: PathLike, *, name: str = "",
                  n_vertices: int = 0, queue_blocks: int = 8,
-                 payload_columns: Sequence[str] = ()):
+                 payload_columns: Sequence[str] = (),
+                 registry: Optional[MetricsRegistry] = None):
         if queue_blocks < 1:
             raise ValueError(f"queue_blocks must be >= 1, got {queue_blocks}")
         self._inner = NpyShardSink(directory, name=name, n_vertices=n_vertices,
@@ -80,9 +90,24 @@ class AsyncShardSink:
         self._queue: "queue.Queue" = queue.Queue(maxsize=self.queue_blocks)
         self._thread: Optional[threading.Thread] = None
         self._error: Optional[BaseException] = None
-        self.blocks_written = 0
-        self.writer_busy_s = 0.0
-        self.producer_wait_s = 0.0
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self._blocks = self.registry.counter("store.sink_blocks_written")
+        self._write_us = self.registry.histogram("store.sink_write_us",
+                                                 _SINK_BOUNDS_US, unit="us")
+        self._wait_us = self.registry.histogram("store.sink_wait_us",
+                                                _SINK_BOUNDS_US, unit="us")
+
+    @property
+    def blocks_written(self) -> int:
+        return self._blocks.value
+
+    @property
+    def writer_busy_s(self) -> float:
+        return self._write_us.snapshot()["sum"] / 1e6
+
+    @property
+    def producer_wait_s(self) -> float:
+        return self._wait_us.snapshot()["sum"] / 1e6
 
     # -- passthrough state -------------------------------------------------
     @property
@@ -112,11 +137,10 @@ class AsyncShardSink:
                     return
                 if self._error is not None:
                     continue  # keep draining so the producer never deadlocks
-                start = time.perf_counter()
                 rank, block_index, edges = item
-                self._inner.write(rank, block_index, edges)
-                self.writer_busy_s += time.perf_counter() - start
-                self.blocks_written += 1
+                with self._write_us.time():
+                    self._inner.write(rank, block_index, edges)
+                self._blocks.inc()
             except BaseException as exc:  # surfaced on the producer side
                 self._error = exc
             finally:
@@ -151,9 +175,8 @@ class AsyncShardSink:
                 f"sink expects (m, {width}) blocks for payload columns "
                 f"{list(self._payload_columns)}; got shape {snapshot.shape}")
         self._ensure_thread()
-        start = time.perf_counter()
-        self._queue.put((int(rank), int(block_index), snapshot))
-        self.producer_wait_s += time.perf_counter() - start
+        with self._wait_us.time():
+            self._queue.put((int(rank), int(block_index), snapshot))
 
     def flush(self) -> None:
         """Block until every queued write has hit disk (thread keeps running)."""

@@ -33,6 +33,11 @@ cannot leave orphaned shards for directory globs to pick up.
 Compacting an already-compacted store is idempotent (the sorted shards are
 reused as merge runs directly, skipping phase 1) and re-sharding to a new
 ``target_shard_edges`` is just a re-run.
+
+Under an active :mod:`repro.obs.trace` context the three phases record
+timed spans (``compact.run_formation`` / ``compact.merge`` /
+``compact.publish``) so a traced maintenance job shows where the wall
+time went; without one the span calls are no-ops.
 """
 
 from __future__ import annotations
@@ -49,6 +54,7 @@ from repro.graphs.io import (
     read_shard_manifest,
     write_shard_manifest,
 )
+from repro.obs import trace
 
 __all__ = ["compact_shards", "MANIFEST_V2"]
 
@@ -279,25 +285,29 @@ def compact_shards(
             run_paths = [source / shard["file"]
                          for shard in src_manifest["shards"] if shard["n_edges"]]
         else:
-            runs_dir.mkdir(exist_ok=True)
-            run_paths = []
-            for index, shard in enumerate(src_manifest["shards"]):
-                if not shard["n_edges"]:
-                    continue  # zero-edge ranks leave empty shards; skip them
-                path = runs_dir / f"run-{index:06d}.npy"
-                # Map the spill read-only; the sort's fancy-index gather in
-                # _sort_edges makes the one private copy run formation needs.
-                np.save(path, _sort_edges(
-                    _load_run(source / shard["file"], mmap_mode="r")))
-                run_paths.append(path)
-        runs = [_load_run(path, mmap_mode="r") for path in run_paths]
-        try:
-            _merge_runs(runs, writer, int(merge_chunk_edges))
-        finally:
-            # Release the memory maps before the runs directory is removed
-            # (deleting a mapped file fails on Windows).
-            del runs
-        writer.close()
+            with trace.span("compact.run_formation",
+                            n_shards=len(src_manifest["shards"])):
+                runs_dir.mkdir(exist_ok=True)
+                run_paths = []
+                for index, shard in enumerate(src_manifest["shards"]):
+                    if not shard["n_edges"]:
+                        continue  # zero-edge ranks leave empty shards
+                    path = runs_dir / f"run-{index:06d}.npy"
+                    # Map the spill read-only; the sort's fancy-index gather
+                    # in _sort_edges makes the one private copy run formation
+                    # needs.
+                    np.save(path, _sort_edges(
+                        _load_run(source / shard["file"], mmap_mode="r")))
+                    run_paths.append(path)
+        with trace.span("compact.merge", n_runs=len(run_paths)):
+            runs = [_load_run(path, mmap_mode="r") for path in run_paths]
+            try:
+                _merge_runs(runs, writer, int(merge_chunk_edges))
+            finally:
+                # Release the memory maps before the runs directory is
+                # removed (deleting a mapped file fails on Windows).
+                del runs
+            writer.close()
     finally:
         if runs_dir.exists():
             shutil.rmtree(runs_dir)
@@ -325,13 +335,14 @@ def compact_shards(
         "shards": writer.shards,
         "metadata": meta,
     }
-    write_shard_manifest(destination, manifest)
-    # The manifest is the source of truth for directory-glob readers: any
-    # .npy it does not list (e.g. finer-grained shards from a previous
-    # compaction of this destination) is stale — discard it, mirroring the
-    # v1 sink's constructor-time cleanup.
-    listed = {shard["file"] for shard in writer.shards}
-    for stray in destination.glob("*.npy"):
-        if stray.name not in listed:
-            stray.unlink()
+    with trace.span("compact.publish", n_shards=len(writer.shards)):
+        write_shard_manifest(destination, manifest)
+        # The manifest is the source of truth for directory-glob readers:
+        # any .npy it does not list (e.g. finer-grained shards from a
+        # previous compaction of this destination) is stale — discard it,
+        # mirroring the v1 sink's constructor-time cleanup.
+        listed = {shard["file"] for shard in writer.shards}
+        for stray in destination.glob("*.npy"):
+            if stray.name not in listed:
+                stray.unlink()
     return manifest

@@ -48,8 +48,15 @@ shared by many reader threads — the serving pattern of
 pool.  Shard *decodes* run outside the lock (two threads missing on the same
 shard may both read the file; the loser's rows are dropped and counted as a
 read), so concurrent misses on different shards overlap their I/O.
-:meth:`ShardStore.stats` snapshots the counters atomically and
-:meth:`ShardStore.reset_stats` rearms them between measurement windows.
+
+Telemetry lives on a :class:`repro.obs.MetricsRegistry` (PR 8): the
+counters are ``store.shard_reads`` / ``store.cache_hits`` series and the
+cache occupancy is exposed as callback gauges, so :meth:`ShardStore.stats`
+is a *view* over the registry a server shares with this store rather than a
+private dict; :meth:`ShardStore.reset_stats` rearms the counters between
+measurement windows.  A cache-miss decode opens a ``store.decode`` trace
+span when a request trace is active (:mod:`repro.obs.trace`), which is how
+a routed query's span tree reaches all the way down to the shard file.
 """
 
 from __future__ import annotations
@@ -66,6 +73,7 @@ from repro.graphs.adjacency import Graph
 from repro.graphs.egonet import Egonet
 from repro.graphs.egonet import egonet as _extract_egonet
 from repro.graphs.io import read_shard_manifest
+from repro.obs import MetricsRegistry, trace
 
 __all__ = ["ShardStore", "StoreQueryMixin"]
 
@@ -282,6 +290,13 @@ class ShardStore(StoreQueryMixin):
         bulk read path, one open mapping (and file descriptor) per cached
         shard, released on eviction.  ``False`` opts back into eager array
         copies (no open files kept; each decode pays a full read).
+    registry:
+        The :class:`repro.obs.MetricsRegistry` to register this store's
+        series on (``store.shard_reads``, ``store.cache_hits`` and the
+        occupancy gauges).  A server passes its own registry here so server
+        and store stats are views over one registry; ``None`` creates a
+        private one.  One store per registry — the occupancy gauges are
+        callback-backed.
 
     Attributes
     ----------
@@ -292,7 +307,7 @@ class ShardStore(StoreQueryMixin):
     """
 
     def __init__(self, directory: PathLike, *, cache_shards: int = 4,
-                 mmap: bool = True):
+                 mmap: bool = True, registry: Optional[MetricsRegistry] = None):
         self.directory = Path(directory)
         manifest = read_shard_manifest(self.directory)
         if manifest["format_version"] < 2 or manifest.get("sorted_by") != "source":
@@ -321,11 +336,20 @@ class ShardStore(StoreQueryMixin):
         self.mmap = bool(mmap)
         # index -> [rows, encoded (src·n + dst) keys or None (built lazily)]
         self._cache: "OrderedDict[int, list]" = OrderedDict()
-        # Guards the LRU OrderedDict and both counters: queries may come from
-        # many threads at once (repro.serve offloads decodes to a pool).
+        # Guards the LRU OrderedDict: queries may come from many threads at
+        # once (repro.serve offloads decodes to a pool).  The traffic
+        # counters live on the registry (leaf-locked instruments), so they
+        # can be read mid-serve without touching this lock.
         self._lock = threading.Lock()
-        self.shard_reads = 0
-        self.cache_hits = 0
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self._shard_reads = self.registry.counter("store.shard_reads")
+        self._cache_hits = self.registry.counter("store.cache_hits")
+        self.registry.gauge("store.cached_shards",
+                            fn=lambda: self._cache_usage()[2])
+        self.registry.gauge("store.resident_bytes",
+                            fn=lambda: self._cache_usage()[0])
+        self.registry.gauge("store.mapped_bytes",
+                            fn=lambda: self._cache_usage()[1])
 
     # ------------------------------------------------------------------
     # Shard access
@@ -339,21 +363,22 @@ class ShardStore(StoreQueryMixin):
         with self._lock:
             cached = self._cache.get(index)
             if cached is not None:
-                self.cache_hits += 1
+                self._cache_hits.inc()
                 self._cache.move_to_end(index)
                 return cached
         # Decode outside the lock so concurrent misses on *different* shards
         # overlap their file I/O; a racing miss on the same shard costs one
         # redundant decode (counted below) but never corrupts the cache.
         path = self.directory / self._files[index]
-        rows = _load_shard_file(path, mmap_mode="r" if self.mmap else None)
+        with trace.span("store.decode", shard=self._files[index]):
+            rows = _load_shard_file(path, mmap_mode="r" if self.mmap else None)
         if rows.ndim != 2 or rows.shape[1] != self._width:
             raise ValueError(
                 f"{path}: shard has shape {rows.shape} but the manifest "
                 f"payload_columns {self.manifest['payload_columns']!r} "
                 f"require {self._width} columns")
         with self._lock:
-            self.shard_reads += 1
+            self._shard_reads.inc()
             cached = self._cache.get(index)
             if cached is not None:
                 self._cache.move_to_end(index)
@@ -401,8 +426,35 @@ class ShardStore(StoreQueryMixin):
         again — so this is a cache-lifecycle call, not a destructor."""
         self.clear_cache()
 
+    def _cache_usage(self) -> Tuple[int, int, int]:
+        """``(resident_bytes, mapped_bytes, cached_shards)`` in one locked
+        walk — the backing for both :meth:`stats` and the registry's
+        callback gauges."""
+        with self._lock:
+            resident = 0
+            mapped = 0
+            for rows, keys in self._cache.values():
+                if isinstance(rows, np.memmap):
+                    mapped += rows.nbytes
+                else:
+                    resident += rows.nbytes
+                if keys is not None:
+                    resident += keys.nbytes
+            return resident, mapped, len(self._cache)
+
+    @property
+    def shard_reads(self) -> int:
+        """Shard files decoded from disk (the ``store.shard_reads`` series)."""
+        return self._shard_reads.value
+
+    @property
+    def cache_hits(self) -> int:
+        """Queries served from the decoded-shard LRU (``store.cache_hits``)."""
+        return self._cache_hits.value
+
     def stats(self) -> dict:
-        """Atomic snapshot of the cache counters and occupancy.
+        """Snapshot of the cache counters and occupancy — a view over the
+        store's series on :attr:`registry`.
 
         The serving layer (:mod:`repro.serve`) exposes this verbatim through
         its ``stats`` request, so the keys are part of the wire surface:
@@ -418,33 +470,23 @@ class ShardStore(StoreQueryMixin):
         shows both numbers flat across queries — the no-per-query-copy
         acceptance bar.
         """
-        with self._lock:
-            resident = 0
-            mapped = 0
-            for rows, keys in self._cache.values():
-                if isinstance(rows, np.memmap):
-                    mapped += rows.nbytes
-                else:
-                    resident += rows.nbytes
-                if keys is not None:
-                    resident += keys.nbytes
-            return {
-                "shard_reads": self.shard_reads,
-                "cache_hits": self.cache_hits,
-                "cached_shards": len(self._cache),
-                "cache_shards": self.cache_shards,
-                "n_shards": self.n_shards,
-                "mmap": self.mmap,
-                "resident_bytes": resident,
-                "mapped_bytes": mapped,
-            }
+        resident, mapped, cached = self._cache_usage()
+        return {
+            "shard_reads": self._shard_reads.value,
+            "cache_hits": self._cache_hits.value,
+            "cached_shards": cached,
+            "cache_shards": self.cache_shards,
+            "n_shards": self.n_shards,
+            "mmap": self.mmap,
+            "resident_bytes": resident,
+            "mapped_bytes": mapped,
+        }
 
     def reset_stats(self) -> None:
         """Zero ``shard_reads`` / ``cache_hits`` (decoded shards stay cached),
         so a measurement window can start from a warm cache."""
-        with self._lock:
-            self.shard_reads = 0
-            self.cache_hits = 0
+        self._shard_reads.reset()
+        self._cache_hits.reset()
 
     def _overlapping(self, lo: int, hi_inclusive: int) -> Tuple[int, int]:
         """Half-open shard-index range whose vertex ranges intersect

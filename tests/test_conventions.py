@@ -15,7 +15,13 @@ on every PR.  Two are enforced here:
   ``src/repro/serve/shaping.py`` and nowhere else — the server, the range
   router, and the CLI assemble answers exclusively through shaping
   functions, so the wire surface and ``query --json`` cannot drift apart
-  shape by shape.
+  shape by shape;
+* the one-registry telemetry rule (PR 8): the store and serve layers keep
+  no ad-hoc counters — no ``collections.Counter``/``defaultdict(int)``
+  telemetry tallies, no raw ``time.perf_counter`` latency deltas — every
+  operational number lives in a :mod:`repro.obs` registry series and every
+  timing goes through a registry histogram or a trace span, so ``stats()``
+  surfaces cannot drift from the ``metrics`` op.
 """
 
 from __future__ import annotations
@@ -93,3 +99,41 @@ def test_answer_shapes_are_built_only_in_shaping():
     assert not offenders, (
         "answer dicts must come from repro.serve.shaping, not be hand-built "
         "(add a shaping function and call it):\n  " + "\n  ".join(offenders))
+
+
+#: Layers whose operational numbers must live in a repro.obs registry.
+TELEMETRY_LAYERS = ("store", "serve")
+
+#: Ad-hoc telemetry constructs banned outside repro/obs/: raw perf-counter
+#: timing (registry histograms and trace spans own all timing) and the
+#: counter-dict idioms PR 8 migrated away from.
+_AD_HOC_TELEMETRY = re.compile(
+    r"time\.perf_counter|collections\.Counter\s*\(|defaultdict\s*\(\s*int\s*\)"
+    r"|\bCounter\s*\(\s*\)")
+
+
+def test_no_ad_hoc_telemetry_outside_obs():
+    offenders = []
+    for layer in TELEMETRY_LAYERS:
+        for path in sorted((SRC / layer).rglob("*.py")):
+            for line_number, line in enumerate(
+                    path.read_text().splitlines(), start=1):
+                if _AD_HOC_TELEMETRY.search(line):
+                    offenders.append(
+                        f"{path.relative_to(SRC.parent)}:{line_number}: "
+                        f"{line.strip()}")
+    assert not offenders, (
+        "operational counters and timings in the store/serve layers must go "
+        "through a repro.obs registry (counter/gauge/histogram.time()) or a "
+        "trace span, not ad-hoc perf_counter deltas or counter dicts:\n  "
+        + "\n  ".join(offenders))
+    # Self-check: the layers must actually be *using* the registry, or the
+    # rule above is passing over code that moved its telemetry elsewhere.
+    importers = sum(
+        1
+        for layer in TELEMETRY_LAYERS
+        for path in (SRC / layer).rglob("*.py")
+        if "from repro.obs import" in path.read_text())
+    assert importers >= 4, (
+        f"only {importers} files under src/repro/{{store,serve}} import "
+        "repro.obs — the one-registry telemetry convention looks abandoned")

@@ -16,7 +16,12 @@ Four layers of coverage, all through :class:`~tests._fleet_harness.FleetHarness`
   connection to a worker stopped between requests fails over the same way;
 * the no-replica-left path — with every replica of a slice down, the
   router answers with a clear error *frame* naming the worker and its
-  range, and the client's connection stays usable for other slices.
+  range, and the client's connection stays usable for other slices;
+* observability — a traced routed query yields one merged span tree
+  (router op → per-worker attempts → worker serve spans), a forced
+  failover shows the failed attempt and its retry as sibling
+  ``fleet.worker_call`` spans under the same trace id, and
+  ``reset_stats`` fans out to every worker.
 """
 
 from __future__ import annotations
@@ -40,6 +45,7 @@ from repro import generators
 from repro.core import KroneckerGraph
 from repro.graphs import NpyShardSink
 from repro.graphs.io import read_shard_manifest
+from repro.obs import TraceRecorder, trace
 from repro.parallel import distributed_generate
 from repro.serve import QueryClient, ServerError
 from repro.store import ShardStore, compact_shards
@@ -379,6 +385,90 @@ class TestFaultInjection:
                 vs = np.arange(0, dead["src_lo"], 4)
                 assert np.array_equal(c.degrees(vs), reference.degrees(vs))
                 assert c.connection_stats()["connects"] == 1
+
+
+# ----------------------------------------------------------------------
+# Observability: merged span trees, failover visibility, fleet-wide reset
+# ----------------------------------------------------------------------
+class TestFleetObservability:
+    def test_routed_trace_spans_failed_and_failover_attempts(
+            self, store_factory):
+        """The acceptance scenario: a traced ``egonet`` against a 3-slice
+        fleet whose slice-1 primary dies mid-request.  The ``trace`` op
+        must return one tree — router op span, per-worker fan-out, worker
+        serve spans — with the failed attempt and its successful failover
+        retry as sibling ``fleet.worker_call`` spans under one trace id."""
+        store = store_factory()
+        reference = ShardStore(store, cache_shards=16)
+        with FleetHarness(store, n_slices=3,
+                          scripted={1: drop_after_request}) as harness:
+            center = (harness.slices[1]["src_lo"]
+                      + harness.slices[1]["src_hi"]) // 2
+            recorder = TraceRecorder()
+            with harness.client() as c:
+                with trace.start_trace("acceptance", recorder) as t:
+                    routed = c.egonet(center)
+                spans = c.trace_spans(t.trace_id)
+            assert np.array_equal(routed.vertices,
+                                  reference.egonet(center).vertices)
+
+            assert spans, "router returned no spans for the trace"
+            assert {s["trace"] for s in spans} == {t.trace_id}
+            by_name = {}
+            for s in spans:
+                by_name.setdefault(s["name"], []).append(s)
+            # The router's own op span, parented under the client's span.
+            (op_span,) = by_name["serve.egonet"]
+            client_spans = {s["name"]: s for s in recorder.spans(t.trace_id)}
+            assert op_span["parent"] == client_spans["client.egonet"]["span"]
+            # Both slice-1 attempts: the dead primary as an error span, the
+            # replica retry as its ok sibling marked failover.
+            attempts = [s for s in by_name["fleet.worker_call"]
+                        if s.get("worker") == 1]
+            failed = [s for s in attempts if s["status"] == "error"]
+            retried = [s for s in attempts if s.get("failover")]
+            assert len(failed) == 1 and len(retried) == 1
+            assert retried[0]["status"] == "ok"
+            assert failed[0]["parent"] == retried[0]["parent"]  # siblings
+            # Worker-side serve spans were merged in over the wire: the
+            # fan-out's batch gathers parent under the router's
+            # channel-client request spans, and their shard decodes under
+            # them (``serve.hello``/``serve.egonet`` are router-recorded).
+            channel_request_ids = {s["span"] for s in spans
+                                   if s["name"].startswith("client.")}
+            worker_serve = by_name.get("serve.edges_for_sources", [])
+            assert worker_serve, "no worker spans were merged into the tree"
+            assert all(s["parent"] in channel_request_ids
+                       for s in worker_serve)
+            worker_serve_ids = {s["span"] for s in worker_serve}
+            assert any(s["parent"] in worker_serve_ids
+                       for s in by_name.get("store.decode", []))
+
+    def test_routed_metrics_exposes_fleet_series(self, fleet, client,
+                                                 local_store):
+        client.degrees(np.arange(0, local_store.n_vertices, 13))
+        answer = client.metrics()
+        counters = {(c["name"], c["labels"].get("worker")): c["value"]
+                    for c in answer["metrics"]["counters"]}
+        assert sum(counters[("fleet.worker_calls", str(w))]
+                   for w in range(3)) >= 3
+        assert 'fleet_worker_calls{worker="0"}' in answer["prometheus"]
+
+    def test_reset_stats_fans_out_fleet_wide(self, store_factory):
+        store = store_factory()
+        with FleetHarness(store, n_slices=3) as harness:
+            with harness.client() as c:
+                c.degrees(np.arange(0, 300, 5))
+                assert c.stats()["server"]["requests"]["degrees"] == 1
+                answer = c.reset_stats()
+                assert answer == {"query": "reset_stats", "reset": True,
+                                  "workers": 3}
+                stats = c.stats()
+                assert "degrees" not in stats["server"]["requests"]
+                # Worker-side counters were reset over the wire too.
+                assert stats["store"]["shard_reads"] == 0
+                assert all(r["stats"]["server"]["requests"].get(
+                    "degrees") is None for r in stats["workers"])
 
 
 # ----------------------------------------------------------------------
