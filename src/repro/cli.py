@@ -57,6 +57,15 @@ published artefacts of the paper:
     into batch calls).  Stops gracefully on Ctrl-C or a client ``shutdown``
     request, then prints the request/cache statistics.
 
+``repro-kron lint``
+    Run the AST convention linter (:mod:`repro.lint`) over a file or
+    directory — by default the installed ``repro`` package — and exit 1
+    on any finding.  ``--json`` emits a machine-readable report (stable
+    keys, sorted findings) for automation to diff; ``--rule NAME``
+    restricts the run to one rule; ``--list-rules`` prints the registered
+    rule set.  The tier-1 test suite runs the same engine and asserts
+    zero findings, so a red ``lint`` is a red build.
+
 Each sub-command is also usable programmatically through :func:`main`, which
 accepts an ``argv`` list and returns the process exit code (the test-suite
 drives it this way).
@@ -89,6 +98,7 @@ from repro.graphs import (
     write_edge_shards,
 )
 from repro.graphs.io import read_shard_manifest
+from repro.lint import LintEngine, all_rules, render_json, render_text
 from repro.parallel import distributed_generate, stream_edges_to_file
 from repro.serve import (
     PROTOCOL_VERSION,
@@ -302,6 +312,23 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--slow-ms", type=float, default=None, metavar="MS",
                        help="slow-query threshold in milliseconds "
                             "(default 100 when --slow-log is set)")
+
+    lint = sub.add_parser(
+        "lint",
+        help="run the AST convention linter over the source tree "
+             "(exit 1 on any finding)")
+    lint.add_argument("path", type=Path, nargs="?", default=None,
+                      help="file or directory to lint (default: the "
+                           "installed repro package)")
+    lint.add_argument("--json", action="store_true", dest="as_json",
+                      help="emit the findings as one JSON object on stdout "
+                           "(stable keys, sorted findings — diffable by "
+                           "automation)")
+    lint.add_argument("--rule", action="append", default=None, metavar="NAME",
+                      help="run only the named rule (repeatable); "
+                           "see --list-rules")
+    lint.add_argument("--list-rules", action="store_true",
+                      help="print the registered rules and exit")
 
     return parser
 
@@ -738,6 +765,26 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    rules = all_rules()
+    if args.list_rules:
+        for rule in rules:
+            print(f"{rule.name}: {rule.description}")
+        return 0
+    if args.rule:
+        by_name = {rule.name: rule for rule in rules}
+        unknown = [name for name in args.rule if name not in by_name]
+        if unknown:
+            print(f"unknown rule(s): {', '.join(unknown)}; available: "
+                  f"{', '.join(sorted(by_name))}", file=sys.stderr)
+            return 2
+        rules = [by_name[name] for name in args.rule]
+    target = args.path if args.path is not None else Path(__file__).parent
+    report = LintEngine(rules).run(target)
+    print(render_json(report) if args.as_json else render_text(report))
+    return 0 if report.ok else 1
+
+
 _COMMANDS = {
     "generate": _cmd_generate,
     "stats": _cmd_stats,
@@ -746,6 +793,7 @@ _COMMANDS = {
     "compact": _cmd_compact,
     "query": _cmd_query,
     "serve": _cmd_serve,
+    "lint": _cmd_lint,
 }
 
 

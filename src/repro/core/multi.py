@@ -32,6 +32,7 @@ import numpy as np
 import scipy.sparse as sp
 
 from repro.graphs.adjacency import Graph, hadamard, to_csr
+from repro.perf.kernels import csr_has_entry
 from repro.triangles.linear_algebra import edge_triangles, total_triangles, vertex_triangles
 
 __all__ = [
@@ -214,7 +215,7 @@ class MultiKroneckerGraph:
         p_idx = self.factor_indices(int(p))
         q_idx = self.factor_indices(int(q))
         return all(
-            adj[int(i), int(j)] != 0
+            csr_has_entry(adj, int(i), int(j))
             for adj, i, j in zip(self._adjacencies, p_idx, q_idx)
         )
 
@@ -226,7 +227,7 @@ class MultiKroneckerGraph:
         for adj, i in zip(self._adjacencies, indices):
             i = int(i)
             row_product *= int(adj.indptr[i + 1] - adj.indptr[i])
-            loop_product *= int(adj[i, i] != 0)
+            loop_product *= int(csr_has_entry(adj, i, i))
         return row_product - loop_product
 
     def degrees(self) -> np.ndarray:

@@ -536,7 +536,10 @@ def load_kronecker_bundle(path: PathLike):
         directed, or vertex-labeled) and the metadata dictionary.
     """
     path = Path(path)
-    with np.load(path, allow_pickle=False) as data:
+    # mmap_mode=None stated explicitly: the factors are decompressed and
+    # rebuilt into private CSR matrices immediately, so an eager read is
+    # the point (and .npz members cannot be mapped anyway).
+    with np.load(path, mmap_mode=None, allow_pickle=False) as data:
         meta = json.loads(bytes(data["metadata_json"]).decode("utf-8"))
         kinds = meta.get("factor_kinds", ["undirected", "undirected"])
         names = meta.get("factor_names", ["", ""])

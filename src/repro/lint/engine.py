@@ -1,0 +1,294 @@
+"""Core of the convention-lint engine: findings, the rule protocol, and
+the tree walker.
+
+The engine replaces the grep-level regexes that used to live in
+``tests/test_conventions.py``.  Greps cannot see aliased imports
+(``from numpy import load as ld``), cannot tell a call's context (a
+scalar lookup in a hot loop vs. a test helper), and desync on a ``)``
+inside a string literal; every rule here works on the :mod:`ast` instead
+— node extents, resolved import aliases, lexical scopes.
+
+Vocabulary:
+
+* a :class:`Finding` is one violation: rule name, file, line/column, and
+  a message that quotes the offending source via the AST node's extent;
+* a :class:`Rule` is a stateless checker scoped to *layers* (path
+  prefixes or exact files relative to the ``repro`` package root) with a
+  ``check(tree, rel_path, text)`` hook;
+* the :class:`LintEngine` walks a file or directory, parses each module
+  once, fans the tree out to every applicable rule, and aggregates the
+  findings into a :class:`LintReport`.
+
+A finding can be silenced in place with a ``# lint: ignore[rule-name]``
+comment on the offending line — the escape hatch is deliberate and
+greppable, so exemptions are visible in review rather than encoded as
+rule special cases.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "Finding",
+    "ImportMap",
+    "LintEngine",
+    "LintReport",
+    "Rule",
+    "collect_imports",
+    "resolve_call_target",
+]
+
+#: The pseudo-rule a file that fails to parse is reported under.
+SYNTAX_ERROR_RULE = "syntax-error"
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    rule: str
+    path: str  # package-relative posix path (e.g. "store/query.py")
+    line: int
+    col: int
+    message: str
+
+    def __str__(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.rule}: {self.message}"
+
+    def as_dict(self) -> dict:
+        return {"rule": self.rule, "path": self.path, "line": self.line,
+                "col": self.col, "message": self.message}
+
+
+class Rule:
+    """Base class for convention rules.
+
+    Subclasses set :attr:`name` (kebab-case, the CLI/selection handle),
+    :attr:`description`, and :attr:`layers` — path prefixes (ending in
+    ``/``) or exact files, relative to the ``repro`` package root — and
+    implement :meth:`check`.  Empty ``layers`` means every file.
+    """
+
+    name: str = ""
+    description: str = ""
+    #: Path prefixes ("store/") or exact files ("graphs/io.py") the rule
+    #: covers; empty covers the whole tree.
+    layers: Tuple[str, ...] = ()
+    #: Paths exempt from the rule (exact files or "dir/" prefixes).
+    excludes: Tuple[str, ...] = ()
+
+    def applies_to(self, rel_path: str) -> bool:
+        if _matches_any(rel_path, self.excludes):
+            return False
+        if not self.layers:
+            return True
+        return _matches_any(rel_path, self.layers)
+
+    def check(self, tree: ast.Module, rel_path: str,
+              text: str) -> List[Finding]:
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    # Shared helpers for subclasses
+    # ------------------------------------------------------------------
+    def finding(self, rel_path: str, node: ast.AST, message: str) -> Finding:
+        return Finding(self.name, rel_path, getattr(node, "lineno", 0),
+                       getattr(node, "col_offset", 0), message)
+
+    @staticmethod
+    def source_of(node: ast.AST, text: str, limit: int = 120) -> str:
+        """The node's own source text via its AST extent — never a
+        hand-rolled parenthesis scan (a ``)`` inside a string literal
+        desynced the old grep's span search)."""
+        segment = ast.get_source_segment(text, node) or "<source unavailable>"
+        segment = " ".join(segment.split())
+        if len(segment) > limit:
+            segment = segment[:limit - 3] + "..."
+        return segment
+
+
+def _matches_any(rel_path: str, patterns: Sequence[str]) -> bool:
+    for pattern in patterns:
+        if pattern.endswith("/"):
+            if rel_path.startswith(pattern):
+                return True
+        elif rel_path == pattern:
+            return True
+    return False
+
+
+# ----------------------------------------------------------------------
+# Import resolution
+# ----------------------------------------------------------------------
+@dataclass
+class ImportMap:
+    """What each local name means, resolved from a module's imports.
+
+    ``modules`` maps a local alias to the dotted module it names
+    (``np -> numpy``); ``members`` maps a local alias to the
+    ``module.member`` it was imported from (``ld -> numpy.load``) — the
+    aliasing the old greps could not see.
+    """
+
+    modules: Dict[str, str] = field(default_factory=dict)
+    members: Dict[str, str] = field(default_factory=dict)
+
+
+def collect_imports(tree: ast.Module) -> ImportMap:
+    imports = ImportMap()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                local = alias.asname or alias.name.split(".")[0]
+                # "import a.b" binds "a" to package a; "import a.b as c"
+                # binds "c" to module a.b.
+                target = alias.name if alias.asname else alias.name.split(".")[0]
+                imports.modules[local] = target
+        elif isinstance(node, ast.ImportFrom):
+            if node.module is None or node.level:
+                continue  # relative imports never alias numpy/time/socket
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                local = alias.asname or alias.name
+                imports.members[local] = f"{node.module}.{alias.name}"
+    return imports
+
+
+def resolve_call_target(func: ast.AST, imports: ImportMap) -> Optional[str]:
+    """Canonical dotted name of a call target, or ``None``.
+
+    ``np.load`` → ``numpy.load`` (via the module alias), ``ld`` →
+    ``numpy.load`` (via a from-import alias), ``socket.create_connection``
+    → itself.  Attribute chains off non-module values (``self.store.x``)
+    resolve to ``None`` — rules that care about those match the attribute
+    shape directly.
+    """
+    if isinstance(func, ast.Name):
+        return imports.members.get(func.id)
+    if isinstance(func, ast.Attribute) and isinstance(func.value, ast.Name):
+        module = imports.modules.get(func.value.id)
+        if module is not None:
+            return f"{module}.{func.attr}"
+    return None
+
+
+# ----------------------------------------------------------------------
+# Engine
+# ----------------------------------------------------------------------
+@dataclass
+class LintReport:
+    """Aggregated result of one engine run."""
+
+    root: str
+    rules: List[str]
+    files_checked: int
+    findings: List[Finding]
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings
+
+    def as_dict(self) -> dict:
+        return {
+            "root": self.root,
+            "rules": list(self.rules),
+            "files_checked": self.files_checked,
+            "findings": [finding.as_dict() for finding in self.findings],
+        }
+
+
+_IGNORE_MARK = "lint: ignore["
+
+
+def _suppressed(finding: Finding, lines: List[str]) -> bool:
+    if not 1 <= finding.line <= len(lines):
+        return False
+    line = lines[finding.line - 1]
+    return f"{_IGNORE_MARK}{finding.rule}]" in line
+
+
+def _package_root_of(path: Path, fallback: Path) -> Path:
+    """The directory findings are reported relative to.
+
+    Files inside an (installed or in-tree) ``repro`` package report
+    relative to that package directory, so a rule's ``layers`` spec
+    ("store/", "graphs/io.py") is stable no matter where the tree lives.
+    Anything else — e.g. a lint-fixture corpus — reports relative to the
+    walk root, which lets fixtures mimic the package layout.
+    """
+    parts = path.parts
+    for index in range(len(parts) - 1, -1, -1):
+        if parts[index] == "repro":
+            candidate = Path(*parts[:index + 1])
+            if (candidate / "__init__.py").exists():
+                return candidate
+    return fallback
+
+
+class LintEngine:
+    """Walks source files and runs every applicable rule over each.
+
+    Parameters
+    ----------
+    rules:
+        The rules to run.  Each file is parsed exactly once; rules see
+        the shared tree.
+    """
+
+    def __init__(self, rules: Iterable[Rule]):
+        self.rules = list(rules)
+        names = [rule.name for rule in self.rules]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate rule names in {names}")
+
+    def run(self, root, *, package_root=None) -> LintReport:
+        """Lint *root* (a ``.py`` file or a directory, walked
+        recursively) and return the aggregated report.  *package_root*
+        overrides the auto-detected base findings are relative to."""
+        root = Path(root)
+        if root.is_dir():
+            files = sorted(p for p in root.rglob("*.py")
+                           if "__pycache__" not in p.parts)
+            fallback = root
+        elif root.is_file():
+            files = [root]
+            fallback = root.parent
+        else:
+            raise FileNotFoundError(f"lint target {root} does not exist")
+        base_override = Path(package_root) if package_root is not None else None
+        findings: List[Finding] = []
+        for path in files:
+            base = base_override or _package_root_of(path, fallback)
+            try:
+                rel = path.relative_to(base).as_posix()
+            except ValueError:
+                rel = path.name
+            findings.extend(self.run_file(path, rel))
+        findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+        return LintReport(root=str(root),
+                          rules=[rule.name for rule in self.rules],
+                          files_checked=len(files), findings=findings)
+
+    def run_file(self, path, rel_path: str) -> List[Finding]:
+        """Parse one file and run every rule whose layers cover it."""
+        text = Path(path).read_text()
+        try:
+            tree = ast.parse(text)
+        except SyntaxError as exc:
+            return [Finding(SYNTAX_ERROR_RULE, rel_path, exc.lineno or 0,
+                            (exc.offset or 1) - 1, f"file does not parse: "
+                            f"{exc.msg}")]
+        lines = text.splitlines()
+        findings: List[Finding] = []
+        for rule in self.rules:
+            if not rule.applies_to(rel_path):
+                continue
+            for finding in rule.check(tree, rel_path, text):
+                if not _suppressed(finding, lines):
+                    findings.append(finding)
+        return findings

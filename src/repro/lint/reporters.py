@@ -1,0 +1,29 @@
+"""Reporters: the human text listing and the machine-readable JSON form.
+
+The JSON form is the automation surface (``repro-kron lint --json``):
+stable keys, findings sorted by (path, line, col, rule), so future
+tooling can diff two runs' findings mechanically.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.lint.engine import LintReport
+
+__all__ = ["render_text", "render_json"]
+
+
+def render_text(report: LintReport) -> str:
+    """One ``path:line:col: rule: message`` line per finding plus a
+    summary line — empty-finding runs still report what was covered."""
+    lines = [str(finding) for finding in report.findings]
+    noun = "finding" if len(report.findings) == 1 else "findings"
+    lines.append(f"{len(report.findings)} {noun} in "
+                 f"{report.files_checked} files "
+                 f"({len(report.rules)} rules)")
+    return "\n".join(lines)
+
+
+def render_json(report: LintReport) -> str:
+    return json.dumps(report.as_dict(), indent=2, sort_keys=True)

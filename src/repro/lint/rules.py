@@ -1,0 +1,38 @@
+"""The shipped rule set, in one place.
+
+Adding a rule: subclass :class:`repro.lint.engine.Rule` in the module
+that owns its domain (or a new one), give it a kebab-case ``name``,
+scope it with ``layers``, add it to :func:`all_rules`, and drop a
+known-bad and a known-good snippet under ``tests/lint_fixtures/<name>/``
+— the corpus test fails any registered rule that has no fixtures or
+never fires on its bad snippet, so a rule cannot ship vacuous.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.lint.engine import Rule
+from repro.lint.rules_hotpath import ScalarSparseGetitemRule
+from repro.lint.rules_mmap import MmapModeRule
+from repro.lint.rules_serve import AnswerShapeRule, BlockingInAsyncRule
+from repro.lint.rules_telemetry import AdHocTelemetryRule, RegistryNameRule
+
+__all__ = ["all_rules", "rules_by_name"]
+
+
+def all_rules() -> List[Rule]:
+    """Fresh instances of every shipped rule (rules are stateless, but
+    fresh instances keep callers from accidentally sharing)."""
+    return [
+        MmapModeRule(),
+        AnswerShapeRule(),
+        AdHocTelemetryRule(),
+        ScalarSparseGetitemRule(),
+        BlockingInAsyncRule(),
+        RegistryNameRule(),
+    ]
+
+
+def rules_by_name() -> Dict[str, Rule]:
+    return {rule.name: rule for rule in all_rules()}

@@ -1,0 +1,104 @@
+"""The PR 1 hot-path rule, machine-enforced for the first time: no
+scalar per-edge ``matrix[i, j]`` lookups inside Python loops.
+
+PR 1's ~1200× ground-truth speedup came from replacing per-edge scalar
+scipy ``__getitem__`` calls (each one allocates a 1×1 sparse result)
+with batched CSR gathers (:mod:`repro.perf.kernels`).  The convention
+since then: hot layers never index a matrix with two loop-carried
+scalars — they gather with index *arrays* (``adj[rows, cols]`` built
+outside the loop, or :func:`~repro.perf.kernels.csr_gather`).
+
+A grep cannot express this ("``[u, v]`` is fine unless it is inside a
+``for`` over edges"), which is why the rule never existed before the AST
+engine.  The heuristic here: a ``Load``-context subscript whose index is
+a two-element tuple of plain names/constants, where at least one name is
+the target of an enclosing ``for`` (statement or comprehension), is a
+scalar per-iteration lookup.  Vectorized gathers pass because their
+index arrays are not loop targets; slice/fancy indexing passes because
+the index elements are not plain scalars; writes into preallocated
+outputs pass because the context is ``Store``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List, Set
+
+from repro.lint.engine import Finding, Rule
+
+__all__ = ["ScalarSparseGetitemRule"]
+
+
+def _target_names(target: ast.AST) -> Set[str]:
+    names = set()
+    for node in ast.walk(target):
+        if isinstance(node, ast.Name):
+            names.add(node.id)
+    return names
+
+
+class _HotLoopVisitor(ast.NodeVisitor):
+    def __init__(self, rule: "ScalarSparseGetitemRule", rel_path: str,
+                 text: str):
+        self.rule = rule
+        self.rel_path = rel_path
+        self.text = text
+        self.findings: List[Finding] = []
+        self._loop_vars: List[Set[str]] = []
+
+    # ---- loops introduce per-iteration scalars -----------------------
+    def visit_For(self, node: ast.For) -> None:
+        self._loop_vars.append(_target_names(node.target))
+        self.generic_visit(node)
+        self._loop_vars.pop()
+
+    visit_AsyncFor = visit_For
+
+    def _visit_comprehension(self, node) -> None:
+        names: Set[str] = set()
+        for comp in node.generators:
+            names |= _target_names(comp.target)
+        self._loop_vars.append(names)
+        self.generic_visit(node)
+        self._loop_vars.pop()
+
+    visit_ListComp = _visit_comprehension
+    visit_SetComp = _visit_comprehension
+    visit_DictComp = _visit_comprehension
+    visit_GeneratorExp = _visit_comprehension
+
+    # ---- the check ---------------------------------------------------
+    def _active(self, name: str) -> bool:
+        return any(name in scope for scope in self._loop_vars)
+
+    def visit_Subscript(self, node: ast.Subscript) -> None:
+        if self._loop_vars and isinstance(node.ctx, ast.Load):
+            index = node.slice
+            if isinstance(index, ast.Tuple) and len(index.elts) == 2:
+                elts = index.elts
+                scalarish = all(isinstance(e, (ast.Name, ast.Constant))
+                                for e in elts)
+                loop_carried = any(isinstance(e, ast.Name)
+                                   and self._active(e.id) for e in elts)
+                if scalarish and loop_carried:
+                    self.findings.append(self.rule.finding(
+                        self.rel_path, node,
+                        "scalar matrix lookup with loop-carried indices — "
+                        "batch it with an index-array gather (adj[rows, "
+                        "cols] / csr_gather) outside the loop: "
+                        + self.rule.source_of(node, self.text)))
+        self.generic_visit(node)
+
+
+class ScalarSparseGetitemRule(Rule):
+    name = "no-scalar-sparse-getitem"
+    description = ("no scalar matrix[i, j] reads with loop-carried indices "
+                   "in the hot layers — use batched index-array gathers "
+                   "(PR 1 convention)")
+    layers = ("core/", "perf/", "triangles/", "truss/", "graphs/")
+
+    def check(self, tree: ast.Module, rel_path: str,
+              text: str) -> List[Finding]:
+        visitor = _HotLoopVisitor(self, rel_path, text)
+        visitor.visit(tree)
+        return visitor.findings

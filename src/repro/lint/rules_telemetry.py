@@ -1,0 +1,107 @@
+"""Telemetry rules: the one-registry convention (PR 8) and the metric
+naming scheme.
+
+*No ad-hoc telemetry*: the store and serve layers keep no private
+tallies — every operational number is a :class:`repro.obs.MetricsRegistry`
+series and every timing goes through a registry histogram or a trace
+span.  The AST form resolves aliases, so ``from collections import
+Counter as C`` and ``from time import perf_counter as clock`` are caught
+where the old grep saw nothing.
+
+*Registry names*: metric names are dotted ``layer.noun[_unit]``
+snake_case (``serve.latency_us``) so the Prometheus exposition and the
+stats surface stay mechanically derivable.  The rule checks every string
+literal passed as the first argument of a ``.counter(`` / ``.gauge(`` /
+``.histogram(`` call — the same pattern the registry itself enforces at
+runtime, pulled forward to lint time so a bad name fails before any
+server boots.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import List
+
+from repro.lint.engine import Finding, Rule, collect_imports, \
+    resolve_call_target
+
+__all__ = ["AdHocTelemetryRule", "RegistryNameRule"]
+
+#: Call targets banned in the telemetry layers, with the reason shown in
+#: the finding.
+_BANNED_CALLS = {
+    "time.perf_counter": "raw perf_counter timing (use a registry "
+                         "histogram's .time() or a trace span)",
+    "time.perf_counter_ns": "raw perf_counter_ns timing (use a registry "
+                            "histogram's .time() or a trace span)",
+    "collections.Counter": "collections.Counter tally (use a registry "
+                           "counter series)",
+}
+
+
+class AdHocTelemetryRule(Rule):
+    name = "no-ad-hoc-telemetry"
+    description = ("no ad-hoc counters or perf_counter timing in store/ and "
+                   "serve/ — operational numbers live on the repro.obs "
+                   "registry")
+    layers = ("store/", "serve/")
+
+    def check(self, tree: ast.Module, rel_path: str,
+              text: str) -> List[Finding]:
+        imports = collect_imports(tree)
+        findings = []
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Call):
+                continue
+            target = resolve_call_target(node.func, imports)
+            reason = _BANNED_CALLS.get(target)
+            if reason is None and target == "collections.defaultdict":
+                # Only the counter idiom is banned; defaultdict(list) and
+                # friends are ordinary data-structure choices.
+                if (node.args and isinstance(node.args[0], ast.Name)
+                        and node.args[0].id == "int"):
+                    reason = ("defaultdict(int) tally (use a registry "
+                              "counter series)")
+            if reason is not None:
+                findings.append(self.finding(
+                    rel_path, node,
+                    reason + ": " + self.source_of(node, text)))
+        return findings
+
+
+#: Dotted snake_case with at least two segments — the exact pattern
+#: MetricsRegistry enforces at runtime (layer.noun[_unit]).
+_METRIC_NAME = re.compile(r"^[a-z][a-z0-9_]*(\.[a-z][a-z0-9_]*)+$")
+
+_INSTRUMENT_METHODS = frozenset({"counter", "gauge", "histogram"})
+
+
+class RegistryNameRule(Rule):
+    name = "registry-names-dotted"
+    description = ("metric names passed to MetricsRegistry "
+                   ".counter/.gauge/.histogram are dotted layer.noun[_unit] "
+                   "snake_case")
+    layers = ()  # a registry handle can be created anywhere
+
+    def check(self, tree: ast.Module, rel_path: str,
+              text: str) -> List[Finding]:
+        findings = []
+        for node in ast.walk(tree):
+            if not (isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)
+                    and node.func.attr in _INSTRUMENT_METHODS):
+                continue
+            if not node.args:
+                continue
+            first = node.args[0]
+            if not (isinstance(first, ast.Constant)
+                    and isinstance(first.value, str)):
+                continue  # dynamic names are the registry's runtime problem
+            if not _METRIC_NAME.match(first.value):
+                findings.append(self.finding(
+                    rel_path, first,
+                    f"metric name {first.value!r} is not dotted "
+                    "layer.noun[_unit] snake_case (e.g. 'serve.requests'): "
+                    + self.source_of(node, text)))
+        return findings

@@ -22,11 +22,12 @@ carry the same numbers by construction, which
 from __future__ import annotations
 
 import re
-import threading
 import time
 from bisect import bisect_left
 from math import ceil
 from typing import Callable, Dict, Iterable, List, Optional, Tuple
+
+from repro.lint.runtime import new_lock
 
 __all__ = [
     "Counter",
@@ -77,7 +78,7 @@ class Counter:
     def __init__(self, name: str, labels: Dict[str, str]):
         self.name = name
         self.labels = labels
-        self._lock = threading.Lock()
+        self._lock = new_lock("obs.instrument")
         self._value = 0
 
     def inc(self, n: int = 1) -> None:
@@ -105,7 +106,7 @@ class Gauge:
                  fn: Optional[Callable[[], float]] = None):
         self.name = name
         self.labels = labels
-        self._lock = threading.Lock()
+        self._lock = new_lock("obs.instrument")
         self._value = 0
         self._fn = fn
 
@@ -162,7 +163,7 @@ class Histogram:
             raise MetricsError(
                 f"histogram {name} bounds must be strictly increasing")
         self.unit = unit
-        self._lock = threading.Lock()
+        self._lock = new_lock("obs.instrument")
         self._counts = [0] * (len(self.bounds) + 1)
         self._count = 0
         self._sum = 0
@@ -274,7 +275,7 @@ class MetricsRegistry:
     """
 
     def __init__(self):
-        self._lock = threading.Lock()
+        self._lock = new_lock("obs.registry")
         self._series: Dict[Tuple, object] = {}
 
     def _get_or_create(self, cls, name: str, labels: Dict[str, object],

@@ -24,11 +24,12 @@ from __future__ import annotations
 import contextvars
 import itertools
 import os
-import threading
 import time
 from collections import OrderedDict
 from contextlib import contextmanager
 from typing import Dict, List, Optional
+
+from repro.lint.runtime import new_lock
 
 __all__ = [
     "TraceContext",
@@ -92,7 +93,7 @@ class TraceRecorder:
     def __init__(self, max_traces: int = 128, max_spans: int = 2048):
         self.max_traces = int(max_traces)
         self.max_spans = int(max_spans)
-        self._lock = threading.Lock()
+        self._lock = new_lock("obs.trace_recorder")
         self._traces: "OrderedDict[str, List[dict]]" = OrderedDict()
         self._truncated: set = set()
 

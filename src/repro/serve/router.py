@@ -51,12 +51,12 @@ wire), so one routed query answers with the whole tree.
 from __future__ import annotations
 
 import contextvars
-import threading
 from concurrent.futures import ThreadPoolExecutor
 from typing import List, Optional, Sequence
 
 import numpy as np
 
+from repro.lint.runtime import new_lock
 from repro.obs import MetricsRegistry, trace
 from repro.serve import protocol, shaping
 from repro.serve.client import QueryClient
@@ -109,7 +109,7 @@ class _WorkerChannel:
         self.src_hi = int(src_hi)
         self.addresses = [str(address) for address in addresses]
         self.timeout = timeout
-        self._lock = threading.Lock()
+        self._lock = new_lock("fleet.worker_pool")
         self._idle: List = []  # (address_index, QueryClient) pairs
         self._preferred = 0
         registry = registry if registry is not None else MetricsRegistry()

@@ -61,7 +61,6 @@ a routed query's span tree reaches all the way down to the shard file.
 
 from __future__ import annotations
 
-import threading
 from collections import OrderedDict
 from pathlib import Path
 from typing import Optional, Sequence, Tuple, Union
@@ -73,6 +72,7 @@ from repro.graphs.adjacency import Graph
 from repro.graphs.egonet import Egonet
 from repro.graphs.egonet import egonet as _extract_egonet
 from repro.graphs.io import read_shard_manifest
+from repro.lint.runtime import new_lock
 from repro.obs import MetricsRegistry, trace
 
 __all__ = ["ShardStore", "StoreQueryMixin"]
@@ -340,7 +340,7 @@ class ShardStore(StoreQueryMixin):
         # once (repro.serve offloads decodes to a pool).  The traffic
         # counters live on the registry (leaf-locked instruments), so they
         # can be read mid-serve without touching this lock.
-        self._lock = threading.Lock()
+        self._lock = new_lock("store.lru")
         self.registry = registry if registry is not None else MetricsRegistry()
         self._shard_reads = self.registry.counter("store.shard_reads")
         self._cache_hits = self.registry.counter("store.cache_hits")

@@ -7,6 +7,24 @@ import pytest
 
 from repro import generators
 from repro.graphs import DirectedGraph, Graph, VertexLabeledGraph
+from repro.lint import runtime as lint_runtime
+
+
+@pytest.fixture(scope="session", autouse=True)
+def lock_order_sanitizer() -> lint_runtime.LockOrderSanitizer:
+    """Arm the lock-order sanitizer for the whole suite.
+
+    Every lock the store/obs/serve layers create goes through
+    ``repro.lint.runtime.new_lock``, so with the sanitizer installed the
+    16-thread store-churn and router fault-injection tests double as
+    lock-discipline tests: any acquisition that inverts the observed
+    global order (store.lru -> obs.instrument, …) raises
+    ``LockOrderError`` deterministically instead of deadlocking once a
+    year.
+    """
+    sanitizer = lint_runtime.install()
+    yield sanitizer
+    lint_runtime.uninstall()
 
 
 @pytest.fixture

@@ -1,0 +1,14 @@
+"""Known-bad corpus for answer-shapes-in-shaping: a consumer hand-builds
+an answer dict instead of calling a shaping function."""
+
+
+def answer_degree(vertex, degree):
+    return {"query": "degree", "vertex": vertex, "degree": degree}  # BAD
+
+
+def answer_nested(vertex):
+    return {
+        "meta": {},
+        # BAD: the discriminator makes this an answer shape wherever it is
+        "body": {"query": "neighbors", "vertex": vertex, "neighbors": []},
+    }

@@ -1,0 +1,18 @@
+"""Known-good corpus: dispatch tables and dynamic values are not answer
+shapes — the discriminator's value must be a string literal."""
+
+
+def _cmd_query(args):
+    return 0
+
+
+#: A dispatch table maps the same key to a *function* — structurally not
+#: an answer shape, so the AST rule leaves it alone (the old grep needed
+#: a prose exemption for exactly this dict).
+COMMANDS = {"query": _cmd_query}
+
+
+def relay(op, body):
+    # Dynamic value: the shape was built elsewhere (by shaping); this
+    # dict just wraps it.
+    return {"query": op, "body": body}

@@ -1,0 +1,8 @@
+"""Known-good corpus for answer-shapes-in-shaping: shaping.py is the one
+home allowed to build answer shapes, and non-literal "query" values are
+not shapes."""
+
+
+def degree_shape(vertex, degree):
+    # Allowed: this file IS serve/shaping.py, the shapes' home.
+    return {"query": "degree", "vertex": vertex, "degree": degree}

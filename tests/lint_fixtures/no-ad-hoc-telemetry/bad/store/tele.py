@@ -1,0 +1,25 @@
+"""Known-bad corpus for no-ad-hoc-telemetry: aliased imports included —
+the forms the old grep missed entirely."""
+
+import collections
+import time
+from collections import Counter as Tally
+from collections import defaultdict
+from time import perf_counter as clock
+
+
+def count_hits(keys):
+    hits = Tally()  # BAD: aliased collections.Counter tally
+    misses = collections.Counter()  # BAD: module-attribute form
+    per_op = defaultdict(int)  # BAD: the counter-dict idiom
+    for key in keys:
+        hits[key] += 1
+        per_op[key] += 1
+    return hits, misses, per_op
+
+
+def time_request(fn):
+    start = clock()  # BAD: aliased raw perf_counter timing
+    fn()
+    other = time.perf_counter()  # BAD: module-attribute form
+    return other - start

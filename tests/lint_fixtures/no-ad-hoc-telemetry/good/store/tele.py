@@ -1,0 +1,24 @@
+"""Known-good corpus for no-ad-hoc-telemetry: registry series own the
+numbers; ordinary data-structure uses of collections stay legal."""
+
+import time
+from collections import OrderedDict, defaultdict
+
+
+def count_hits(registry, keys):
+    hits = registry.counter("store.cache_hits")
+    for _ in keys:
+        hits.inc()
+    return hits
+
+
+def time_request(registry, fn):
+    with registry.histogram("store.request_us", (100, 1000), unit="us").time():
+        fn()
+
+
+def data_structures():
+    lru = OrderedDict()  # plain LRU bookkeeping, not telemetry
+    groups = defaultdict(list)  # defaultdict of *lists* is not a tally
+    wall = time.time()  # wall-clock timestamps are not latency timing
+    return lru, groups, wall

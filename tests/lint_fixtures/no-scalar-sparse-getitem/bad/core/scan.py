@@ -1,0 +1,20 @@
+"""Known-bad corpus for no-scalar-sparse-getitem: per-edge scalar
+lookups inside Python loops — the pattern PR 1 vectorized away."""
+
+
+def edge_values_loop(adj, edges):
+    total = 0
+    for u, v in edges:
+        total += adj[u, v]  # BAD: one 1x1 sparse getitem per edge
+    return total
+
+
+def comprehension_loop(adj, edges):
+    return [adj[u, v] for u, v in edges]  # BAD: same pattern, comprehension
+
+
+def half_carried(adj, centre, neighbors):
+    values = []
+    for w in neighbors:
+        values.append(adj[centre, w])  # BAD: one index is loop-carried
+    return values

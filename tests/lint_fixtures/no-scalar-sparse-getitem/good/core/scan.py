@@ -1,0 +1,32 @@
+"""Known-good corpus for no-scalar-sparse-getitem: batched index-array
+gathers, slices, and writes into preallocated outputs all pass."""
+
+import numpy as np
+
+
+def edge_values_batched(adj, edges):
+    rows, cols = edges[:, 0], edges[:, 1]
+    return np.asarray(adj[rows, cols]).ravel()  # index arrays, no loop
+
+
+def block_scan(adj, blocks):
+    total = 0
+    for lo, hi in blocks:
+        total += adj[lo:hi].sum()  # slice per block, not scalar per edge
+    return total
+
+
+def fill_output(out, edges, values):
+    for index, value in enumerate(values):
+        # Store context: writing into a preallocated dense output is not
+        # a scalar sparse read.
+        out[index, 0] = value
+    return out
+
+
+def gather_once_then_loop(adj, edges):
+    values = np.asarray(adj[edges[:, 0], edges[:, 1]]).ravel()
+    total = 0
+    for value in values:  # looping over *gathered* values is fine
+        total += int(value)
+    return total

@@ -1,0 +1,34 @@
+"""Known-bad corpus for np-load-mmap-mode: every load here must be
+flagged — including the aliased forms the old grep could not see."""
+
+import numpy as np
+import numpy as renamed_numpy
+from numpy import load
+from numpy import load as np_load
+
+
+def plain(path):
+    return np.load(path)  # BAD: bare call, no memory-mode decision
+
+
+def keyword_but_not_mmap(path):
+    return np.load(path, allow_pickle=False)  # BAD: decision still unstated
+
+
+def aliased_module(path):
+    return renamed_numpy.load(path)  # BAD: module alias hides it from greps
+
+
+def from_import(path):
+    return load(path)  # BAD: from-import, no "np.load" text at all
+
+
+def from_import_aliased(path):
+    return np_load(path)  # BAD: aliased from-import
+
+
+def multiline(path):
+    return np.load(  # BAD: call wraps across lines
+        path,
+        allow_pickle=False,
+    )

@@ -1,0 +1,35 @@
+"""Known-good corpus for np-load-mmap-mode: none of these may be
+flagged.  Includes the parenthesis-in-string regression the old textual
+span scanner got wrong."""
+
+import numpy as np
+from numpy import load as np_load
+
+
+def mapped(path):
+    return np.load(path, mmap_mode="r")
+
+
+def eager_stated(path):
+    # mmap_mode=None is a statement: an eager private copy is the point.
+    return np.load(path, mmap_mode=None)
+
+
+def aliased_with_mode(path):
+    return np_load(path, mmap_mode="r")
+
+
+def shard_name(stem):
+    return f"{stem}-)weird(.npy"
+
+
+def paren_in_string_regression(stem):
+    # The old scanner matched parens textually: the ")" inside the string
+    # argument ended its span before mmap_mode, so this compliant call was
+    # reported as bare.  The AST rule reads the call's keywords instead.
+    return np.load(shard_name(")"), mmap_mode="r")
+
+
+def not_numpy_load(store, path):
+    # A .load attribute on something that is not numpy is out of scope.
+    return store.load(path)

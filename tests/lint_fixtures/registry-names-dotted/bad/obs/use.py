@@ -1,0 +1,10 @@
+"""Known-bad corpus for registry-names-dotted: metric names that break
+the layer.noun[_unit] dotted snake_case scheme."""
+
+
+def register(registry):
+    a = registry.counter("Requests")  # BAD: no layer prefix, capitalized
+    b = registry.counter("serve.Total-Requests")  # BAD: dash + capitals
+    c = registry.gauge("cachedshards")  # BAD: single undotted segment
+    d = registry.histogram("serve latency us", (1, 10))  # BAD: spaces
+    return a, b, c, d

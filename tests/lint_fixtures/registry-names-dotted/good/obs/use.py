@@ -1,0 +1,16 @@
+"""Known-good corpus for registry-names-dotted: dotted layer.noun[_unit]
+snake_case names, labels, and non-registry .counter attributes."""
+
+
+def register(registry):
+    a = registry.counter("serve.requests", op="degree")
+    b = registry.counter("fleet.worker_failovers", worker=3)
+    c = registry.gauge("store.cached_shards")
+    d = registry.histogram("serve.latency_us", (100, 1000), unit="us")
+    return a, b, c, d
+
+
+def dynamic_name(registry, layer):
+    # Dynamic names are validated by the registry at runtime; the static
+    # rule only judges literals.
+    return registry.counter(f"{layer}.requests")

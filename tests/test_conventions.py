@@ -1,139 +1,87 @@
-"""Repo-convention lints enforced as tests.
+"""Repo conventions enforced as a tier-1 test — now a thin driver over
+the AST lint engine.
 
-These are grep-level checks over the source tree, not behavioural tests:
-they keep conventions that code review would otherwise have to re-litigate
-on every PR.  Two are enforced here:
+Up to PR 8 this file hand-rolled three grep-level regexes (bare
+``np.load``, hand-built answer shapes, ad-hoc telemetry).  Those greps
+could not see aliased imports, could not tell call context, and desynced
+on a ``)`` inside a string literal; PR 9 moved the conventions into
+:mod:`repro.lint` as real AST rules (plus three new ones the greps could
+never express).  What remains here:
 
-* the zero-copy decode rule from the binary data plane work: shard ``.npy``
-  decodes inside the store and serve layers must *state* their memory-mode
-  decision — every ``np.load(`` call in ``src/repro/store/`` and
-  ``src/repro/serve/`` passes ``mmap_mode`` explicitly (``mmap_mode=None``
-  when an eager private copy is the point), so a bare call that silently
-  materializes a shard can't creep back in;
-* the answer-shape rule: every query answer dict (recognisable by its
-  ``"query": "<op>"`` discriminator) is built in
-  ``src/repro/serve/shaping.py`` and nowhere else — the server, the range
-  router, and the CLI assemble answers exclusively through shaping
-  functions, so the wire surface and ``query --json`` cannot drift apart
-  shape by shape;
-* the one-registry telemetry rule (PR 8): the store and serve layers keep
-  no ad-hoc counters — no ``collections.Counter``/``defaultdict(int)``
-  telemetry tallies, no raw ``time.perf_counter`` latency deltas — every
-  operational number lives in a :mod:`repro.obs` registry series and every
-  timing goes through a registry histogram or a trace span, so ``stats()``
-  surfaces cannot drift from the ``metrics`` op.
+* the zero-findings gate: the full engine over ``src/repro`` must be
+  clean, so a convention regression fails tier-1 exactly like it failed
+  under the greps — but through the same engine ``repro-kron lint``
+  runs, so the CLI and the suite cannot drift;
+* the non-vacuity self-checks on the *real tree*: the layers each rule
+  protects must still contain the thing being protected (shaping still
+  builds shapes, store/serve still decode shards and import the
+  registry), otherwise a refactor could move the code out from under a
+  rule and leave it green forever.  (Per-rule firing is proven against
+  the fixture corpus in ``test_lint.py``.)
 """
 
 from __future__ import annotations
 
-import re
+import ast
 from pathlib import Path
+
+from repro.lint import LintEngine, all_rules, collect_imports
+from repro.lint.rules_mmap import MmapModeRule
+from repro.lint.rules_serve import shape_dict_nodes
 
 SRC = Path(__file__).resolve().parent.parent / "src" / "repro"
 
-#: Layers covered by the rule.  Other layers (e.g. analysis code loading a
-#: bundle it immediately consumes) may load eagerly without comment.
-ZERO_COPY_LAYERS = ("store", "serve")
 
-_NP_LOAD = re.compile(r"np\.load\s*\(")
-
-
-def _np_load_calls(text: str):
-    """Yield ``(line_number, call_text)`` for every ``np.load(`` call,
-    with *call_text* spanning to the call's closing parenthesis (calls may
-    wrap across lines)."""
-    for match in _NP_LOAD.finditer(text):
-        depth = 0
-        for end in range(match.end() - 1, len(text)):
-            if text[end] == "(":
-                depth += 1
-            elif text[end] == ")":
-                depth -= 1
-                if depth == 0:
-                    break
-        line = text.count("\n", 0, match.start()) + 1
-        yield line, text[match.start():end + 1]
+def test_engine_reports_zero_findings_on_source_tree():
+    report = LintEngine(all_rules()).run(SRC)
+    assert report.files_checked > 0
+    assert report.ok, (
+        "convention violations in src/repro (run `repro-kron lint` for the "
+        "same listing):\n  "
+        + "\n  ".join(str(finding) for finding in report.findings))
 
 
-def test_store_and_serve_np_load_states_mmap_mode():
-    offenders = []
-    checked = 0
-    for layer in ZERO_COPY_LAYERS:
-        for path in sorted((SRC / layer).rglob("*.py")):
-            text = path.read_text()
-            for line, call in _np_load_calls(text):
-                checked += 1
-                if "mmap_mode" not in call:
-                    offenders.append(f"{path.relative_to(SRC.parent)}:{line}: "
-                                     f"{' '.join(call.split())}")
-    # The rule must actually be exercising something; zero calls would mean
-    # the layers moved and this lint silently checks nothing.
-    assert checked > 0, "no np.load( calls found under src/repro/{store,serve}"
-    assert not offenders, (
-        "np.load( without an explicit mmap_mode in the zero-copy layers "
-        "(pass mmap_mode=None if an eager copy is intended):\n  "
-        + "\n  ".join(offenders))
+def test_every_rule_covers_at_least_one_real_file():
+    # A rule whose layers match nothing has silently fallen off the tree
+    # (e.g. a directory rename) and would pass vacuously forever.
+    rel_paths = [path.relative_to(SRC).as_posix()
+                 for path in SRC.rglob("*.py")]
+    for rule in all_rules():
+        covered = [rel for rel in rel_paths if rule.applies_to(rel)]
+        assert covered, f"rule {rule.name} applies to no file under src/repro"
 
 
-#: Files that *consume* answer shapes and must never hand-build one.  An
-#: answer dict is recognisable by its '"query": "<op>"' discriminator key
-#: (string-literal value: the dispatch table in cli.py maps the same key to
-#: a function and is legitimately not a shape).
-ANSWER_SHAPE_CONSUMERS = ("serve/server.py", "serve/router.py", "cli.py")
-
-_QUERY_KEY_LITERAL = re.compile(r"""["']query["']\s*:\s*["']""")
-
-
-def test_answer_shapes_are_built_only_in_shaping():
-    # Self-check: the rule's home must actually build shapes, otherwise the
-    # lint would pass vacuously after a refactor moved them elsewhere.
-    shaping_text = (SRC / "serve" / "shaping.py").read_text()
-    assert len(_QUERY_KEY_LITERAL.findall(shaping_text)) >= 5, (
-        "shaping.py no longer builds the answer shapes this lint protects")
-    offenders = []
-    for rel in ANSWER_SHAPE_CONSUMERS:
-        text = (SRC / rel).read_text()
-        for match in _QUERY_KEY_LITERAL.finditer(text):
-            line = text.count("\n", 0, match.start()) + 1
-            offenders.append(f"{rel}:{line}")
-    assert not offenders, (
-        "answer dicts must come from repro.serve.shaping, not be hand-built "
-        "(add a shaping function and call it):\n  " + "\n  ".join(offenders))
+def test_zero_copy_layers_still_decode():
+    # The mmap rule is only meaningful while the covered layers actually
+    # call numpy.load; zero calls would mean the decodes moved.
+    rule = MmapModeRule()
+    calls = 0
+    for path in sorted(SRC.rglob("*.py")):
+        rel = path.relative_to(SRC).as_posix()
+        if rule.applies_to(rel):
+            calls += rule.count_load_calls(ast.parse(path.read_text()))
+    assert calls >= 3, (
+        f"only {calls} numpy.load calls under the zero-copy layers — the "
+        "decode paths this rule protects look gone")
 
 
-#: Layers whose operational numbers must live in a repro.obs registry.
-TELEMETRY_LAYERS = ("store", "serve")
-
-#: Ad-hoc telemetry constructs banned outside repro/obs/: raw perf-counter
-#: timing (registry histograms and trace spans own all timing) and the
-#: counter-dict idioms PR 8 migrated away from.
-_AD_HOC_TELEMETRY = re.compile(
-    r"time\.perf_counter|collections\.Counter\s*\(|defaultdict\s*\(\s*int\s*\)"
-    r"|\bCounter\s*\(\s*\)")
+def test_shaping_still_builds_the_answer_shapes():
+    tree = ast.parse((SRC / "serve" / "shaping.py").read_text())
+    assert len(shape_dict_nodes(tree)) >= 5, (
+        "serve/shaping.py no longer builds the answer shapes the "
+        "answer-shapes-in-shaping rule protects")
 
 
-def test_no_ad_hoc_telemetry_outside_obs():
-    offenders = []
-    for layer in TELEMETRY_LAYERS:
-        for path in sorted((SRC / layer).rglob("*.py")):
-            for line_number, line in enumerate(
-                    path.read_text().splitlines(), start=1):
-                if _AD_HOC_TELEMETRY.search(line):
-                    offenders.append(
-                        f"{path.relative_to(SRC.parent)}:{line_number}: "
-                        f"{line.strip()}")
-    assert not offenders, (
-        "operational counters and timings in the store/serve layers must go "
-        "through a repro.obs registry (counter/gauge/histogram.time()) or a "
-        "trace span, not ad-hoc perf_counter deltas or counter dicts:\n  "
-        + "\n  ".join(offenders))
-    # Self-check: the layers must actually be *using* the registry, or the
-    # rule above is passing over code that moved its telemetry elsewhere.
-    importers = sum(
-        1
-        for layer in TELEMETRY_LAYERS
-        for path in (SRC / layer).rglob("*.py")
-        if "from repro.obs import" in path.read_text())
+def test_store_and_serve_still_use_the_registry():
+    importers = 0
+    for layer in ("store", "serve"):
+        for path in (SRC / layer).rglob("*.py"):
+            imports = collect_imports(ast.parse(path.read_text()))
+            modules = set(imports.modules.values())
+            members = {name.rsplit(".", 1)[0]
+                       for name in imports.members.values()}
+            if "repro.obs" in modules | members:
+                importers += 1
     assert importers >= 4, (
         f"only {importers} files under src/repro/{{store,serve}} import "
         "repro.obs — the one-registry telemetry convention looks abandoned")

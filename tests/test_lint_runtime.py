@@ -1,0 +1,208 @@
+"""Tests for the lock-order sanitizer (repro.lint.runtime).
+
+The sanitizer turns a latent ABBA deadlock into a deterministic
+``LockOrderError`` the first time both orders are *ever* exhibited —
+even on one thread, even seconds apart — so the deliberate-inversion
+tests here need no timing games at all.  The integration test at the
+bottom closes the loop with the real store: the documented
+``store.lru -> obs.instrument`` discipline must actually be *observed*
+by the session sanitizer when threads churn the shard LRU.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.core import KroneckerGraph
+from repro.graphs import NpyShardSink
+from repro.lint import runtime as lint_runtime
+from repro.lint.runtime import (CheckedLock, LockOrderError,
+                                LockOrderSanitizer, new_lock)
+from repro.parallel import distributed_generate
+from repro.store import ShardStore, compact_shards
+
+
+@pytest.fixture
+def sanitizer() -> LockOrderSanitizer:
+    """A private sanitizer — tests build their own lock graphs without
+    touching the session-wide one armed in conftest."""
+    return LockOrderSanitizer()
+
+
+def _locks(sanitizer, *names):
+    return tuple(CheckedLock(name, sanitizer) for name in names)
+
+
+class TestCheckedLock:
+    def test_lock_api_subset(self, sanitizer):
+        (lock,) = _locks(sanitizer, "a")
+        assert not lock.locked()
+        assert lock.acquire()
+        assert lock.locked()
+        lock.release()
+        with lock:
+            assert lock.locked()
+        assert not lock.locked()
+        assert "'a'" in repr(lock) and "unlocked" in repr(lock)
+
+    def test_nonblocking_acquire_failure_leaves_no_held_record(self, sanitizer):
+        lock, other = _locks(sanitizer, "a", "b")
+        grabbed = threading.Event()
+        done = threading.Event()
+
+        def holder():
+            with lock:
+                grabbed.set()
+                done.wait(5.0)
+
+        thread = threading.Thread(target=holder)
+        thread.start()
+        assert grabbed.wait(5.0)
+        assert lock.acquire(blocking=False) is False
+        done.set()
+        thread.join()
+        # The failed acquire must not have been recorded as held: taking
+        # `other` now must not create an a -> b edge.
+        with other:
+            pass
+        assert ("a", "b") not in sanitizer.observed_edges()
+
+
+class TestLockOrderSanitizer:
+    def test_consistent_order_is_silent(self, sanitizer):
+        outer, inner = _locks(sanitizer, "store.lru", "obs.instrument")
+        for _ in range(3):
+            with outer:
+                with inner:
+                    pass
+        assert ("store.lru", "obs.instrument") in sanitizer.observed_edges()
+
+    def test_single_thread_inversion_raises(self, sanitizer):
+        # note_acquire fires *before* blocking, so one thread exhibiting
+        # both orders is enough — no interleaving or deadlock required.
+        first, second = _locks(sanitizer, "a", "b")
+        with first:
+            with second:
+                pass
+        with second:
+            with pytest.raises(LockOrderError, match="a -> b -> a"):
+                first.acquire()
+
+    def test_cross_thread_inversion_raises_with_witness(self, sanitizer):
+        first, second = _locks(sanitizer, "a", "b")
+
+        def establish():
+            with first:
+                with second:
+                    pass
+
+        thread = threading.Thread(target=establish, name="establisher")
+        thread.start()
+        thread.join()
+        with second:
+            with pytest.raises(LockOrderError) as excinfo:
+                first.acquire()
+        assert "establisher" in str(excinfo.value)
+
+    def test_three_lock_cycle_detected(self, sanitizer):
+        a, b, c = _locks(sanitizer, "a", "b", "c")
+        with a, b:
+            pass
+        with b, c:
+            pass
+        with c:
+            with pytest.raises(LockOrderError, match="inversion"):
+                a.acquire()
+
+    def test_same_name_locks_are_not_ordered(self, sanitizer):
+        # Two instrument leaf locks share one name: the discipline is
+        # between lock *classes*, so either nesting order is legal.
+        one, two = _locks(sanitizer, "obs.instrument", "obs.instrument")
+        with one, two:
+            pass
+        with two, one:
+            pass
+        assert ("obs.instrument", "obs.instrument") not in \
+            sanitizer.observed_edges()
+
+    def test_reacquiring_same_lock_raises(self, sanitizer):
+        (lock,) = _locks(sanitizer, "a")
+        with lock:
+            with pytest.raises(LockOrderError, match="self-deadlock"):
+                lock.acquire()
+
+    def test_out_of_order_release_is_legal(self, sanitizer):
+        a, b = _locks(sanitizer, "a", "b")
+        a.acquire()
+        b.acquire()
+        a.release()
+        b.release()
+        # Held bookkeeping survived: a fresh nesting still records cleanly.
+        with a, b:
+            pass
+        assert ("a", "b") in sanitizer.observed_edges()
+
+
+class TestInstall:
+    def test_new_lock_is_plain_without_sanitizer(self):
+        previous = lint_runtime.installed()
+        lint_runtime.uninstall()
+        try:
+            assert not isinstance(new_lock("store.lru"), CheckedLock)
+        finally:
+            if previous is not None:
+                lint_runtime.install(previous)
+
+    def test_session_sanitizer_armed_and_checked_locks_issued(
+            self, lock_order_sanitizer):
+        assert lint_runtime.installed() is lock_order_sanitizer
+        lock = new_lock("test.lock")
+        assert isinstance(lock, CheckedLock)
+        assert lock.name == "test.lock"
+
+    def test_install_is_idempotent(self, lock_order_sanitizer):
+        assert lint_runtime.install() is lock_order_sanitizer
+
+
+class TestStoreDiscipline:
+    """The real store under the session sanitizer: threaded LRU churn
+    must exhibit (and validate) the documented lock order."""
+
+    @pytest.fixture
+    def store_dir(self, tmp_path, small_er, triangle):
+        product = KroneckerGraph(small_er, triangle)
+        sink = NpyShardSink(tmp_path / "spill", name=product.name,
+                            n_vertices=product.n_vertices)
+        distributed_generate(small_er, triangle, 2, streaming=True,
+                             a_edges_per_block=8, sink=sink)
+        compact_shards(tmp_path / "spill", tmp_path / "store",
+                       target_shard_edges=200)
+        return tmp_path / "store"
+
+    def test_store_churn_exhibits_lru_before_instrument(
+            self, store_dir, lock_order_sanitizer):
+        store = ShardStore(store_dir, cache_shards=2)
+        assert isinstance(store._lock, CheckedLock)
+        errors = []
+
+        def worker(offset):
+            try:
+                for vertex in range(offset, offset + 12):
+                    store.degree(vertex % store.n_vertices)
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker, args=(i * 7,))
+                   for i in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        edges = lock_order_sanitizer.observed_edges()
+        assert ("store.lru", "obs.instrument") in edges, (
+            f"store churn never bumped a counter inside the LRU lock; "
+            f"observed {sorted(edges)}")
+        assert ("obs.instrument", "store.lru") not in edges
