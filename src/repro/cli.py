@@ -14,7 +14,8 @@ published artefacts of the paper:
     formulas.  With ``--connect HOST:PORT`` it instead polls a running
     ``repro-kron serve`` instance's operational stats (request counts,
     latency percentiles, fleet rollup) — ``--watch N`` refreshes every N
-    seconds and ``--prometheus`` emits the registry snapshot in
+    seconds (appending the flight recorder's most recent events under
+    each refresh) and ``--prometheus`` emits the registry snapshot in
     Prometheus text format for scraping.
 
 ``repro-kron validate``
@@ -56,6 +57,19 @@ published artefacts of the paper:
     decodes on a bounded thread pool, concurrent scalar queries coalesced
     into batch calls).  Stops gracefully on Ctrl-C or a client ``shutdown``
     request, then prints the request/cache statistics.
+
+``repro-kron profile``
+    Arm a running server's continuous sampling profiler for a few
+    seconds and print the folded-stack aggregate — per-role top stacks,
+    or raw flamegraph-tool input lines with ``--collapsed``.  Against a
+    router the answer is the whole fleet's profile, merged.
+
+``repro-kron health``
+    One-shot liveness check of a running server: uptime, profiler and
+    flight-recorder state, open connections — and, against a router, a
+    per-worker rollup that names any unreachable worker and its vertex
+    range.  Exits 1 when the surface is degraded, so it drops straight
+    into shell-level monitoring.
 
 ``repro-kron lint``
     Run the AST convention linter (:mod:`repro.lint`) over a file or
@@ -313,6 +327,38 @@ def build_parser() -> argparse.ArgumentParser:
                        help="slow-query threshold in milliseconds "
                             "(default 100 when --slow-log is set)")
 
+    profile = sub.add_parser(
+        "profile",
+        help="sample a running server's threads for a few seconds and "
+             "print the folded-stack profile (fleet-merged on a router)")
+    profile.add_argument("--connect", type=str, required=True,
+                         metavar="HOST:PORT",
+                         help="the `repro-kron serve` instance to profile")
+    profile.add_argument("--seconds", type=float, default=5.0, metavar="N",
+                         help="sampling window length (default 5)")
+    profile.add_argument("--hz", type=float, default=None,
+                         help="sampling rate in samples/s (default: the "
+                              "server's configured rate)")
+    profile.add_argument("--collapsed", action="store_true",
+                         help="print raw folded-stack lines "
+                              "(`role;mod:fn;... count`) for flamegraph "
+                              "tools instead of the per-role summary")
+    profile.add_argument("--timeout", type=float, default=30.0,
+                         help="socket timeout in seconds (default 30)")
+
+    health = sub.add_parser(
+        "health",
+        help="print a running server's liveness surface (uptime, profiler "
+             "and flight-recorder state; per-worker rollup on a router); "
+             "exit 1 when degraded")
+    health.add_argument("--connect", type=str, required=True,
+                        metavar="HOST:PORT",
+                        help="the `repro-kron serve` instance to check")
+    health.add_argument("--json", action="store_true", dest="as_json",
+                        help="emit the raw health answer as JSON")
+    health.add_argument("--timeout", type=float, default=30.0,
+                        help="socket timeout in seconds (default 30)")
+
     lint = sub.add_parser(
         "lint",
         help="run the AST convention linter over the source tree "
@@ -358,9 +404,21 @@ def _cmd_generate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _format_event(event: dict) -> str:
+    """One flight-recorder event as a compact console line."""
+    ts = time.strftime("%H:%M:%S",
+                       time.localtime(event.get("ts_us", 0) / 1e6))
+    extras = " ".join(
+        f"{key}={value}" for key, value in sorted(event.items())
+        if key not in ("kind", "ts_us", "seq"))
+    return f"  {ts} {event.get('kind', '?')} {extras}".rstrip()
+
+
 def _stats_remote(args: argparse.Namespace) -> int:
     """Poll a running server's operational surface (the ``stats`` op, or
-    the ``metrics`` op's Prometheus rendering with ``--prometheus``)."""
+    the ``metrics`` op's Prometheus rendering with ``--prometheus``).
+    Watch mode appends a recent-events pane under each refresh — the
+    flight recorder's newest entries, fleet-interleaved on a router."""
     with QueryClient.from_address(args.connect,
                                   timeout=args.timeout) as client:
         try:
@@ -372,6 +430,11 @@ def _stats_remote(args: argparse.Namespace) -> int:
                                      indent=2, sort_keys=True), flush=True)
                 if args.watch is None:
                     return 0
+                events = client.events(limit=8)["events"]
+                if events:
+                    print("recent events:", flush=True)
+                    for event in events:
+                        print(_format_event(event), flush=True)
                 time.sleep(args.watch)
         except KeyboardInterrupt:
             return 0
@@ -765,6 +828,66 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_profile(args: argparse.Namespace) -> int:
+    """Arm the server's sampling profiler for a window, then print the
+    aggregate — per-role top stacks, or raw folded-stack lines with
+    ``--collapsed``.  A router answers fleet-merged."""
+    if args.seconds <= 0:
+        raise SystemExit("--seconds must be > 0")
+    with QueryClient.from_address(args.connect,
+                                  timeout=args.timeout) as client:
+        client.profile("reset")
+        client.profile("start", hz=args.hz)
+        try:
+            time.sleep(args.seconds)
+        finally:
+            answer = client.profile("stop", collapsed=True)
+    if args.collapsed:
+        print(answer["collapsed"], end="")
+        return 0
+    profile = answer["profile"]
+    merged = (f" across {answer['workers']} workers + router"
+              if "workers" in answer else "")
+    print(f"{answer['hz']:g} Hz x {args.seconds:g} s on {args.connect}: "
+          f"{profile['samples']} samples{merged}")
+    for role, counts in sorted(profile["stacks"].items()):
+        total = sum(counts.values())
+        print(f"{role} ({total} samples):")
+        ranked = sorted(counts.items(), key=lambda kv: (-kv[1], kv[0]))
+        for stack, count in ranked[:5]:
+            print(f"  {count:6d}  {stack}")
+        if len(ranked) > 5:
+            print(f"          ... ({len(ranked) - 5} more stacks)")
+    return 0
+
+
+def _cmd_health(args: argparse.Namespace) -> int:
+    """Print the ``health`` answer; exit 1 when the surface is degraded
+    (a router reports any unreachable worker and its vertex range)."""
+    with QueryClient.from_address(args.connect,
+                                  timeout=args.timeout) as client:
+        health = client.health()
+    degraded = health.get("status") != "ok"
+    if args.as_json:
+        print(json.dumps(health, indent=2, sort_keys=True))
+        return 1 if degraded else 0
+    profiler = health["profiler"]
+    recorder = health["events"]
+    print(f"{args.connect}: {health['status']} "
+          f"(up {health['uptime_s']:g} s, "
+          f"{health.get('connections_open', 0)} connection(s) open)")
+    print(f"  profiler: {'running' if profiler['running'] else 'stopped'} "
+          f"at {profiler['hz']:g} Hz, {profiler['samples']} samples")
+    print(f"  events: {recorder['recorded']}/{recorder['max_events']} "
+          f"recorded, {recorder['dropped']} dropped; "
+          f"{health['traces']} trace(s) retained")
+    for report in health.get("workers", ()):
+        status = "ok" if report.get("ok") else f"DOWN ({report['error']})"
+        print(f"  worker {report['worker']} "
+              f"[{report['src_lo']}, {report['src_hi']}): {status}")
+    return 1 if degraded else 0
+
+
 def _cmd_lint(args: argparse.Namespace) -> int:
     rules = all_rules()
     if args.list_rules:
@@ -793,6 +916,8 @@ _COMMANDS = {
     "compact": _cmd_compact,
     "query": _cmd_query,
     "serve": _cmd_serve,
+    "profile": _cmd_profile,
+    "health": _cmd_health,
     "lint": _cmd_lint,
 }
 

@@ -15,6 +15,7 @@ from typing import Dict, List
 from repro.lint.engine import Rule
 from repro.lint.rules_hotpath import ScalarSparseGetitemRule
 from repro.lint.rules_mmap import MmapModeRule
+from repro.lint.rules_output import BarePrintRule
 from repro.lint.rules_serve import AnswerShapeRule, BlockingInAsyncRule
 from repro.lint.rules_telemetry import AdHocTelemetryRule, RegistryNameRule
 
@@ -31,6 +32,7 @@ def all_rules() -> List[Rule]:
         ScalarSparseGetitemRule(),
         BlockingInAsyncRule(),
         RegistryNameRule(),
+        BarePrintRule(),
     ]
 
 

@@ -1,0 +1,42 @@
+"""Output-discipline rules: keep operator-facing text on the right surface.
+
+*No bare print*: the library layers never talk to stdout — diagnostics
+belong on the metrics registry, the trace recorder, or the flight
+recorder (:mod:`repro.obs`), where they are queryable over the wire
+instead of interleaving into whatever stream a caller owns.  Only
+``cli.py`` — the one module whose *job* is console output — is excluded.
+Look-alikes (``file.print(...)`` method calls, a local function named
+``print`` shadowing the builtin via import alias) are not the builtin
+call and do not fire.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List
+
+from repro.lint.engine import Finding, Rule
+
+__all__ = ["BarePrintRule"]
+
+
+class BarePrintRule(Rule):
+    name = "no-bare-print"
+    description = ("no print() outside cli.py — library diagnostics go "
+                   "through repro.obs (metrics, traces, events), not stdout")
+    layers = ()  # whole tree; stdout is the CLI's surface alone
+    excludes = ("cli.py",)
+
+    def check(self, tree: ast.Module, rel_path: str,
+              text: str) -> List[Finding]:
+        findings = []
+        for node in ast.walk(tree):
+            if (isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Name)
+                    and node.func.id == "print"):
+                findings.append(self.finding(
+                    rel_path, node,
+                    "bare print() in a library module (route diagnostics "
+                    "through repro.obs or return them to the caller): "
+                    + self.source_of(node, text)))
+        return findings

@@ -12,6 +12,12 @@ work through :meth:`Histogram.time` or :func:`repro.obs.trace.span`.
 * :mod:`repro.obs.trace` — request-scoped trace IDs with timed spans,
   propagated across threads via ``contextvars`` and across the wire via
   the additive ``"trace"`` request key.
+* :mod:`repro.obs.events` — a bounded flight-recorder ring buffer of
+  structured operational events (failovers, evictions, slow requests),
+  each stamped with the active trace id.
+* :mod:`repro.obs.profile` — a continuous sampling profiler folding
+  ``sys._current_frames()`` into bounded per-thread-role stack
+  aggregates that merge with ``+`` across a fleet.
 """
 
 from repro.obs.metrics import (
@@ -30,16 +36,22 @@ from repro.obs.trace import (
     span,
     start_trace,
 )
+from repro.obs.events import EventLog, merge_events
+from repro.obs.profile import ProfileStats, SamplingProfiler
 
 __all__ = [
     "Counter",
+    "EventLog",
     "Gauge",
     "Histogram",
     "MetricsError",
     "MetricsRegistry",
+    "ProfileStats",
+    "SamplingProfiler",
     "TraceRecorder",
     "activate",
     "current",
+    "merge_events",
     "new_trace_id",
     "render_prometheus",
     "span",

@@ -378,29 +378,36 @@ def render_prometheus(snapshot: Dict[str, List[Dict[str, object]]]) -> str:
     """Prometheus text exposition of a :meth:`MetricsRegistry.snapshot`.
 
     Same numbers, second surface: histogram buckets become cumulative
-    ``_bucket{le=...}`` series plus ``_sum`` / ``_count``.
+    ``_bucket{le=...}`` series (closed with the mandatory ``+Inf`` bucket)
+    plus ``_sum`` / ``_count``.  Every metric is announced once with
+    ``# HELP`` / ``# TYPE`` header lines — real scrapers treat a sample
+    without them as an untyped unknown — and the help text carries the
+    registry's dotted source name, so an operator can map the mangled
+    exposition name back to the series the code created.
     """
     lines: List[str] = []
-    typed = set()
+    announced = set()
 
-    def type_line(name: str, kind: str) -> None:
-        if name not in typed:
-            typed.add(name)
+    def header(name: str, source: str, kind: str) -> None:
+        if name not in announced:
+            announced.add(name)
+            lines.append(f"# HELP {name} repro registry series "
+                         f"{source} ({kind})")
             lines.append(f"# TYPE {name} {kind}")
 
     for entry in snapshot.get("counters", ()):
         name = _prom_name(entry["name"])
-        type_line(name, "counter")
+        header(name, entry["name"], "counter")
         lines.append(f"{name}{_prom_labels(entry['labels'])} "
                      f"{_fmt(entry['value'])}")
     for entry in snapshot.get("gauges", ()):
         name = _prom_name(entry["name"])
-        type_line(name, "gauge")
+        header(name, entry["name"], "gauge")
         lines.append(f"{name}{_prom_labels(entry['labels'])} "
                      f"{_fmt(entry['value'])}")
     for entry in snapshot.get("histograms", ()):
         name = _prom_name(entry["name"])
-        type_line(name, "histogram")
+        header(name, entry["name"], "histogram")
         labels = entry["labels"]
         cumulative = 0
         for bound, n in zip(entry["bounds"], entry["counts"]):

@@ -377,6 +377,39 @@ class QueryClient:
         out fleet-wide; the answer then carries the worker count)."""
         return self.request("reset_stats")
 
+    def profile(self, action: str = "snapshot", *,
+                hz: Optional[float] = None,
+                collapsed: bool = False) -> dict:
+        """Drive the server's sampling profiler: ``"start"`` (optionally
+        at *hz* samples/s), ``"stop"``, ``"snapshot"``, or ``"reset"`` —
+        every action answers with the current aggregate (a router answers
+        with the fleet-merged one).  ``collapsed=True`` additionally
+        returns the folded-stack flamegraph text."""
+        args: dict = {"action": str(action)}
+        if hz is not None:
+            args["hz"] = float(hz)
+        if collapsed:
+            args["collapsed"] = True
+        return self.request("profile", args)
+
+    def events(self, limit: Optional[int] = None, *,
+               kind: Optional[str] = None) -> dict:
+        """The server's flight-recorder tail, oldest first (a router
+        answers with router and worker events interleaved by wall-clock
+        timestamp)."""
+        args: dict = {}
+        if limit is not None:
+            args["limit"] = int(limit)
+        if kind is not None:
+            args["kind"] = str(kind)
+        return self.request("events", args)
+
+    def health(self) -> dict:
+        """The server's liveness surface: uptime, profiler / recorder
+        state, open connections — and, from a router, per-worker reports
+        with any down worker named alongside its vertex range."""
+        return self.request("health")
+
     def connection_stats(self) -> dict:
         """Local connection counters: sockets opened (``connects``),
         transparent retries after a reused connection died

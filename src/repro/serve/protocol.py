@@ -54,6 +54,12 @@ Framing rules (recorded in the ROADMAP's serving conventions):
   (PR 8) and the server parents its spans under it, but the key is
   optional and ignored by older servers — no version bump, and v1
   requests may carry it too.
+* Worked examples of the additive-op rule: PR 10's observability ops —
+  ``profile`` (drive the sampling profiler), ``events`` (the flight
+  recorder's tail), ``health`` (liveness rollup) — are ordinary
+  single-JSON-frame request/response ops and ship with **no** version
+  bump; an older client simply never sends them, and an older server
+  answers them with the standard unknown-``op`` error frame.
 
 The sync helpers (:func:`write_frame` / :func:`read_frame`) serve the
 blocking client; the server uses :func:`read_frame_async` over an

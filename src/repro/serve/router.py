@@ -57,7 +57,13 @@ from typing import List, Optional, Sequence
 import numpy as np
 
 from repro.lint.runtime import new_lock
-from repro.obs import MetricsRegistry, trace
+from repro.obs import (
+    EventLog,
+    MetricsRegistry,
+    ProfileStats,
+    merge_events,
+    trace,
+)
 from repro.serve import protocol, shaping
 from repro.serve.client import QueryClient
 from repro.serve.server import ShardStoreServer, ThreadedServer, _arg
@@ -101,7 +107,8 @@ class _WorkerChannel:
     def __init__(self, index: int, src_lo: int, src_hi: int,
                  addresses: Sequence[str], *,
                  timeout: Optional[float] = 30.0,
-                 registry: Optional[MetricsRegistry] = None):
+                 registry: Optional[MetricsRegistry] = None,
+                 events: Optional[EventLog] = None):
         if not addresses:
             raise ValueError(f"worker {index} has no addresses")
         self.index = int(index)
@@ -110,6 +117,7 @@ class _WorkerChannel:
         self.addresses = [str(address) for address in addresses]
         self.timeout = timeout
         self._lock = new_lock("fleet.worker_pool")
+        self._events = events if events is not None else EventLog()
         self._idle: List = []  # (address_index, QueryClient) pairs
         self._preferred = 0
         registry = registry if registry is not None else MetricsRegistry()
@@ -167,6 +175,13 @@ class _WorkerChannel:
         except (OSError, protocol.ProtocolError) as first:
             client.close()
             self._failures.inc()
+            # Flight-recorder events stamp the active trace automatically
+            # (channel calls run in the request's copied context on the
+            # fan-out threads), so a failover links back to the routed
+            # query that tripped it.
+            self._events.emit("fleet.replica_death", worker=self.index,
+                              address=self.addresses[address_index],
+                              error=str(first))
             with self._lock:
                 fallback = (address_index + 1) % len(self.addresses)
             retry = QueryClient.from_address(self.addresses[fallback],
@@ -179,6 +194,9 @@ class _WorkerChannel:
             except (OSError, protocol.ProtocolError) as second:
                 retry.close()
                 self._failures.inc()
+                self._events.emit("fleet.replica_death", worker=self.index,
+                                  address=self.addresses[fallback],
+                                  error=str(second))
                 raise ConnectionError(
                     f"worker {self.index} (sources [{self.src_lo}, "
                     f"{self.src_hi})) is unavailable: "
@@ -186,6 +204,10 @@ class _WorkerChannel:
                     f"retry on {self.addresses[fallback]} failed ({second})"
                 ) from second
             self._failovers.inc()
+            self._events.emit("fleet.failover", worker=self.index,
+                              src_lo=self.src_lo, src_hi=self.src_hi,
+                              from_address=self.addresses[address_index],
+                              to_address=self.addresses[fallback])
             with self._lock:
                 self._preferred = fallback
             self._checkin(fallback, retry)
@@ -237,10 +259,15 @@ class FleetStore(StoreQueryMixin):
         self.payload_columns = tuple(info["payload_columns"])
         self._width = 2 + len(self.payload_columns)
         self.registry = registry if registry is not None else MetricsRegistry()
+        # One flight recorder for the whole fleet façade: every channel's
+        # failover / replica-death events land here, and the router adopts
+        # it (the same way it adopts the registry) so its own events share
+        # the timeline.
+        self.events = EventLog()
         self._channels = [
             _WorkerChannel(index, entry["src_lo"], entry["src_hi"],
                            entry["addresses"], timeout=timeout,
-                           registry=self.registry)
+                           registry=self.registry, events=self.events)
             for index, entry in enumerate(slices)
         ]
         expected = 0
@@ -379,6 +406,10 @@ class FleetStore(StoreQueryMixin):
     # ------------------------------------------------------------------
     # Operational surface
     # ------------------------------------------------------------------
+    @property
+    def n_workers(self) -> int:
+        return len(self._channels)
+
     def describe(self) -> dict:
         """The ``fleet`` description shape (ranges, addresses, channel
         counters)."""
@@ -426,6 +457,67 @@ class FleetStore(StoreQueryMixin):
         for future in futures:
             future.result()
         return len(self._channels)
+
+    def collect_profiles(self, action: str,
+                         hz: Optional[float] = None) -> List[ProfileStats]:
+        """Apply one ``profile`` *action* on every worker, concurrently,
+        and return their resulting aggregates.  A worker that cannot
+        answer contributes an empty aggregate rather than failing the
+        merge — the fleet profile covers whoever is alive."""
+        def fetch(channel):
+            args = {"action": action}
+            if hz is not None:
+                args["hz"] = hz
+            try:
+                answer = channel.call(lambda c: c.request("profile", args))
+                return ProfileStats.from_dict(answer.get("profile") or {})
+            except Exception:
+                return ProfileStats()
+        futures = [self._fanout.submit(fetch, channel)
+                   for channel in self._channels]
+        return [future.result() for future in futures]
+
+    def collect_events(self, limit: Optional[int] = None,
+                       kind: Optional[str] = None):
+        """Every worker's flight-recorder tail, concurrently —
+        ``(per-worker event lists, summed drop counter)``.  A dead worker
+        contributes nothing; its events are simply missing from the
+        merged timeline."""
+        def fetch(channel):
+            args = {}
+            if limit is not None:
+                args["limit"] = limit
+            if kind is not None:
+                args["kind"] = kind
+            try:
+                answer = channel.call(lambda c: c.request("events", args))
+                return (list(answer.get("events", ())),
+                        int(answer.get("dropped", 0)))
+            except Exception:
+                return [], 0
+        futures = [self._fanout.submit(fetch, channel)
+                   for channel in self._channels]
+        results = [future.result() for future in futures]
+        return ([events for events, _ in results],
+                sum(dropped for _, dropped in results))
+
+    def health_reports(self) -> List[dict]:
+        """One ``health`` probe per worker, concurrently; a dead worker
+        yields an error report — naming it and its assigned range — and
+        the rollup keeps serving."""
+        def probe(channel):
+            try:
+                health = channel.call(lambda c: c.request("health"))
+                return shaping.fleet_worker_report(
+                    channel.index, channel.src_lo, channel.src_hi,
+                    health=health)
+            except Exception as exc:
+                return shaping.fleet_worker_report(
+                    channel.index, channel.src_lo, channel.src_hi,
+                    error=str(exc))
+        futures = [self._fanout.submit(probe, channel)
+                   for channel in self._channels]
+        return [future.result() for future in futures]
 
     def collect_trace(self, trace_id: str) -> List[dict]:
         """Every worker's recorded spans for *trace_id*, concurrently; a
@@ -484,7 +576,9 @@ class RangeRouter(ShardStoreServer):
     async def _op_hello(self, args: dict) -> dict:
         return shaping.hello_shape(self._ops,
                                    shaping.shape_store_info(self.store),
-                                   fleet=self.store.describe())
+                                   fleet=self.store.describe(),
+                                   started_at=self._started_at_wall,
+                                   uptime_s=self._uptime_s())
 
     async def _op_stats(self, args: dict) -> dict:
         # Unlike the base class the rollup talks to N workers — executor
@@ -500,6 +594,51 @@ class RangeRouter(ShardStoreServer):
             lambda: self.store.collect_trace(trace_id))
         return shaping.trace_answer_shape(
             trace_id, self.recorder.spans(trace_id) + worker_spans)
+
+    def _profile(self, action: str, hz, collapsed: bool) -> dict:
+        """The fleet ``profile`` rollup (already on the executor via the
+        inherited ``_op_profile``): apply the action on every worker, then
+        on the router itself, and answer with the merged aggregate.
+
+        The workers act *before* the router, so after a fleet-wide
+        ``stop`` every aggregate in the sum is frozen — the merged answer
+        equals the router's own profile plus each worker's directly
+        fetched snapshot, exactly."""
+        worker_profiles = self.store.collect_profiles(action, hz=hz)
+        self._apply_profile_action(action, hz)
+        own = self.profiler.snapshot()
+        merged = own + sum(worker_profiles, ProfileStats())
+        return shaping.profile_shape(
+            action, merged.as_dict(), running=self.profiler.running,
+            hz=self.profiler.hz,
+            collapsed=merged.collapsed() if collapsed else None,
+            router=own.as_dict(), workers=self.store.n_workers)
+
+    async def _op_events(self, args: dict) -> dict:
+        limit, kind = self._events_args(args)
+        return await self._run_store(self._fleet_events, limit, kind)
+
+    def _fleet_events(self, limit, kind) -> dict:
+        worker_events, worker_dropped = self.store.collect_events(
+            limit=limit, kind=kind)
+        own = self.events.tail(limit, kind=kind)
+        merged = merge_events([own, *worker_events], limit=limit)
+        return shaping.events_shape(
+            merged, dropped=self.events.dropped + worker_dropped,
+            workers=self.store.n_workers)
+
+    async def _op_health(self, args: dict) -> dict:
+        return await self._run_store(self._fleet_health)
+
+    def _fleet_health(self) -> dict:
+        reports = self.store.health_reports()
+        down = [{"worker": report["worker"], "src_lo": report["src_lo"],
+                 "src_hi": report["src_hi"], "error": report["error"]}
+                for report in reports if not report.get("ok")]
+        return shaping.health_shape(
+            status="degraded" if down else "ok",
+            fleet={"workers": self.store.n_workers, "down": len(down)},
+            workers=reports, down=down, **self._health_sections())
 
     def stats(self) -> dict:
         return shaping.fleet_stats_shape(

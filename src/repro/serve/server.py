@@ -42,7 +42,11 @@ Design rules:
   ``metrics`` exposes the same registry as a raw snapshot plus Prometheus
   text; ``reset_stats`` rearms every counter (benchmark warmup exclusion);
   ``shutdown`` requests a graceful stop (in-flight requests finish, then
-  the listener closes).
+  the listener closes).  PR 10 adds ``profile`` (start / stop / snapshot /
+  reset the continuous :class:`~repro.obs.SamplingProfiler`), ``events``
+  (the :class:`~repro.obs.EventLog` flight recorder's tail), and
+  ``health`` (liveness: uptime, profiler / recorder state, connections) —
+  all additive ops, no protocol version bump.
 * **One registry, one recorder (PR 8).**  All telemetry lives on a single
   :class:`repro.obs.MetricsRegistry` shared with the store — ``stats()`` is
   a view over it, never a private dict — and requests carrying the additive
@@ -69,7 +73,13 @@ from typing import Callable, List, Optional
 
 import numpy as np
 
-from repro.obs import MetricsRegistry, TraceRecorder, trace
+from repro.obs import (
+    EventLog,
+    MetricsRegistry,
+    SamplingProfiler,
+    TraceRecorder,
+    trace,
+)
 from repro.serve import protocol, shaping
 from repro.serve.protocol import (
     DEFAULT_MAX_REQUEST_BYTES,
@@ -240,10 +250,19 @@ class ShardStoreServer:
         # server and store stats are views over the same series.
         if isinstance(store, (str, Path)):
             self.registry = MetricsRegistry()
+            self.events = EventLog()
             store = ShardStore(store, cache_shards=cache_shards,
-                               registry=self.registry)
+                               registry=self.registry, events=self.events)
         else:
             self.registry = getattr(store, "registry", None) or MetricsRegistry()
+            # One flight recorder per server process view, same adoption
+            # rule as the registry: a store (or fleet façade) that brings
+            # its own event log shares it, so store evictions and server
+            # events land on one timeline.  (Explicit None test: an empty
+            # EventLog is len()-falsy and must still be adopted.)
+            adopted = getattr(store, "events", None)
+            self.events = adopted if adopted is not None else EventLog()
+        self.profiler = SamplingProfiler()
         self.store = store
         self.host = host
         self.port = int(port)
@@ -266,6 +285,7 @@ class ShardStoreServer:
         self._degree_coalescer: Optional[_Coalescer] = None
         self._neighbors_coalescers: dict = {}
         self._started_at: Optional[float] = None
+        self._started_at_wall: Optional[float] = None
         self._ops = {
             "hello": self._op_hello,
             "degree": self._op_degree,
@@ -279,6 +299,9 @@ class ShardStoreServer:
             "stats": self._op_stats,
             "metrics": self._op_metrics,
             "trace": self._op_trace,
+            "profile": self._op_profile,
+            "events": self._op_events,
+            "health": self._op_health,
             "reset_stats": self._op_reset_stats,
             "shutdown": self._op_shutdown,
         }
@@ -335,12 +358,20 @@ class ShardStoreServer:
             self._handle_connection, self.host, self.port)
         self.port = self._server.sockets[0].getsockname()[1]
         self._started_at = time.monotonic()
+        self._started_at_wall = time.time()
 
     async def stop(self, *, grace_s: float = 5.0) -> None:
         """Graceful stop: close the listener, let every in-flight request
         finish and flush its response (handlers watch the stop event and
         exit after the current frame), then — after *grace_s* — abort any
         connection a stalled client is keeping open, and drop the pool."""
+        if self._server is not None and self._started_at is not None:
+            # Guarded on the live listener so a double stop() (context exit
+            # after a client-requested shutdown) records one event, not two.
+            self.events.emit(
+                "serve.shutdown", host=self.host, port=self.port,
+                uptime_s=round(time.monotonic() - self._started_at, 3))
+        self.profiler.stop()
         if self._stop_event is not None:
             self._stop_event.set()  # idle handlers wake from their read
         if self._server is not None:
@@ -564,6 +595,11 @@ class ShardStoreServer:
                 and timer.elapsed_us >= self.slow_query_us):
             self._slow_queries.inc()
             self._log_slow_query(op_key, timer.elapsed_us, ok, trace_id)
+            # trace_id passed explicitly: the serve span exited above, so
+            # the flight recorder's auto-stamp would miss the request's id.
+            self.events.emit("serve.slow_request", trace_id=trace_id,
+                             op=op_key, elapsed_us=int(timer.elapsed_us),
+                             ok=ok)
         return response, binary_rows
 
     def _log_slow_query(self, op_key: str, elapsed_us: int, ok: bool,
@@ -624,7 +660,14 @@ class ShardStoreServer:
     # ------------------------------------------------------------------
     async def _op_hello(self, args: dict) -> dict:
         return shaping.hello_shape(self._ops,
-                                   shaping.shape_store_info(self.store))
+                                   shaping.shape_store_info(self.store),
+                                   started_at=self._started_at_wall,
+                                   uptime_s=self._uptime_s())
+
+    def _uptime_s(self) -> float:
+        if self._started_at is None:
+            return 0.0
+        return time.monotonic() - self._started_at
 
     async def _op_degree(self, args: dict) -> dict:
         vertex = self._check_vertex(_arg_int(args, "vertex"))
@@ -714,6 +757,84 @@ class ShardStoreServer:
             raise ValueError("request arg 'id' must be a string trace id")
         return shaping.trace_answer_shape(trace_id,
                                           self.recorder.spans(trace_id))
+
+    #: Actions the ``profile`` op accepts.
+    _PROFILE_ACTIONS = frozenset({"start", "stop", "snapshot", "reset"})
+
+    @staticmethod
+    def _profile_args(args: dict):
+        """Validate and unpack a ``profile`` request's arguments."""
+        action = args.get("action", "snapshot")
+        if action not in ShardStoreServer._PROFILE_ACTIONS:
+            raise ValueError(
+                f"request arg 'action' must be one of "
+                f"{', '.join(sorted(ShardStoreServer._PROFILE_ACTIONS))}; "
+                f"got {action!r}")
+        hz = args.get("hz")
+        if hz is not None and (isinstance(hz, bool)
+                               or not isinstance(hz, (int, float))):
+            raise ValueError("request arg 'hz' must be a number or null")
+        collapsed = _arg_bool(args, "collapsed", False)
+        return action, hz, collapsed
+
+    async def _op_profile(self, args: dict) -> dict:
+        action, hz, collapsed = self._profile_args(args)
+        # On the pool: ``stop`` joins the sampling thread and must never
+        # stall the event loop mid-sample.
+        return await self._run_store(self._profile, action, hz, collapsed)
+
+    def _apply_profile_action(self, action: str, hz) -> None:
+        if action == "start":
+            self.profiler.start(hz=float(hz) if hz is not None else None)
+        elif action == "stop":
+            self.profiler.stop()
+        elif action == "reset":
+            self.profiler.reset()
+
+    def _profile(self, action: str, hz, collapsed: bool) -> dict:
+        self._apply_profile_action(action, hz)
+        stats = self.profiler.snapshot()
+        return shaping.profile_shape(
+            action, stats.as_dict(), running=self.profiler.running,
+            hz=self.profiler.hz,
+            collapsed=stats.collapsed() if collapsed else None)
+
+    @staticmethod
+    def _events_args(args: dict):
+        """Validate and unpack an ``events`` request's arguments."""
+        limit = args.get("limit")
+        if limit is not None and (isinstance(limit, bool)
+                                  or not isinstance(limit, int)):
+            raise ValueError("request arg 'limit' must be an integer or null")
+        kind = args.get("kind")
+        if kind is not None and not isinstance(kind, str):
+            raise ValueError("request arg 'kind' must be a string or null")
+        return limit, kind
+
+    async def _op_events(self, args: dict) -> dict:
+        limit, kind = self._events_args(args)
+        return shaping.events_shape(self.events.tail(limit, kind=kind),
+                                    dropped=self.events.dropped)
+
+    async def _op_health(self, args: dict) -> dict:
+        return shaping.health_shape(status="ok", **self._health_sections())
+
+    def _health_sections(self) -> dict:
+        """The liveness facts shared by a single server's ``health`` answer
+        and the router's rollup: lifetime, profiler / flight-recorder /
+        trace-recorder state, open connections."""
+        return {
+            "started_at": self._started_at_wall,
+            "uptime_s": self._uptime_s(),
+            "profiler": {"running": self.profiler.running,
+                         "hz": self.profiler.hz,
+                         "samples": self.profiler.snapshot().samples},
+            "events": {"recorded": len(self.events),
+                       "dropped": self.events.dropped,
+                       "max_events": self.events.max_events},
+            "traces": len(self.recorder.trace_ids()),
+            "connections_open": len(self._writers),
+        }
 
     async def _op_reset_stats(self, args: dict) -> dict:
         details = await self._run_store(self._reset_stats)

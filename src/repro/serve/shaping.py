@@ -32,6 +32,9 @@ __all__ = [
     "metrics_shape",
     "trace_answer_shape",
     "reset_stats_shape",
+    "profile_shape",
+    "events_shape",
+    "health_shape",
     "degree_shape",
     "neighbors_shape",
     "shape_degree",
@@ -340,11 +343,19 @@ def shape_store_info(store) -> dict:
 
 def hello_shape(ops: Sequence[str], store_info: dict, *,
                 binary_ops: Sequence[str] = ("edges_in_range",),
-                fleet: Optional[dict] = None) -> dict:
+                fleet: Optional[dict] = None,
+                started_at: Optional[float] = None,
+                uptime_s: Optional[float] = None) -> dict:
     """The ``hello`` answer envelope: protocol capabilities plus the store
     description.  A range router adds a ``"fleet"`` section describing its
     worker slices; everything else is identical to a single server, which is
-    what makes routing transparent to ``query --connect``."""
+    what makes routing transparent to ``query --connect``.
+
+    ``started_at`` (wall-clock epoch seconds) / ``uptime_s`` are additive
+    server-metadata keys — omitted when unknown, never version-bumping —
+    so an operator's first round trip already answers "how long has this
+    been up"; a router reports its own lifetime here and rolls worker
+    uptimes up through the ``health`` op."""
     result = {
         "query": "hello",
         "protocol": PROTOCOL_VERSION,
@@ -353,6 +364,10 @@ def hello_shape(ops: Sequence[str], store_info: dict, *,
         "ops": sorted(ops),
         "store": store_info,
     }
+    if started_at is not None:
+        result["started_at"] = round(float(started_at), 3)
+    if uptime_s is not None:
+        result["uptime_s"] = round(float(uptime_s), 3)
     if fleet is not None:
         result["fleet"] = fleet
     return result
@@ -406,6 +421,91 @@ def reset_stats_shape(*, workers: Optional[int] = None) -> dict:
     return result
 
 
+def profile_shape(action: str, profile: dict, *, running: bool, hz: float,
+                  collapsed: Optional[str] = None,
+                  router: Optional[dict] = None,
+                  workers: Optional[int] = None) -> dict:
+    """The ``profile`` answer: the (possibly merged) folded-stack
+    aggregate after *action* was applied.
+
+    *profile* is a :meth:`repro.obs.ProfileStats.as_dict` payload;
+    ``running`` / ``hz`` describe the answering server's own profiler.  A
+    router answers with the fleet-merged aggregate in ``"profile"``, its
+    own (unmerged) aggregate in ``"router"``, and the worker count — so
+    ``profile == router + sum(worker profiles)`` is checkable from the
+    answer.  ``collapsed`` carries the flamegraph text when the request
+    asked for it."""
+    result = {
+        "query": "profile",
+        "action": str(action),
+        "running": bool(running),
+        "hz": float(hz),
+        "profile": profile,
+    }
+    if collapsed is not None:
+        result["collapsed"] = collapsed
+    if router is not None:
+        result["router"] = router
+    if workers is not None:
+        result["workers"] = int(workers)
+    return result
+
+
+def events_shape(events: Sequence[dict], *, dropped: int = 0,
+                 workers: Optional[int] = None) -> dict:
+    """The ``events`` answer: the flight recorder's retained events,
+    oldest first.  A router answers with its own and every worker's
+    events interleaved by wall-clock timestamp
+    (:func:`repro.obs.merge_events`), ``dropped`` summed across the
+    fleet, and the worker count."""
+    result = {
+        "query": "events",
+        "n_events": len(events),
+        "dropped": int(dropped),
+        "events": list(events),
+    }
+    if workers is not None:
+        result["workers"] = int(workers)
+    return result
+
+
+def health_shape(*, status: str, started_at: Optional[float],
+                 uptime_s: float, profiler: dict, events: dict,
+                 traces: int, connections_open: Optional[int] = None,
+                 fleet: Optional[dict] = None,
+                 workers: Optional[Sequence[dict]] = None,
+                 down: Optional[Sequence[dict]] = None) -> dict:
+    """The ``health`` answer: one server's liveness roll-up.
+
+    ``status`` is ``"ok"`` or ``"degraded"``; ``profiler`` / ``events`` /
+    ``traces`` summarize the observability state (is the profiler armed,
+    how full is the flight recorder, how many traces are retained).  A
+    router rolls the fleet in: per-worker reports
+    (:func:`fleet_worker_report` with their ``health`` answers), the
+    ``down`` list naming every unreachable worker **and its assigned
+    range** — the fleet keeps serving the surviving ranges, and this is
+    where an operator reads which vertices went dark."""
+    result = {
+        "query": "health",
+        "status": str(status),
+        "uptime_s": round(float(uptime_s), 3),
+        "profiler": dict(profiler),
+        "events": dict(events),
+        "traces": int(traces),
+    }
+    if started_at is not None:
+        result["started_at"] = round(float(started_at), 3)
+    if connections_open is not None:
+        result["connections_open"] = int(connections_open)
+    if fleet is not None:
+        result["fleet"] = fleet
+    if workers is not None:
+        result["workers"] = list(workers)
+    if down is not None:
+        result["down"] = list(down)
+    return result
+
+
 def fleet_shape(ranges: Sequence, addresses: Sequence, *,
                 failovers: Optional[Sequence[int]] = None,
                 calls: Optional[Sequence[int]] = None) -> dict:
@@ -429,17 +529,22 @@ def fleet_shape(ranges: Sequence, addresses: Sequence, *,
 
 def fleet_worker_report(index: int, src_lo: int, src_hi: int, *,
                         stats: Optional[dict] = None,
+                        health: Optional[dict] = None,
                         error: Optional[str] = None) -> dict:
-    """One worker's entry in the fleet ``stats`` rollup: its full per-worker
-    ``stats`` answer when it responded, or the error string when it did not
-    (a fleet-level ``stats`` must not fail just because one worker is down).
+    """One worker's entry in a fleet rollup: its full per-worker ``stats``
+    (or ``health``) answer when it responded, or the error string when it
+    did not (a fleet-level rollup must not fail just because one worker is
+    down — the error entry names the worker *and its assigned range*, so
+    an operator reads which vertices went dark straight off the answer).
     """
     report = {"worker": int(index), "src_lo": int(src_lo),
               "src_hi": int(src_hi), "ok": error is None}
-    if error is None:
-        report["stats"] = stats
-    else:
+    if error is not None:
         report["error"] = str(error)
+    elif health is not None:
+        report["health"] = health
+    else:
+        report["stats"] = stats
     return report
 
 

@@ -73,7 +73,7 @@ from repro.graphs.egonet import Egonet
 from repro.graphs.egonet import egonet as _extract_egonet
 from repro.graphs.io import read_shard_manifest
 from repro.lint.runtime import new_lock
-from repro.obs import MetricsRegistry, trace
+from repro.obs import EventLog, MetricsRegistry, trace
 
 __all__ = ["ShardStore", "StoreQueryMixin"]
 
@@ -297,6 +297,11 @@ class ShardStore(StoreQueryMixin):
         and store stats are views over one registry; ``None`` creates a
         private one.  One store per registry — the occupancy gauges are
         callback-backed.
+    events:
+        The :class:`repro.obs.EventLog` flight recorder LRU evictions are
+        announced on (``store.shard_evicted`` events).  Shared with the
+        serving layer exactly like *registry*; ``None`` creates a private
+        one.
 
     Attributes
     ----------
@@ -307,7 +312,8 @@ class ShardStore(StoreQueryMixin):
     """
 
     def __init__(self, directory: PathLike, *, cache_shards: int = 4,
-                 mmap: bool = True, registry: Optional[MetricsRegistry] = None):
+                 mmap: bool = True, registry: Optional[MetricsRegistry] = None,
+                 events: Optional[EventLog] = None):
         self.directory = Path(directory)
         manifest = read_shard_manifest(self.directory)
         if manifest["format_version"] < 2 or manifest.get("sorted_by") != "source":
@@ -342,6 +348,7 @@ class ShardStore(StoreQueryMixin):
         # can be read mid-serve without touching this lock.
         self._lock = new_lock("store.lru")
         self.registry = registry if registry is not None else MetricsRegistry()
+        self.events = events if events is not None else EventLog()
         self._shard_reads = self.registry.counter("store.shard_reads")
         self._cache_hits = self.registry.counter("store.cache_hits")
         self.registry.gauge("store.cached_shards",
@@ -377,6 +384,7 @@ class ShardStore(StoreQueryMixin):
                 f"{path}: shard has shape {rows.shape} but the manifest "
                 f"payload_columns {self.manifest['payload_columns']!r} "
                 f"require {self._width} columns")
+        evicted_index = None
         with self._lock:
             self._shard_reads.inc()
             cached = self._cache.get(index)
@@ -386,8 +394,15 @@ class ShardStore(StoreQueryMixin):
             entry = [rows, None]
             self._cache[index] = entry
             if len(self._cache) > self.cache_shards:
-                self._cache.popitem(last=False)
-            return entry
+                evicted_index, _ = self._cache.popitem(last=False)
+        if evicted_index is not None:
+            # Emitted after the lock is released: the event log is a leaf in
+            # the lock-order digraph and must stay one — no store.lru →
+            # obs.events edge.
+            self.events.emit("store.shard_evicted",
+                             shard=self._files[evicted_index],
+                             cache_shards=self.cache_shards)
+        return entry
 
     def _shard(self, index: int) -> np.ndarray:
         """Decoded ``(m, 2 + k)`` row array of one shard, through the LRU

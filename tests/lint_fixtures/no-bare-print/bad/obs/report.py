@@ -1,0 +1,14 @@
+"""Known-bad corpus for no-bare-print: builtin print() calls in a
+library module (stdout belongs to the CLI alone)."""
+
+
+def announce(count):
+    print(f"processed {count} shards")  # BAD: bare print in a library
+    if count == 0:
+        print("nothing to do")  # BAD: even the degenerate branch
+    return count
+
+
+def debug_dump(payload):
+    for key in sorted(payload):
+        print(key, payload[key])  # BAD: debug spew on stdout

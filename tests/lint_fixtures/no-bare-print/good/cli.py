@@ -1,0 +1,7 @@
+"""Known-good corpus for no-bare-print: cli.py is the one module whose
+job is console output — excluded from the rule by path."""
+
+
+def show(result):
+    print(result)  # allowed: this file IS the console surface
+    return 0

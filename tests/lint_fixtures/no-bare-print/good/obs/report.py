@@ -1,0 +1,19 @@
+"""Known-good corpus for no-bare-print: library code that routes
+diagnostics properly, plus builtin-print look-alikes that must not fire."""
+
+
+def announce(count, events):
+    # Operational facts go to the flight recorder, not stdout.
+    events.emit("store.compacted", shards=count)
+    return count
+
+
+def render(table):
+    # A *method* named print is not the builtin call.
+    table.print()
+    return table
+
+
+def emit_via_writer(writer, lines):
+    for line in lines:
+        writer.write(line + "\n")

@@ -1,5 +1,7 @@
 """Tests for the repro-kron command-line interface."""
 
+import json
+
 import numpy as np
 import pytest
 
@@ -364,6 +366,92 @@ class TestPayloadCli:
         cli.main(["compact", str(spill), str(store)])
         with pytest.raises(SystemExit, match="no payload columns"):
             cli.main(["query", str(store), "--degree", "0", "--payload"])
+
+
+class TestObservabilityCli:
+    """``stats --connect`` (watch loop, Prometheus), ``profile`` and
+    ``health`` against a live single-store server."""
+
+    @pytest.fixture(scope="class")
+    def served_store(self, tmp_path_factory):
+        bundle = tmp_path_factory.mktemp("obs-cli") / "bundle.npz"
+        assert cli.main(["generate", str(bundle),
+                         "--factor-a", "weblike", "--size-a", "40",
+                         "--factor-b", "tpa", "--size-b", "15",
+                         "--seed", "5"]) == 0
+        spill = bundle.parent / "spill"
+        assert cli.main(["stream", str(bundle), str(spill),
+                         "--ranks", "2", "--block", "16"]) == 0
+        store = bundle.parent / "store"
+        assert cli.main(["compact", str(spill), str(store),
+                         "--target-edges", "2000"]) == 0
+        return store
+
+    @pytest.fixture(scope="class")
+    def server(self, served_store):
+        from repro.serve import ThreadedServer
+
+        # slow_query_us=0 flags every request, so the flight recorder is
+        # never empty — the watch pane has something to show.
+        with ThreadedServer(served_store, slow_query_us=0) as handle:
+            yield handle
+
+    @pytest.fixture
+    def address(self, server):
+        return f"{server.host}:{server.port}"
+
+    def test_stats_prometheus_renders_registry(self, address, capsys):
+        assert cli.main(["stats", "--connect", address,
+                         "--prometheus"]) == 0
+        out = capsys.readouterr().out
+        assert "# HELP" in out and "# TYPE" in out
+        assert 'le="+Inf"' in out  # cumulative histogram tail
+
+    def test_stats_watch_loop_prints_events_pane(self, address, capsys,
+                                                 monkeypatch):
+        # One full refresh, then the fake sleep delivers the ctrl-C.
+        monkeypatch.setattr(cli.time, "sleep",
+                            lambda _s: (_ for _ in ()).throw(
+                                KeyboardInterrupt))
+        assert cli.main(["stats", "--connect", address,
+                         "--watch", "0.1"]) == 0
+        out = capsys.readouterr().out
+        assert '"query": "stats"' in out
+        assert "recent events:" in out
+        assert "serve.slow_request" in out
+
+    def test_profile_command_prints_role_ranking(self, address, capsys):
+        assert cli.main(["profile", "--connect", address,
+                         "--seconds", "0.3", "--hz", "300"]) == 0
+        out = capsys.readouterr().out
+        assert f"300 Hz x 0.3 s on {address}:" in out
+        assert "event_loop" in out
+
+    def test_profile_collapsed_emits_folded_stacks(self, address, capsys):
+        assert cli.main(["profile", "--connect", address,
+                         "--seconds", "0.3", "--hz", "300",
+                         "--collapsed"]) == 0
+        lines = capsys.readouterr().out.splitlines()
+        assert lines
+        for line in lines:
+            stack, count = line.rsplit(" ", 1)
+            assert ";" in stack and int(count) > 0
+
+    def test_profile_rejects_nonpositive_window(self, address):
+        with pytest.raises(SystemExit, match="--seconds"):
+            cli.main(["profile", "--connect", address, "--seconds", "0"])
+
+    def test_health_command_reports_ok(self, address, capsys):
+        assert cli.main(["health", "--connect", address]) == 0
+        out = capsys.readouterr().out
+        assert f"{address}: ok" in out
+        assert "profiler:" in out and "events:" in out
+
+    def test_health_json_round_trips(self, address, capsys):
+        assert cli.main(["health", "--connect", address, "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["query"] == "health"
+        assert payload["status"] == "ok"
 
 
 class TestParser:

@@ -1,4 +1,4 @@
-"""Tests for the static half of repro.lint: engine mechanics, the six
+"""Tests for the static half of repro.lint: engine mechanics, the seven
 convention rules against their fixture corpora, and the CLI subcommand.
 
 The fixture corpora under ``tests/lint_fixtures/`` are the proof that no
@@ -34,6 +34,7 @@ EXPECTED_BAD_FINDINGS = {
     "no-scalar-sparse-getitem": 3,
     "no-blocking-in-async": 5,
     "registry-names-dotted": 4,
+    "no-bare-print": 3,
 }
 
 

@@ -189,6 +189,20 @@ class TestPrometheus:
         assert "# TYPE test_n counter" in text
         assert "# TYPE test_h histogram" in text
 
+    def test_help_lines_name_the_dotted_source_once(self):
+        registry = MetricsRegistry()
+        registry.counter("test.n", op="degree").inc()
+        registry.counter("test.n", op="egonet").inc()
+        lines = render_prometheus(registry.snapshot()).splitlines()
+        # One announcement per mangled name — not per labelled series —
+        # and the help text maps it back to the dotted registry name.
+        help_lines = [l for l in lines if l.startswith("# HELP test_n ")]
+        assert help_lines == \
+            ["# HELP test_n repro registry series test.n (counter)"]
+        # HELP immediately precedes its TYPE line.
+        assert lines[lines.index(help_lines[0]) + 1] == \
+            "# TYPE test_n counter"
+
 
 # ----------------------------------------------------------------------
 # Tracing

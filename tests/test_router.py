@@ -472,6 +472,100 @@ class TestFleetObservability:
 
 
 # ----------------------------------------------------------------------
+# Flight recorder + profiler + health rollups (PR 10 acceptance)
+# ----------------------------------------------------------------------
+class TestFleetFlightRecorder:
+    def test_failover_event_carries_the_trace_id(self, store_factory):
+        """Acceptance: a forced failover during a routed *batch* query must
+        surface on the router's ``events`` op as a ``fleet.failover``
+        event stamped with that query's trace id.  (Scalar ops coalesce
+        through the batch flush without a copied trace context by design,
+        so the stamped path is the batch one.)"""
+        store = store_factory()
+        with FleetHarness(store, n_slices=3,
+                          scripted={0: drop_after_request}) as harness:
+            probe = harness.slices[0]["src_lo"]
+            recorder = TraceRecorder()
+            with harness.client() as c:
+                with trace.start_trace("failover", recorder) as t:
+                    c.degrees([probe, probe + 1])
+                answer = c.events()
+            assert answer["workers"] == 3
+            events = answer["events"]
+            deaths = [e for e in events
+                      if e["kind"] == "fleet.replica_death"]
+            assert deaths and deaths[0]["worker"] == 0
+            failovers = [e for e in events if e["kind"] == "fleet.failover"]
+            assert len(failovers) == 1
+            event = failovers[0]
+            assert event["trace"] == t.trace_id
+            assert event["worker"] == 0
+            assert (event["src_lo"], event["src_hi"]) == (
+                harness.slices[0]["src_lo"], harness.slices[0]["src_hi"])
+            assert event["from_address"] != event["to_address"]
+
+    def test_merged_profile_is_the_sum_of_worker_profiles(
+            self, store_factory, local_store):
+        """Acceptance: after a fleet-wide profiler stop, the router's
+        merged snapshot equals its own aggregate plus the per-worker
+        aggregates read back directly from each worker."""
+        from repro.obs import ProfileStats
+
+        store = store_factory()
+        with FleetHarness(store, n_slices=3) as harness:
+            with harness.client() as c:
+                started = c.profile("start", hz=500)
+                assert started["running"] is True and started["workers"] == 3
+                for lo in range(0, local_store.n_vertices, 40):
+                    c.degrees(np.arange(lo, min(lo + 20,
+                                                local_store.n_vertices)))
+                answer = c.profile("stop")
+                assert answer["running"] is False
+            merged = ProfileStats.from_dict(answer["profile"])
+            own = ProfileStats.from_dict(answer["router"])
+            worker_sum = ProfileStats()
+            for (worker,) in harness.workers:
+                with QueryClient(worker.host, worker.port) as direct:
+                    direct_answer = direct.profile()
+                    assert direct_answer["running"] is False
+                    worker_sum += ProfileStats.from_dict(
+                        direct_answer["profile"])
+            assert merged == own + worker_sum
+            assert merged.samples >= own.samples
+
+    def test_health_degraded_names_the_dead_worker(self, store_factory):
+        """Acceptance: with one worker's only replica down, ``health``
+        reports ``degraded`` naming the worker and its source range —
+        while the rest of the fleet keeps serving."""
+        store = store_factory()
+        with FleetHarness(store, n_slices=3) as harness:
+            harness.kill(2)
+            with harness.client() as c:
+                health = c.health()
+                assert health["status"] == "degraded"
+                assert health["fleet"] == {"workers": 3, "down": 1}
+                (down,) = health["down"]
+                assert down["worker"] == 2
+                assert (down["src_lo"], down["src_hi"]) == (
+                    harness.slices[2]["src_lo"],
+                    harness.slices[2]["src_hi"])
+                assert down["error"]
+                reports = {r["worker"]: r for r in health["workers"]}
+                assert reports[0]["ok"] and reports[1]["ok"]
+                assert not reports[2]["ok"]
+                # The healthy slices answer as if nothing happened.
+                assert c.degree(harness.slices[0]["src_lo"]) >= 0
+
+    def test_healthy_fleet_reports_ok(self, fleet, client):
+        health = client.health()
+        assert health["status"] == "ok"
+        assert health["fleet"] == {"workers": 3, "down": 0}
+        assert health["down"] == []
+        assert all(r.get("health", {}).get("status") == "ok"
+                   for r in health["workers"])
+
+
+# ----------------------------------------------------------------------
 # CLI: serve --fleet and query --connect routing transparency
 # ----------------------------------------------------------------------
 class TestFleetCLI:
@@ -492,6 +586,19 @@ class TestFleetCLI:
             local.pop("store")
             routed.pop("store")
             assert local == routed
+
+    def test_health_cli_exit_code_tracks_degradation(self, store_factory,
+                                                     capsys):
+        from repro import cli
+        store = store_factory()
+        with FleetHarness(store, n_slices=3) as harness:
+            assert cli.main(["health", "--connect", harness.address]) == 0
+            assert f"{harness.address}: ok" in capsys.readouterr().out
+            harness.kill(1)
+            assert cli.main(["health", "--connect", harness.address]) == 1
+            out = capsys.readouterr().out
+            assert "degraded" in out
+            assert "worker 1" in out and "DOWN" in out
 
     def test_serve_fleet_subcommand_end_to_end(self, store_dir, local_store):
         """`repro-kron serve --fleet 2` in a real subprocess: partitions,
